@@ -1,0 +1,97 @@
+// Command lazydet-bench regenerates the tables and figures of the paper's
+// evaluation. Examples:
+//
+//	lazydet-bench -fig 7            # the hash-table sweeps
+//	lazydet-bench -table 1          # lock statistics
+//	lazydet-bench -all -quick       # everything, shrunk sweeps
+//	lazydet-bench -fig 8 -reps 5    # the paper's repetition count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lazydet/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate figure N (1, 7, 8, 9, 10, 11, 12)")
+	table := flag.Int("table", 0, "regenerate table N (1, 2)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	versions := flag.Bool("versions", false, "run the §4.2 version-count experiment")
+	reps := flag.Int("reps", 3, "repetitions per data point (paper: 5)")
+	threads := flag.Int("threads", 0, "override the experiment's thread count")
+	scale := flag.Int("scale", 1, "workload problem-size multiplier")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Out:     os.Stdout,
+		Reps:    *reps,
+		Threads: *threads,
+		Scale:   *scale,
+		Quick:   *quick,
+		CSVDir:  *csvDir,
+	}
+
+	type job struct {
+		name string
+		run  func(experiments.Config) error
+	}
+	var jobs []job
+	add := func(name string, run func(experiments.Config) error) {
+		jobs = append(jobs, job{name, run})
+	}
+
+	figs := map[int]func(experiments.Config) error{
+		1: experiments.Fig1, 7: experiments.Fig7, 8: experiments.Fig8,
+		9: experiments.Fig9, 10: experiments.Fig10, 11: experiments.Fig11,
+		12: experiments.Fig12,
+	}
+	tables := map[int]func(experiments.Config) error{
+		1: experiments.Table1, 2: experiments.Table2,
+	}
+
+	switch {
+	case *all:
+		add("table 1", experiments.Table1)
+		add("figure 1", experiments.Fig1)
+		add("figure 7", experiments.Fig7)
+		add("figure 8", experiments.Fig8)
+		add("figure 9", experiments.Fig9)
+		add("figure 10", experiments.Fig10)
+		add("figure 11", experiments.Fig11)
+		add("table 2", experiments.Table2)
+		add("figure 12", experiments.Fig12)
+		add("versions", experiments.Versions)
+	case *fig != 0:
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no such figure: %d (have 1, 7, 8, 9, 10, 11, 12)\n", *fig)
+			os.Exit(2)
+		}
+		add(fmt.Sprintf("figure %d", *fig), f)
+	case *table != 0:
+		f, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no such table: %d (have 1, 2)\n", *table)
+			os.Exit(2)
+		}
+		add(fmt.Sprintf("table %d", *table), f)
+	case *versions:
+		add("versions", experiments.Versions)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, j := range jobs {
+		if err := j.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

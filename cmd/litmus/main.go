@@ -1,0 +1,34 @@
+// Command litmus prints the outcomes each memory-consistency model of the
+// paper's §4 allows for its litmus tests: TSO (Consequence), DLRC (RFDet)
+// and DDRF (LazyDet). It regenerates the claims of Figures 4, 5 and 6.
+package main
+
+import (
+	"fmt"
+
+	"lazydet/internal/memmodel"
+)
+
+func show(p *memmodel.Program) {
+	fmt.Printf("%s\n", p.Name)
+	fmt.Printf("  SC:   %v\n", memmodel.SC(p))
+	fmt.Printf("  TSO:  %v\n", memmodel.TSO(p))
+	fmt.Printf("  DLRC: %v\n", memmodel.DLRC(p))
+	fmt.Printf("  DDRF: %v\n", memmodel.DDRF(p))
+	fmt.Println()
+}
+
+func main() {
+	show(memmodel.Figure4())
+	show(memmodel.Figure5())
+	show(memmodel.MessagePassing())
+	show(memmodel.StoreBufferNoLocks())
+
+	p := memmodel.Figure4()
+	tso, dlrc, ddrf := memmodel.TSO(p), memmodel.DLRC(p), memmodel.DDRF(p)
+	fmt.Println("Figure 6 relations (on the Figure 4 program):")
+	fmt.Printf("  TSO  ⊆ DDRF: %v\n", tso.SubsetOf(ddrf))
+	fmt.Printf("  DLRC ⊆ DDRF: %v\n", dlrc.SubsetOf(ddrf))
+	fmt.Printf("  TSO  ⊆ DLRC: %v (incomparable)\n", tso.SubsetOf(dlrc))
+	fmt.Printf("  DLRC ⊆ TSO:  %v (incomparable)\n", dlrc.SubsetOf(tso))
+}

@@ -1,0 +1,53 @@
+// Hashtable runs the paper's motivating experiment (Figure 1 / §5.1): the
+// Synchrobench lock-based hash table under every engine, sweeping the
+// table size, and prints slowdown versus the pthreads baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lazydet"
+	"lazydet/internal/workloads"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "simulated thread count")
+	variant := flag.String("variant", "ht", "ht (hand-over-hand) or htlazy (lazy list set)")
+	updates := flag.Int("updates", 50, "update percentage")
+	flag.Parse()
+
+	engines := []lazydet.EngineKind{
+		lazydet.Consequence, lazydet.TotalOrderWeak, lazydet.TotalOrderWeakNondet, lazydet.LazyDet,
+	}
+
+	fmt.Printf("Synchrobench %s, %d threads, %d%% updates — slowdown vs pthreads\n\n",
+		*variant, *threads, *updates)
+	fmt.Printf("%-10s", "objects")
+	for _, e := range engines {
+		fmt.Printf(" %22s", e)
+	}
+	fmt.Println()
+
+	for _, size := range []int{512, 2048, 8192, 16384} {
+		cfg := workloads.DefaultHTConfig(workloads.HTVariant(*variant))
+		cfg.MaxObjects = size
+		cfg.UpdatePct = *updates
+		w := workloads.NewHashTable(cfg)
+
+		base, err := lazydet.Run(w, lazydet.Options{Engine: lazydet.Pthreads, Threads: *threads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d", size)
+		for _, e := range engines {
+			res, err := lazydet.Run(w, lazydet.Options{Engine: e, Threads: *threads})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %21.1fx", res.Wall.Seconds()/base.Wall.Seconds())
+		}
+		fmt.Println()
+	}
+}

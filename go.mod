@@ -1,0 +1,3 @@
+module lazydet
+
+go 1.22

@@ -1,0 +1,425 @@
+// Package core implements the deterministic multithreading runtime that is
+// this repository's reproduction of the paper's systems:
+//
+//   - ModeStrong without speculation is Consequence (Merrifield et al.,
+//     EuroSys'15): eager strong determinism — every synchronization
+//     operation waits for the deterministic turn and commits/updates the
+//     thread's isolated memory view.
+//   - ModeWeak is TotalOrder-Weak: the same eager DLC total order, but no
+//     memory isolation (Kendo-style weak determinism).
+//   - ModeWeakNondet is TotalOrder-Weak-Nondet: synchronization still
+//     funnels through one global serialization point, but ordered
+//     nondeterministically — the paper's simulation of a "perfect logical
+//     clock".
+//   - ModeStrong with Config.Speculation is LazyDet, the paper's
+//     contribution: speculative order elision with lock-level conflict
+//     detection, adaptive per-lock speculation statistics, coarsening
+//     across critical sections, revert/restart, and irrevocable upgrade
+//     for system calls (paper §3). The speculation paths live in spec.go.
+//
+// The paper derives its comparison systems from the LazyDet code base
+// (§5.3); this package mirrors that by hosting all deterministic engines
+// behind one Config.
+package core
+
+import (
+	"time"
+
+	"lazydet/internal/detsync"
+	"lazydet/internal/dlc"
+	"lazydet/internal/dvm"
+	"lazydet/internal/shmem"
+	"lazydet/internal/stats"
+	"lazydet/internal/trace"
+	"lazydet/internal/vheap"
+)
+
+// Mode selects the determinism regime.
+type Mode int
+
+const (
+	// ModeStrong isolates threads in versioned memory and determinizes
+	// both synchronization order and every load's value (strong
+	// determinism). This is Consequence, and the substrate LazyDet
+	// speculates on.
+	ModeStrong Mode = iota
+	// ModeWeak orders synchronization deterministically but shares memory
+	// directly: deterministic only for race-free programs (Kendo-style
+	// weak determinism).
+	ModeWeak
+	// ModeWeakNondet totally orders synchronization through a global
+	// mutex, nondeterministically. No determinism guarantee; it models
+	// the cost of total ordering alone.
+	ModeWeakNondet
+)
+
+// String returns the evaluation's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeStrong:
+		return "strong"
+	case ModeWeak:
+		return "weak"
+	case ModeWeakNondet:
+		return "weak-nondet"
+	}
+	return "unknown"
+}
+
+// SpecConfig tunes the LazyDet speculation engine. The defaults are the
+// paper's parameters (§3.4), tuned there on the hash-table microbenchmark
+// and reused unchanged for all workloads.
+type SpecConfig struct {
+	// Coarsening allows one speculation run to span multiple critical
+	// sections, up to MaxRunCS. Disabling it (Figure 11's
+	// LAZYDET-NoCoarsening) limits runs to one critical section.
+	Coarsening bool
+	// MaxRunCS bounds the critical sections per run when coarsening.
+	MaxRunCS int
+	// Irrevocable enables upgrading a run to irrevocable status when a
+	// system call is encountered (paper §3.5). When disabled (Figure 11's
+	// LAZYDET-NoIrrevocable), a system call inside a speculative critical
+	// section reverts the run.
+	Irrevocable bool
+	// PerLockStats keeps the 64-bit success history per (lock, thread).
+	// When disabled (Figure 11's LAZYDET-NoPerLockStats), one history per
+	// thread is used for all locks.
+	PerLockStats bool
+	// ThresholdPermille is the success-rate threshold (out of 1000)
+	// required to begin speculating; the paper uses 85 % = 850.
+	ThresholdPermille int
+	// RetryEvery forces a probe speculation every N suppressed attempts,
+	// to notice program phase changes; the paper uses 20.
+	RetryEvery int
+	// SpeculativeAtomics executes atomic read-modify-writes inside
+	// speculation runs, detecting conflicts on the accessed locations —
+	// the extension the paper's §7 proposes. When disabled, an atomic
+	// terminates the run and executes eagerly.
+	SpeculativeAtomics bool
+	// WriteAware refines conflict detection in the direction of the
+	// dependence-aware schemes the paper's §6.2 points to: a committed
+	// critical section invalidates concurrent runs that logged its lock
+	// only if it actually wrote under that lock, so read-only critical
+	// sections never conflict with each other. Off by default — the
+	// paper's G_l scheme treats every acquisition as a conflict source.
+	WriteAware bool
+}
+
+// DefaultSpecConfig returns the speculation parameters used by every
+// experiment. Like the paper (§3.4), the success threshold and retry period
+// are 85 % and 20, and the parameter set was tuned once on the hash-table
+// microbenchmark and then applied to all workloads: on this runtime a
+// coarsening limit of 8 critical sections maximizes hash-table throughput
+// (longer runs enlarge the lock set, and with it the conflict probability,
+// faster than they amortize commits).
+func DefaultSpecConfig() SpecConfig {
+	return SpecConfig{
+		Coarsening:         true,
+		MaxRunCS:           8,
+		Irrevocable:        true,
+		PerLockStats:       true,
+		ThresholdPermille:  850,
+		RetryEvery:         20,
+		SpeculativeAtomics: true,
+	}
+}
+
+// Config configures a deterministic engine.
+type Config struct {
+	// Mode selects the determinism regime.
+	Mode Mode
+	// Speculation enables LazyDet's lazy determinism. Requires
+	// ModeStrong: speculation depends on the isolation that strong
+	// determinism provides (paper §2.3).
+	Speculation bool
+	// Spec tunes speculation; zero value means DefaultSpecConfig.
+	Spec SpecConfig
+	// Quantum is the DLC increment charged when a deterministic
+	// acquisition attempt fails and the thread re-queues for the turn.
+	Quantum int64
+	// SyncCost is the DLC increment charged for a completed
+	// synchronization operation.
+	SyncCost int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Quantum == 0 {
+		c.Quantum = 4
+	}
+	if c.SyncCost == 0 {
+		c.SyncCost = 2
+	}
+	if c.Spec == (SpecConfig{}) {
+		c.Spec = DefaultSpecConfig()
+	}
+	if c.Spec.MaxRunCS <= 0 || !c.Spec.Coarsening {
+		if c.Spec.Coarsening {
+			c.Spec.MaxRunCS = DefaultSpecConfig().MaxRunCS
+		} else {
+			c.Spec.MaxRunCS = 1
+		}
+	}
+	if c.Spec.ThresholdPermille == 0 {
+		c.Spec.ThresholdPermille = 850
+	}
+	if c.Spec.RetryEvery == 0 {
+		c.Spec.RetryEvery = 20
+	}
+	return c
+}
+
+// Deps carries the substrates an engine runs on. Heap is required for
+// ModeStrong, Mem for the weak modes. Rec, Times and Spec are optional.
+type Deps struct {
+	Arb   *dlc.Arbiter
+	Tbl   *detsync.Table
+	Heap  *vheap.Heap
+	Mem   *shmem.Mem
+	Rec   *trace.Recorder
+	Times *stats.Times
+	Spec  *stats.Spec
+}
+
+// Engine is the deterministic runtime. It implements dvm.Engine.
+type Engine struct {
+	cfg   Config
+	arb   *dlc.Arbiter
+	tbl   *detsync.Table
+	heap  *vheap.Heap
+	mem   *shmem.Mem
+	rec   *trace.Recorder
+	times *stats.Times
+	spec  *stats.Spec
+
+	// irrevocableOwner is the thread ID holding irrevocable status, or
+	// -1. Read and written only at deterministic turn points.
+	irrevocableOwner int
+}
+
+// New builds an engine. It panics on inconsistent configuration, which is a
+// programming error in the harness.
+func New(cfg Config, d Deps) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Speculation && cfg.Mode != ModeStrong {
+		panic("core: speculation requires ModeStrong (lazy determinism needs thread isolation)")
+	}
+	if cfg.Mode == ModeStrong && d.Heap == nil {
+		panic("core: ModeStrong requires a versioned heap")
+	}
+	if cfg.Mode != ModeStrong && d.Mem == nil {
+		panic("core: weak modes require direct shared memory")
+	}
+	if (cfg.Mode == ModeWeakNondet) != d.Arb.Nondet() {
+		panic("core: arbiter determinism does not match mode")
+	}
+	return &Engine{
+		cfg:              cfg,
+		arb:              d.Arb,
+		tbl:              d.Tbl,
+		heap:             d.Heap,
+		mem:              d.Mem,
+		rec:              d.Rec,
+		times:            d.Times,
+		spec:             d.Spec,
+		irrevocableOwner: -1,
+	}
+}
+
+// Name implements dvm.Engine, using the evaluation's system names.
+func (e *Engine) Name() string {
+	switch {
+	case e.cfg.Speculation:
+		return "LazyDet"
+	case e.cfg.Mode == ModeStrong:
+		return "Consequence"
+	case e.cfg.Mode == ModeWeak:
+		return "TotalOrder-Weak"
+	default:
+		return "TotalOrder-Weak-Nondet"
+	}
+}
+
+// Deterministic implements dvm.Engine. Strong modes are deterministic for
+// all programs; ModeWeak only for data-race-free programs (all workloads in
+// this repository are race-free); ModeWeakNondet is not deterministic.
+func (e *Engine) Deterministic() bool { return e.cfg.Mode != ModeWeakNondet }
+
+// strong reports whether the engine isolates threads in versioned memory.
+func (e *Engine) strong() bool { return e.cfg.Mode == ModeStrong }
+
+// tstate is the engine's per-thread state, stored in Thread.EngineData.
+type tstate struct {
+	view *vheap.View // strong mode only
+
+	// depth is the current lock nesting, speculative or conventional,
+	// exclusive or shared.
+	depth        int
+	heldConv     []int64 // conventionally held exclusive locks
+	heldConvRead []int64 // conventionally held shared locks
+
+	// Speculation state (paper §3.1–§3.5).
+	spec         bool                 // inside a speculation run
+	irrevocable  bool                 // run upgraded to irrevocable
+	begin        int64                // BEGIN_i: DLC when the run started
+	baseAtBegin  int64                // heap sequence the run's view is based on
+	snap         *dvm.Snapshot        // state to restore on revert
+	dirtySnap    *vheap.DirtySnapshot // pre-run private writes, preserved across reverts
+	logLocks     []int64              // L_i: locks touched, in first-acquisition order
+	logCount     map[int64]int        // acquisitions per logged lock
+	logWrite     map[int64]bool       // logged lock was taken exclusively at least once
+	heldSpecRead []int64              // locks currently held speculatively in shared mode
+	atomLog      []int64              // atomically accessed locations (§7 extension)
+	atomCount    map[int64]int        // accesses per logged location
+	wroteUnder   map[int64]bool       // locks held during a store (WriteAware mode)
+	heldSpec     []int64              // locks currently held speculatively
+	runCS        int                  // critical sections in the current run
+	noSpecNext   bool                 // progress guarantee after a revert (§3.2)
+
+	// Per-thread speculation history, used when PerLockStats is off.
+	threadHist     uint64
+	threadAttempts uint32
+}
+
+func (e *Engine) ts(t *dvm.Thread) *tstate { return t.EngineData.(*tstate) }
+
+// ThreadStart implements dvm.Engine. Suspended threads are registered as
+// parked, so they do not pin the global clock minimum at zero before they
+// are spawned.
+func (e *Engine) ThreadStart(t *dvm.Thread) {
+	ts := &tstate{threadHist: ^uint64(0)}
+	if e.strong() {
+		ts.view = e.heap.NewView()
+	}
+	if e.cfg.Speculation {
+		ts.logCount = make(map[int64]int)
+		ts.logWrite = make(map[int64]bool)
+	}
+	t.EngineData = ts
+	if t.Prog().StartSuspended {
+		e.arb.SetParked(t.ID)
+	}
+}
+
+// ThreadExit implements dvm.Engine: terminate any outstanding speculation
+// run (re-running the thread if the run reverts), publish outstanding
+// writes, and leave turn arbitration.
+func (e *Engine) ThreadExit(t *dvm.Thread) bool {
+	ts := e.ts(t)
+	if ts.spec {
+		if !e.terminateRun(t, ts) {
+			return false // reverted: resume interpreting from the snapshot
+		}
+	}
+	if e.arb.Nondet() {
+		e.arb.Exit(t.ID)
+		return true
+	}
+	// Take a final turn: the exit commit publishes outstanding writes
+	// (strong mode), and Exit in place of releasing the turn makes the
+	// Exited status visible exactly at this deterministic boundary, which
+	// keeps joiners' retry counts deterministic.
+	e.waitCommitTurn(t)
+	if e.strong() {
+		e.commitIfDirty(t, ts)
+	}
+	e.arb.Exit(t.ID)
+	if e.strong() {
+		ts.view.Close()
+	}
+	return true
+}
+
+// Tick implements dvm.Engine.
+func (e *Engine) Tick(t *dvm.Thread, cost int64) {
+	e.arb.Tick(t.ID, cost)
+}
+
+// Load implements dvm.Engine.
+func (e *Engine) Load(t *dvm.Thread, addr int64) int64 {
+	if e.strong() {
+		return e.ts(t).view.Load(addr)
+	}
+	return e.mem.Load(addr)
+}
+
+// Store implements dvm.Engine.
+func (e *Engine) Store(t *dvm.Thread, addr, val int64) {
+	if e.strong() {
+		ts := e.ts(t)
+		ts.view.Store(addr, val)
+		if e.cfg.Spec.WriteAware && ts.depth > 0 {
+			ts.markWrite()
+		}
+		return
+	}
+	e.mem.Store(addr, val)
+}
+
+// markWrite tags every currently held lock as having guarded a write.
+func (ts *tstate) markWrite() {
+	if ts.wroteUnder == nil {
+		ts.wroteUnder = make(map[int64]bool)
+	}
+	for _, l := range ts.heldSpec {
+		ts.wroteUnder[l] = true
+	}
+	for _, l := range ts.heldConv {
+		ts.wroteUnder[l] = true
+	}
+}
+
+// waitTurn blocks for the deterministic turn, charging blocked time.
+func (e *Engine) waitTurn(t *dvm.Thread) {
+	if e.times == nil {
+		e.arb.WaitTurn(t.ID)
+		return
+	}
+	start := time.Now()
+	e.arb.WaitTurn(t.ID)
+	e.times.AddBlocked(t.ID, time.Since(start).Nanoseconds())
+}
+
+// maxBackoff caps the exponential retry quantum. Retry bumps stay
+// deterministic — they depend only on the retry count — while convoys of
+// many threads spinning on one contended resource advance their clocks
+// quickly instead of re-queuing at every quantum.
+const maxBackoff = 512
+
+// waitCommitTurn blocks for a turn at which the thread is allowed to commit:
+// while another thread holds irrevocable status, everyone else's commits are
+// blocked (paper §3.5), implemented as deterministic quantum bumps.
+func (e *Engine) waitCommitTurn(t *dvm.Thread) {
+	backoff := e.cfg.Quantum
+	for {
+		e.waitTurn(t)
+		if e.irrevocableOwner == -1 || e.irrevocableOwner == t.ID {
+			return
+		}
+		e.arb.ReleaseTurn(t.ID, backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// commitIfDirty publishes the view's dirty pages if any, recording the
+// commit in the trace. Caller holds the turn.
+func (e *Engine) commitIfDirty(t *dvm.Thread, ts *tstate) {
+	if ts.view.DirtyPages() == 0 {
+		return
+	}
+	seq, _ := ts.view.Commit()
+	e.rec.Commit(t.ID, e.arb.DLC(t.ID), seq)
+}
+
+// blockedWake waits for a Wake, charging blocked time.
+func (e *Engine) blockedWake(t *dvm.Thread) {
+	if e.times == nil {
+		e.tbl.WaitWake(t.ID)
+		return
+	}
+	start := time.Now()
+	e.tbl.WaitWake(t.ID)
+	e.times.AddBlocked(t.ID, time.Since(start).Nanoseconds())
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/trace"
+)
+
+// This file implements the eager, totally ordered synchronization protocol
+// shared by Consequence, TotalOrder-Weak and TotalOrder-Weak-Nondet, and
+// used by LazyDet for its non-speculative ("conventional") path. Every
+// operation waits for the deterministic turn; in strong mode it commits the
+// thread's dirty pages and updates its view, which is what makes writes
+// visible "only as a result of synchronization operations" (paper §2).
+
+// Lock implements dvm.Engine. With speculation enabled it dispatches to the
+// lazy path in spec.go; otherwise it acquires conventionally.
+func (e *Engine) Lock(t *dvm.Thread, l int64) {
+	ts := e.ts(t)
+	if e.cfg.Speculation {
+		e.lazyLock(t, ts, l)
+		return
+	}
+	e.convLock(t, ts, l)
+}
+
+// Unlock implements dvm.Engine.
+func (e *Engine) Unlock(t *dvm.Thread, l int64) {
+	ts := e.ts(t)
+	if ts.spec {
+		e.specRelease(t, ts, l)
+		return
+	}
+	e.convUnlock(t, ts, l)
+}
+
+// convLock performs a deterministic eager acquisition: wait for the turn,
+// publish and refresh memory, and take the lock if it is free and was
+// released in the logical past. Otherwise charge a quantum to the clock and
+// re-queue — the Kendo retry discipline, deterministic because lock state
+// only changes at turns and release times are recorded in logical time.
+func (e *Engine) convLock(t *dvm.Thread, ts *tstate, l int64) {
+	st := &e.tbl.Locks[l]
+	backoff := e.cfg.Quantum
+	for {
+		e.waitCommitTurn(t)
+		if e.strong() {
+			e.commitIfDirty(t, ts)
+			ts.view.Update()
+		}
+		my := e.arb.DLC(t.ID)
+		if st.Owner == 0 && st.Readers == 0 && (e.arb.Nondet() || st.ReleaseDLC <= my) {
+			st.Owner = int32(t.ID) + 1
+			st.LastAcquireDLC = my
+			if e.strong() && !e.cfg.Spec.WriteAware {
+				// The acquisition itself invalidates concurrent runs
+				// under the paper's G_l discipline; in write-aware
+				// mode only the release of a writing critical section
+				// does.
+				st.LastCommitSeq = e.heap.Seq()
+			}
+			st.Acquires++
+			ts.depth++
+			ts.heldConv = append(ts.heldConv, l)
+			if e.spec != nil {
+				e.spec.TotalAcquires.Add(1)
+			}
+			e.rec.Sync(t.ID, trace.OpAcquire, l, my)
+			e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+			return
+		}
+		e.arb.ReleaseTurn(t.ID, backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+		if e.arb.Nondet() {
+			// Nondeterministic mode has no logical clock to order the
+			// retry behind the holder's release; yield instead of
+			// spinning on the global serialization point.
+			runtime.Gosched()
+		}
+	}
+}
+
+// convUnlock releases a conventionally held lock at the turn, recording the
+// release time for deterministic future acquires.
+func (e *Engine) convUnlock(t *dvm.Thread, ts *tstate, l int64) {
+	e.waitCommitTurn(t)
+	if e.strong() {
+		e.commitIfDirty(t, ts)
+		ts.view.Update()
+	}
+	st := &e.tbl.Locks[l]
+	if st.Owner != int32(t.ID)+1 {
+		panic(fmt.Sprintf("core: thread %d unlocks lock %d owned by %d", t.ID, l, st.Owner-1))
+	}
+	st.Owner = 0
+	st.ReleaseDLC = e.arb.DLC(t.ID)
+	if e.strong() && (!e.cfg.Spec.WriteAware || ts.wroteUnder[l]) {
+		// The critical section's writes became visible with this
+		// commit; speculation runs based on older heap states conflict.
+		st.LastCommitSeq = e.heap.Seq()
+	}
+	delete(ts.wroteUnder, l)
+	ts.depth--
+	ts.dropHeldConv(l)
+	e.rec.Sync(t.ID, trace.OpRelease, l, st.ReleaseDLC)
+	e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+}
+
+// dropHeldConv removes the most recent occurrence of l.
+func (ts *tstate) dropHeldConv(l int64) {
+	for i := len(ts.heldConv) - 1; i >= 0; i-- {
+		if ts.heldConv[i] == l {
+			ts.heldConv = append(ts.heldConv[:i], ts.heldConv[i+1:]...)
+			return
+		}
+	}
+}
+
+// CondWait implements dvm.Engine: release l, park deterministically on cv,
+// and reacquire l after being woken. Condition-variable operations require
+// inter-thread communication, so a speculation run terminates first
+// (commit if possible, revert otherwise — paper footnote 2).
+func (e *Engine) CondWait(t *dvm.Thread, cv, l int64) {
+	ts := e.ts(t)
+	if ts.spec {
+		if !e.terminateRun(t, ts) {
+			return // reverted; the run re-executes conventionally
+		}
+	}
+	e.waitCommitTurn(t)
+	if e.strong() {
+		e.commitIfDirty(t, ts)
+	}
+	my := e.arb.DLC(t.ID)
+	st := &e.tbl.Locks[l]
+	st.Owner = 0
+	st.ReleaseDLC = my
+	if e.strong() && (!e.cfg.Spec.WriteAware || ts.wroteUnder[l]) {
+		st.LastCommitSeq = e.heap.Seq()
+	}
+	delete(ts.wroteUnder, l)
+	ts.depth--
+	ts.dropHeldConv(l)
+	c := &e.tbl.Conds[cv]
+	c.Waiters = append(c.Waiters, t.ID)
+	e.rec.Sync(t.ID, trace.OpCondWait, cv, my)
+	e.arb.Park(t.ID)
+	e.blockedWake(t)
+	// Woken: the signaler set our clock deterministically via Unpark. The
+	// view is refreshed by the deterministic re-acquisition below, never
+	// at the (wall-clock-dependent) wake moment.
+	e.rec.Sync(t.ID, trace.OpCondWake, cv, e.arb.DLC(t.ID))
+	e.convLock(t, ts, l)
+}
+
+// CondSignal implements dvm.Engine: wake the longest-parked waiter, giving
+// it a clock derived from the signaler's — deterministic because both the
+// queue order and the signal point are turn-ordered.
+func (e *Engine) CondSignal(t *dvm.Thread, cv int64) {
+	ts := e.ts(t)
+	if ts.spec {
+		if !e.terminateRun(t, ts) {
+			return
+		}
+	}
+	e.waitCommitTurn(t)
+	if e.strong() {
+		e.commitIfDirty(t, ts)
+		ts.view.Update()
+	}
+	my := e.arb.DLC(t.ID)
+	c := &e.tbl.Conds[cv]
+	if len(c.Waiters) > 0 {
+		w := c.Waiters[0]
+		c.Waiters = c.Waiters[1:]
+		e.arb.Unpark(w, my+1)
+		e.tbl.Wake(w)
+	}
+	e.rec.Sync(t.ID, trace.OpCondSignal, cv, my)
+	e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+}
+
+// CondBroadcast implements dvm.Engine.
+func (e *Engine) CondBroadcast(t *dvm.Thread, cv int64) {
+	ts := e.ts(t)
+	if ts.spec {
+		if !e.terminateRun(t, ts) {
+			return
+		}
+	}
+	e.waitCommitTurn(t)
+	if e.strong() {
+		e.commitIfDirty(t, ts)
+		ts.view.Update()
+	}
+	my := e.arb.DLC(t.ID)
+	c := &e.tbl.Conds[cv]
+	for k, w := range c.Waiters {
+		e.arb.Unpark(w, my+1+int64(k))
+		e.tbl.Wake(w)
+	}
+	c.Waiters = c.Waiters[:0]
+	e.rec.Sync(t.ID, trace.OpCondBroadcast, cv, my)
+	e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+}
+
+// BarrierWait implements dvm.Engine: all threads of the run participate.
+// The last arriver wakes the others with clocks derived from its own.
+func (e *Engine) BarrierWait(t *dvm.Thread, bid int64) {
+	ts := e.ts(t)
+	if ts.spec {
+		if !e.terminateRun(t, ts) {
+			return
+		}
+	}
+	e.waitCommitTurn(t)
+	if e.strong() {
+		e.commitIfDirty(t, ts)
+	}
+	my := e.arb.DLC(t.ID)
+	b := &e.tbl.Barriers[bid]
+	e.rec.Sync(t.ID, trace.OpBarrier, bid, my)
+	if len(b.Waiting)+1 == e.tbl.NThreads {
+		if e.strong() {
+			// Record the state every released thread adopts: the
+			// commits of all arrivals, published by their turns.
+			b.ReleaseSeq = e.heap.Seq()
+		}
+		for k, w := range b.Waiting {
+			e.arb.Unpark(w, my+1+int64(k))
+			e.tbl.Wake(w)
+		}
+		b.Waiting = b.Waiting[:0]
+		if e.strong() {
+			ts.view.Update()
+		}
+		e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+		return
+	}
+	b.Waiting = append(b.Waiting, t.ID)
+	e.arb.Park(t.ID)
+	e.blockedWake(t)
+	if e.strong() {
+		// Re-base on exactly the releasing turn's state, not on whatever
+		// has been committed by the wall-clock moment we woke.
+		ts.view.UpdateTo(b.ReleaseSeq)
+	}
+}
+
+// Syscall implements dvm.Engine. Outside speculation the call runs
+// immediately; determinism of its inputs follows from strong isolation, but
+// (as in the paper, §7) cross-thread I/O ordering is not determinized.
+// During speculation the run is upgraded to irrevocable, or terminated,
+// per the configuration (paper §3.5) — see spec.go.
+func (e *Engine) Syscall(t *dvm.Thread, s *dvm.Syscall) {
+	ts := e.ts(t)
+	if ts.spec && !ts.irrevocable {
+		if !e.enterIrrevocable(t, ts) {
+			return // run reverted; the syscall re-executes after restart
+		}
+		if !ts.spec {
+			// The run terminated (committed) instead of upgrading;
+			// fall through to a conventional call.
+		}
+	}
+	e.rec.Sync(t.ID, trace.OpSyscall, int64(s.Work), e.arb.DLC(t.ID))
+	dvm.Burn(s.Work)
+	if s.Effect != nil {
+		s.Effect(t)
+	}
+	e.arb.Tick(t.ID, int64(s.Work))
+}

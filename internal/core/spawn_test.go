@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"lazydet/internal/dvm"
+)
+
+// forkJoinProgs builds the classic pthreads shape: thread 0 (main) spawns
+// workers, they compute into disjoint cells, main joins them and sums.
+func forkJoinProgs(workers int) []*dvm.Program {
+	progs := make([]*dvm.Program, workers+1)
+	main := dvm.NewBuilder("main")
+	i, v, sum := main.Reg(), main.Reg(), main.Reg()
+	main.Store(dvm.Const(0), dvm.Const(7)) // input the workers read
+	main.ForN(i, int64(workers), func() {
+		main.Spawn(func(t *dvm.Thread) int64 { return t.R(i) + 1 })
+	})
+	main.ForN(i, int64(workers), func() {
+		main.Join(func(t *dvm.Thread) int64 { return t.R(i) + 1 })
+		main.Load(v, func(t *dvm.Thread) int64 { return 8 + t.R(i) })
+		main.Do(func(t *dvm.Thread) { t.AddR(sum, t.R(v)) })
+	})
+	main.Store(dvm.Const(1), dvm.FromReg(sum))
+	progs[0] = main.Build()
+
+	for w := 1; w <= workers; w++ {
+		b := dvm.NewBuilder("worker")
+		x := b.Reg()
+		b.Load(x, dvm.Const(0)) // must see main's pre-spawn write
+		b.Store(dvm.Const(8+int64(w-1)), func(t *dvm.Thread) int64 { return t.R(x) * int64(t.ID) })
+		p := b.Build()
+		p.StartSuspended = true
+		progs[w] = p
+	}
+	return progs
+}
+
+// TestForkJoin: spawn has release semantics (workers see the pre-spawn
+// write), join has acquire semantics (main sees every worker's result).
+func TestForkJoin(t *testing.T) {
+	for _, cfg := range []Config{{Mode: ModeStrong}, lazyCfg(), {Mode: ModeWeak}} {
+		name := cfg.Mode.String()
+		if cfg.Speculation {
+			name = "lazydet"
+		}
+		t.Run(name, func(t *testing.T) {
+			const workers = 3
+			r := newRig(t, cfg, workers+1, 64, 1, 0, 0)
+			dvm.Run(r.eng, forkJoinProgs(workers))
+			want := int64(0)
+			for w := 1; w <= workers; w++ {
+				want += 7 * int64(w)
+			}
+			if got := r.read(1); got != want {
+				t.Fatalf("join sum = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestForkJoinDeterminism: repeated runs produce identical traces.
+func TestForkJoinDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		const workers = 3
+		r := newRig(t, lazyCfg(), workers+1, 64, 1, 0, 0)
+		dvm.Run(r.eng, forkJoinProgs(workers))
+		return r.heap.Hash(), r.rec.Signature()
+	}
+	h1, s1 := run()
+	h2, s2 := run()
+	if h1 != h2 || s1 != s2 {
+		t.Fatalf("fork-join not deterministic: heap %x/%x trace %x/%x", h1, h2, s1, s2)
+	}
+}
+
+// TestSpawnDuringSpeculationTerminatesRun: a spawn inside a speculation run
+// ends the run first (it is inter-thread communication).
+func TestSpawnDuringSpeculationTerminatesRun(t *testing.T) {
+	r := newRig(t, lazyCfg(), 2, 64, 1, 0, 0)
+	main := dvm.NewBuilder("main")
+	main.Lock(dvm.Const(0))
+	main.Store(dvm.Const(0), dvm.Const(5))
+	main.Unlock(dvm.Const(0))
+	main.Spawn(dvm.Const(1))
+	main.Join(dvm.Const(1))
+
+	child := dvm.NewBuilder("child")
+	v := child.Reg()
+	child.Load(v, dvm.Const(0))
+	child.Store(dvm.Const(1), dvm.FromReg(v))
+	cp := child.Build()
+	cp.StartSuspended = true
+
+	dvm.Run(r.eng, []*dvm.Program{main.Build(), cp})
+	if got := r.read(1); got != 5 {
+		t.Fatalf("child read %d, want 5 (spawn must publish the speculative run's committed writes)", got)
+	}
+	if r.spec.Commits.Load() == 0 {
+		t.Fatal("speculation run did not commit before the spawn")
+	}
+}
+
+// TestJoinAlreadyExited: joining a thread that exited long ago returns
+// immediately with its results visible.
+func TestJoinAlreadyExited(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeStrong}, 2, 64, 1, 0, 0)
+	main := dvm.NewBuilder("main")
+	i, v := main.Reg(), main.Reg()
+	main.Spawn(dvm.Const(1))
+	main.ForN(i, 2000, func() { main.Do(func(*dvm.Thread) {}) }) // let the child finish
+	main.Join(dvm.Const(1))
+	main.Load(v, dvm.Const(4))
+	main.Store(dvm.Const(5), dvm.FromReg(v))
+
+	child := dvm.NewBuilder("child")
+	child.Store(dvm.Const(4), dvm.Const(99))
+	cp := child.Build()
+	cp.StartSuspended = true
+
+	dvm.Run(r.eng, []*dvm.Program{main.Build(), cp})
+	if got := r.read(5); got != 99 {
+		t.Fatalf("main read %d after join, want 99", got)
+	}
+}

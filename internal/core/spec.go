@@ -1,0 +1,318 @@
+package core
+
+import (
+	"time"
+
+	"lazydet/internal/detsync"
+	"lazydet/internal/dvm"
+	"lazydet/internal/trace"
+)
+
+// This file implements lazy determinism (paper §3): speculative order
+// elision, lock-level conflict detection, commit and revert, adaptive
+// speculation, and irrevocable upgrade.
+
+// lazyLock is the LazyDet lock-acquisition path. Every acquisition at
+// critical-section depth 0 is a decision point: begin a run, continue the
+// current run, terminate it, or fall back to a conventional acquisition
+// (Figure 3 in the paper).
+func (e *Engine) lazyLock(t *dvm.Thread, ts *tstate, l int64) {
+	if ts.spec {
+		if ts.depth > 0 {
+			// Nested acquisition inside a speculative critical
+			// section: nesting is flattened into the run (§6.2).
+			e.specAcquire(t, ts, l, true)
+			return
+		}
+		want := e.shouldSpeculate(ts, t.ID, l)
+		if want && ts.runCS < e.cfg.Spec.MaxRunCS {
+			e.specAcquire(t, ts, l, true)
+			return
+		}
+		if !e.terminateRun(t, ts) {
+			return // reverted: execution restarts from the snapshot
+		}
+		if want && !ts.noSpecNext {
+			// The run only ended because it hit the coarsening
+			// limit; chain a fresh run starting at this lock.
+			e.beginRun(t, ts)
+			e.specAcquire(t, ts, l, true)
+			return
+		}
+		e.convLock(t, ts, l)
+		return
+	}
+	if ts.depth == 0 && !ts.noSpecNext && e.shouldSpeculate(ts, t.ID, l) {
+		e.beginRun(t, ts)
+		e.specAcquire(t, ts, l, true)
+		return
+	}
+	// Progress guarantee: after a revert the next critical section runs
+	// without speculation (§3.2).
+	ts.noSpecNext = false
+	e.convLock(t, ts, l)
+}
+
+// beginRun starts a speculation run at the current lock acquisition:
+// snapshot thread state for roll-back and record BEGIN_i and the heap
+// sequence the run's reads are based on (§3.1).
+func (e *Engine) beginRun(t *dvm.Thread, ts *tstate) {
+	ts.snap = t.Snapshot()
+	ts.dirtySnap = ts.view.SnapshotDirty()
+	ts.begin = e.arb.DLC(t.ID)
+	ts.baseAtBegin = ts.view.BaseSeq()
+	ts.spec = true
+	ts.runCS = 0
+}
+
+// specAcquire records a speculative acquisition in the thread-local log
+// L_i. No coordination with other threads happens (§3.1). Shared-mode
+// acquisitions (write = false) are logged as reads, which never conflict
+// with other readers.
+func (e *Engine) specAcquire(t *dvm.Thread, ts *tstate, l int64, write bool) {
+	if ts.logCount[l] == 0 {
+		ts.logLocks = append(ts.logLocks, l)
+	}
+	ts.logCount[l]++
+	op := trace.OpRAcquire
+	if write {
+		ts.logWrite[l] = true
+		ts.heldSpec = append(ts.heldSpec, l)
+		op = trace.OpAcquire
+	} else {
+		ts.heldSpecRead = append(ts.heldSpecRead, l)
+	}
+	ts.depth++
+	if ts.depth == 1 {
+		ts.runCS++
+	}
+	if e.spec != nil {
+		e.spec.TotalAcquires.Add(1)
+		e.spec.SpecAcquires.Add(1)
+	}
+	e.rec.Sync(t.ID, op, l, e.arb.DLC(t.ID))
+}
+
+// specRelease records a speculative exclusive release. An irrevocable run
+// terminates at the first point where no locks are held (§3.5).
+func (e *Engine) specRelease(t *dvm.Thread, ts *tstate, l int64) {
+	dropLast(&ts.heldSpec, l)
+	ts.depth--
+	e.rec.Sync(t.ID, trace.OpRelease, l, e.arb.DLC(t.ID))
+	if ts.irrevocable && ts.depth == 0 {
+		e.terminateRun(t, ts) // commits: irrevocable runs never revert
+	}
+}
+
+// shouldSpeculate makes the adaptive speculation decision (§3.4) from the
+// 64-bit success history: speculate when the success rate is at or above
+// the threshold; below it, probe every RetryEvery suppressed attempts to
+// notice program phase changes. All state read here is thread-private, so
+// the decision is deterministic.
+func (e *Engine) shouldSpeculate(ts *tstate, tid int, l int64) bool {
+	var hist uint64
+	var attempts *uint32
+	if e.cfg.Spec.PerLockStats {
+		st := &e.tbl.Locks[l]
+		hist = st.SpecHist[tid]
+		attempts = &st.SpecAttempts[tid]
+	} else {
+		hist = ts.threadHist
+		attempts = &ts.threadAttempts
+	}
+	if detsync.SuccessRatePermille(hist) >= e.cfg.Spec.ThresholdPermille {
+		return true
+	}
+	*attempts++
+	return int(*attempts)%e.cfg.Spec.RetryEvery == 0
+}
+
+// recordOutcome shifts the run's outcome into the history of every lock it
+// touched (or the thread history when per-lock statistics are disabled).
+func (e *Engine) recordOutcome(ts *tstate, tid int, success bool) {
+	if !e.cfg.Spec.PerLockStats {
+		ts.threadHist = detsync.PushOutcome(ts.threadHist, success)
+		return
+	}
+	for _, l := range ts.logLocks {
+		h := &e.tbl.Locks[l].SpecHist[tid]
+		*h = detsync.PushOutcome(*h, success)
+	}
+}
+
+// validate is conflict detection (§3.2): the run fails if any lock it
+// recorded was acquired by another thread since the run began, or is
+// currently held non-speculatively. Detection is purely on locks — never on
+// data addresses — since lock-level detection plus versioned memory
+// suffices for determinism and memory consistency.
+//
+// "Acquired since the run began" is decided with two deterministic tests:
+// the paper's G_l comparison against BEGIN_i, and a commit-sequence
+// comparison against the run's heap base, which is what guarantees the
+// run's reads included every committed critical section of each logged
+// lock in this runtime.
+func (e *Engine) validate(ts *tstate) bool {
+	if !e.validateAtomics(ts) {
+		return false
+	}
+	for _, l := range ts.logLocks {
+		st := &e.tbl.Locks[l]
+		if st.Owner != 0 {
+			return false // exclusively held by another thread
+		}
+		if ts.logWrite[l] && st.Readers != 0 {
+			return false // our write conflicts with live readers
+		}
+		if !e.cfg.Spec.WriteAware && st.LastAcquireDLC > ts.begin {
+			return false
+		}
+		if st.LastCommitSeq > ts.baseAtBegin {
+			return false
+		}
+	}
+	return true
+}
+
+// terminateRun ends the current speculation run: wait for the commit turn,
+// validate (unless irrevocable — its conflicts were checked at upgrade and
+// no other thread has committed since), then either commit the run or
+// revert the thread. Returns true if the run committed.
+func (e *Engine) terminateRun(t *dvm.Thread, ts *tstate) bool {
+	if e.spec != nil {
+		e.spec.Runs.Add(1)
+	}
+	e.waitCommitTurn(t)
+	if ts.irrevocable || e.validate(ts) {
+		e.commitRunLocked(t, ts)
+		e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+		return true
+	}
+	e.revertLocked(t, ts)
+	e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+	return false
+}
+
+// commitRunLocked publishes a validated run: commit dirty pages, update the
+// G_l map and commit sequences for every logged lock, convert any still-held
+// speculative locks into conventionally held ones (runs terminating at a
+// condition-variable operation hold their critical-section lock), and
+// record success in the adaptive histories. Caller holds the turn.
+func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
+	e.commitIfDirty(t, ts)
+	ts.view.Update()
+	my := e.arb.DLC(t.ID)
+	seq := e.heap.Seq()
+	stillHeld := make(map[int64]bool, len(ts.heldSpec))
+	for _, l := range ts.heldSpec {
+		stillHeld[l] = true
+	}
+	for _, l := range ts.logLocks {
+		st := &e.tbl.Locks[l]
+		if ts.logWrite[l] {
+			st.LastAcquireDLC = my
+			if !e.cfg.Spec.WriteAware {
+				st.LastCommitSeq = seq
+			} else if ts.wroteUnder[l] {
+				st.LastCommitSeq = seq
+				if !stillHeld[l] {
+					delete(ts.wroteUnder, l)
+				}
+			}
+		}
+		st.Acquires += int64(ts.logCount[l])
+	}
+	e.commitAtomicsLocked(ts)
+	for _, l := range ts.heldSpec {
+		e.tbl.Locks[l].Owner = int32(t.ID) + 1
+		ts.heldConv = append(ts.heldConv, l)
+	}
+	for _, l := range ts.heldSpecRead {
+		e.tbl.Locks[l].Readers++
+		ts.heldConvRead = append(ts.heldConvRead, l)
+	}
+	e.recordOutcome(ts, t.ID, true)
+	if e.spec != nil {
+		e.spec.Commits.Add(1)
+		e.spec.CommittedCS.Add(int64(ts.runCS))
+	}
+	if ts.irrevocable {
+		e.irrevocableOwner = -1
+	}
+	e.rec.Sync(t.ID, trace.OpSpecCommit, int64(ts.runCS), my)
+	e.resetSpec(ts)
+}
+
+// revertLocked reverts a failed run: restore the thread snapshot and
+// discard the run's private pages, reinstating the pre-run dirty set (the
+// thread's writes from before the run must survive its failure). The DLC is
+// deliberately left unchanged (§3.3). Caller holds the turn.
+func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
+	start := time.Now()
+	discarded := ts.view.RevertTo(ts.dirtySnap)
+	t.Restore(ts.snap)
+	cost := time.Since(start).Nanoseconds()
+	e.recordOutcome(ts, t.ID, false)
+	if e.spec != nil {
+		e.spec.Reverts.Add(1)
+		e.spec.AddRevertSample(cost, discarded)
+	}
+	e.rec.Sync(t.ID, trace.OpSpecRevert, int64(ts.runCS), e.arb.DLC(t.ID))
+	ts.noSpecNext = true
+	clear(ts.wroteUnder) // discarded writes never became visible
+	e.resetSpec(ts)
+	ts.depth = len(ts.heldConv) + len(ts.heldConvRead) // always 0: runs begin outside critical sections
+}
+
+// resetSpec clears per-run state.
+func (e *Engine) resetSpec(ts *tstate) {
+	ts.spec = false
+	ts.irrevocable = false
+	ts.snap = nil
+	ts.dirtySnap = nil
+	ts.logLocks = ts.logLocks[:0]
+	clear(ts.logCount)
+	clear(ts.logWrite)
+	ts.atomLog = ts.atomLog[:0]
+	clear(ts.atomCount)
+	ts.heldSpec = ts.heldSpec[:0]
+	ts.heldSpecRead = ts.heldSpecRead[:0]
+	ts.runCS = 0
+}
+
+// enterIrrevocable handles a system call during speculation (§3.5).
+// Outside a critical section the run simply terminates. Inside one, the run
+// is upgraded to irrevocable: conflict detection happens now, and on
+// success the thread blocks all other commits until the run terminates, so
+// no conflict can arise for the now-irrevocable run. With the upgrade
+// disabled (Figure 11's ablation) the run reverts instead and the syscall
+// re-executes non-speculatively. Returns false if the thread was reverted.
+func (e *Engine) enterIrrevocable(t *dvm.Thread, ts *tstate) bool {
+	if ts.depth == 0 {
+		return e.terminateRun(t, ts)
+	}
+	if !e.cfg.Spec.Irrevocable {
+		if e.spec != nil {
+			e.spec.Runs.Add(1)
+		}
+		e.waitCommitTurn(t)
+		e.revertLocked(t, ts)
+		e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+		return false
+	}
+	e.waitCommitTurn(t)
+	if e.validate(ts) {
+		ts.irrevocable = true
+		e.irrevocableOwner = t.ID
+		if e.spec != nil {
+			e.spec.Upgrades.Add(1)
+		}
+		e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+		return true
+	}
+	if e.spec != nil {
+		e.spec.Runs.Add(1)
+	}
+	e.revertLocked(t, ts)
+	e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
+	return false
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"lazydet/internal/dvm"
+)
+
+// waCfg returns a LazyDet config with write-aware conflict detection.
+func waCfg() Config {
+	c := lazyCfg()
+	c.Spec = DefaultSpecConfig()
+	c.Spec.WriteAware = true
+	return c
+}
+
+// readSharedProg: every thread takes the same lock repeatedly but only
+// reads under it; the aggregate it computes goes to a private slot.
+func readSharedProg(tid int, iters int64) *dvm.Program {
+	b := dvm.NewBuilder("reader")
+	i, v, acc := b.Reg(), b.Reg(), b.Reg()
+	b.ForN(i, iters, func() {
+		b.Lock(dvm.Const(0))
+		b.Load(v, dvm.Const(0))
+		b.Do(func(t *dvm.Thread) { t.AddR(acc, t.R(v)) })
+		b.Unlock(dvm.Const(0))
+	})
+	b.Store(dvm.Const(int64(tid)+1), dvm.FromReg(acc))
+	return b.Build()
+}
+
+// TestWriteAwareReadersNeverConflict: with write-aware detection, read-only
+// critical sections on one shared lock never revert; the paper's G_l scheme
+// reverts constantly on the same program.
+func TestWriteAwareReadersNeverConflict(t *testing.T) {
+	progs := func() []*dvm.Program {
+		ps := make([]*dvm.Program, 4)
+		for tid := 0; tid < 4; tid++ {
+			ps[tid] = readSharedProg(tid, 150)
+		}
+		return ps
+	}
+
+	wa := newRig(t, waCfg(), 4, 64, 1, 0, 0)
+	dvm.Run(wa.eng, progs())
+	if r := wa.spec.Reverts.Load(); r != 0 {
+		t.Errorf("write-aware: %d reverts on read-only critical sections, want 0", r)
+	}
+	if pct := wa.spec.SuccessPct(); pct != 100 {
+		t.Errorf("write-aware: success %.1f%%, want 100%%", pct)
+	}
+
+	def := newRig(t, lazyCfg(), 4, 64, 1, 0, 0)
+	dvm.Run(def.eng, progs())
+	if def.spec.Reverts.Load() == 0 {
+		t.Error("default G_l scheme: expected conflicts on the shared lock (it treats every acquisition as a conflict source)")
+	}
+}
+
+// TestWriteAwareStillCatchesWriters: writes under the shared lock must
+// still conflict and the counter must be exact.
+func TestWriteAwareStillCatchesWriters(t *testing.T) {
+	r := newRig(t, waCfg(), 4, 64, 1, 0, 0)
+	b := dvm.NewBuilder("writer")
+	i, v := b.Reg(), b.Reg()
+	b.ForN(i, 200, func() {
+		b.Lock(dvm.Const(0))
+		b.Load(v, dvm.Const(0))
+		b.Store(dvm.Const(0), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+		b.Unlock(dvm.Const(0))
+	})
+	p := b.Build()
+	dvm.Run(r.eng, []*dvm.Program{p, p, p, p})
+	if got := r.read(0); got != 800 {
+		t.Fatalf("counter = %d, want 800 (write-aware mode lost updates)", got)
+	}
+}
+
+// TestWriteAwareMixedReadersAndWriter: one writer among readers — readers
+// must observe a consistent (monotonic) value and the writer's updates must
+// all land.
+func TestWriteAwareMixedReadersAndWriter(t *testing.T) {
+	r := newRig(t, waCfg(), 4, 64, 1, 0, 0)
+	writer := dvm.NewBuilder("writer")
+	{
+		i, v := writer.Reg(), writer.Reg()
+		writer.ForN(i, 100, func() {
+			writer.Lock(dvm.Const(0))
+			writer.Load(v, dvm.Const(0))
+			writer.Store(dvm.Const(0), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+			writer.Unlock(dvm.Const(0))
+		})
+	}
+	progs := []*dvm.Program{writer.Build()}
+	for tid := 1; tid < 4; tid++ {
+		progs = append(progs, readSharedProg(tid, 100))
+	}
+	dvm.Run(r.eng, progs)
+	if got := r.read(0); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
+
+// TestWriteAwareDeterminism: the refined detection must stay deterministic.
+func TestWriteAwareDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		r := newRig(t, waCfg(), 4, 64, 2, 0, 0)
+		b := dvm.NewBuilder("mix")
+		i, v := b.Reg(), b.Reg()
+		b.ForN(i, 120, func() {
+			l := func(t *dvm.Thread) int64 { return t.R(i) % 2 }
+			b.Lock(l)
+			b.Load(v, func(t *dvm.Thread) int64 { return 8 + t.R(i)%2 })
+			b.If(func(t *dvm.Thread) bool { return t.R(i)%3 == 0 }, func() {
+				b.Store(func(t *dvm.Thread) int64 { return 8 + t.R(i)%2 },
+					func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+			})
+			b.Unlock(l)
+		})
+		p := b.Build()
+		dvm.Run(r.eng, []*dvm.Program{p, p, p, p})
+		return r.heap.Hash(), r.rec.Signature()
+	}
+	h1, s1 := run()
+	h2, s2 := run()
+	if h1 != h2 || s1 != s2 {
+		t.Fatalf("write-aware mode not deterministic: heap %x/%x trace %x/%x", h1, h2, s1, s2)
+	}
+}

@@ -1,0 +1,327 @@
+// Package dlc implements the deterministic logical clock (DLC) and the turn
+// arbiter used by every deterministic engine in this repository.
+//
+// Each simulated thread owns a logical clock that counts retired virtual-
+// machine instructions (weighted by per-instruction cost). A thread may
+// perform a globally ordered action — a synchronization operation in the
+// eager engines, a speculation commit in LazyDet — only when it holds "the
+// turn": its (DLC, thread-id) pair is the minimum over all threads that are
+// neither parked nor exited. This is the classic Kendo/Consequence turn
+// discipline (see paper §2): the thread that arrives first in deterministic
+// logical time goes next.
+//
+// Waiting is blocking, not spinning: a thread that wants the turn publishes
+// itself as a waiter and sleeps on a condition variable. Running threads
+// advance their clocks with Tick; when a tick moves a thread's clock past the
+// minimum waiter's clock the runner wakes the waiters, because the set of
+// threads that could be blocking them has shrunk.
+//
+// The arbiter also supports a nondeterministic mode, used to implement the
+// TotalOrder-Weak-Nondet engine from the paper's evaluation: the turn becomes
+// a plain mutex, still totally ordering the actions but no longer
+// deterministically.
+package dlc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Status describes how a thread participates in turn arbitration.
+type Status int32
+
+const (
+	// StatusRunning threads execute instructions and advance their DLC.
+	StatusRunning Status = iota
+	// StatusWaiting threads are blocked inside WaitTurn. Their DLC is
+	// frozen and still participates in the minimum computation.
+	StatusWaiting
+	// StatusTurn threads have been granted the turn and are executing a
+	// globally ordered action. Their DLC still participates in the
+	// minimum, which is what serializes turn holders.
+	StatusTurn
+	// StatusParked threads are blocked on a condition variable or barrier
+	// and are excluded from the minimum computation. Threads may only be
+	// parked at a deterministic point (while holding the turn), which is
+	// what keeps exclusion deterministic.
+	StatusParked
+	// StatusExited threads have finished their program.
+	StatusExited
+)
+
+// noWaiter is the sentinel stored in minWaiter when no thread is waiting.
+const noWaiter = math.MaxInt64
+
+type slot struct {
+	dlc    atomic.Int64
+	status atomic.Int32
+	_      [48]byte // pad to a cache line to avoid false sharing
+}
+
+// Arbiter arbitrates the deterministic turn between a fixed set of threads.
+//
+// Wakeups are targeted: only the minimum waiter can ever be granted the
+// turn (any other waiter is blocked by it), so state changes wake exactly
+// that thread through its buffered channel instead of broadcasting to all
+// waiters — the difference between O(1) and O(threads) scheduler work per
+// synchronization operation.
+type Arbiter struct {
+	mu        sync.Mutex
+	slots     []slot
+	wake      []chan struct{} // per-thread wakeup tokens, buffered 1
+	minWaiter atomic.Int64    // min DLC among StatusWaiting threads, noWaiter if none
+
+	// nondet switches the arbiter to nondeterministic total ordering:
+	// WaitTurn/ReleaseTurn degenerate to a mutex and clocks are unused.
+	nondet bool
+	turnMu sync.Mutex
+
+	// onDeadlock runs when every non-exited thread is parked: nothing can
+	// ever unpark them, which is the repeatable deadlock that broken
+	// synchronization produces under determinism (paper Appendix A).
+	onDeadlock func()
+}
+
+// New returns an arbiter for n threads, all starting at DLC 0 in
+// StatusRunning. Thread IDs are 0..n-1.
+func New(n int) *Arbiter {
+	a := &Arbiter{slots: make([]slot, n), wake: make([]chan struct{}, n)}
+	for i := range a.wake {
+		a.wake[i] = make(chan struct{}, 1)
+	}
+	a.minWaiter.Store(noWaiter)
+	return a
+}
+
+// NewNondet returns an arbiter whose turn is a plain mutex: actions are
+// totally ordered but the order is not deterministic. Clock methods are
+// no-ops.
+func NewNondet(n int) *Arbiter {
+	a := New(n)
+	a.nondet = true
+	return a
+}
+
+// Nondet reports whether the arbiter orders turns nondeterministically.
+func (a *Arbiter) Nondet() bool { return a.nondet }
+
+// SetDeadlockHandler installs a callback invoked (once, on the parking or
+// exiting thread) when every non-exited thread has parked — a state nothing
+// can undo, since wakeups only come from running threads. The default
+// handler panics with a diagnostic; deterministic engines make such
+// deadlocks perfectly repeatable.
+func (a *Arbiter) SetDeadlockHandler(f func()) { a.onDeadlock = f }
+
+// checkDeadlockLocked fires the deadlock handler if no thread can run.
+// Caller holds a.mu.
+func (a *Arbiter) checkDeadlockLocked() {
+	anyLive := false
+	anyParked := false
+	for i := range a.slots {
+		switch Status(a.slots[i].status.Load()) {
+		case StatusParked:
+			anyParked = true
+		case StatusExited:
+		default:
+			anyLive = true
+		}
+	}
+	if anyLive || !anyParked {
+		return
+	}
+	if a.onDeadlock != nil {
+		a.onDeadlock()
+		return
+	}
+	panic("dlc: deterministic deadlock — every thread is parked on a condition variable or barrier and no waker remains")
+}
+
+// N returns the number of threads the arbiter manages.
+func (a *Arbiter) N() int { return len(a.slots) }
+
+// DLC returns the current logical clock of thread tid.
+func (a *Arbiter) DLC(tid int) int64 { return a.slots[tid].dlc.Load() }
+
+// Tick advances thread tid's logical clock by cost. If the clock crosses the
+// minimum waiter's clock, waiters are woken so they can re-evaluate the turn
+// predicate. Tick must only be called by thread tid itself while running.
+func (a *Arbiter) Tick(tid int, cost int64) {
+	if a.nondet || cost == 0 {
+		return
+	}
+	s := &a.slots[tid]
+	now := s.dlc.Add(cost)
+	mw := a.minWaiter.Load()
+	if now >= mw && now-cost <= mw {
+		// We just reached or passed the minimum waiter's clock, so we
+		// may have stopped blocking it: a waiter with a lower thread ID
+		// is unblocked at clock equality (tie-break), one with a higher
+		// ID once we strictly exceed it. Wake it to re-check.
+		a.mu.Lock()
+		a.notifyMinWaiterLocked()
+		a.mu.Unlock()
+	}
+}
+
+// SetDLC overwrites thread tid's clock. It is used when waking a parked
+// thread, whose clock is deterministically derived from the waker's clock.
+// Must be called at a deterministic point (by a turn holder) or on the
+// thread itself before it starts running.
+func (a *Arbiter) SetDLC(tid int, v int64) {
+	a.slots[tid].dlc.Store(v)
+}
+
+// isMinLocked reports whether tid holds the global minimum (DLC, tid) among
+// threads that are not parked or exited. Caller holds a.mu.
+func (a *Arbiter) isMinLocked(tid int) bool {
+	my := a.slots[tid].dlc.Load()
+	for i := range a.slots {
+		if i == tid {
+			continue
+		}
+		st := Status(a.slots[i].status.Load())
+		if st == StatusParked || st == StatusExited {
+			continue
+		}
+		d := a.slots[i].dlc.Load()
+		if d < my || (d == my && i < tid) {
+			return false
+		}
+	}
+	return true
+}
+
+// recomputeMinWaiterLocked refreshes the cached minimum waiter clock.
+// Caller holds a.mu.
+func (a *Arbiter) recomputeMinWaiterLocked() {
+	min := int64(noWaiter)
+	for i := range a.slots {
+		if Status(a.slots[i].status.Load()) == StatusWaiting {
+			if d := a.slots[i].dlc.Load(); d < min {
+				min = d
+			}
+		}
+	}
+	a.minWaiter.Store(min)
+}
+
+// notifyMinWaiterLocked drops a wakeup token for the waiter with the
+// minimum (DLC, tid) — the only waiter whose turn predicate can have become
+// true. Caller holds a.mu.
+func (a *Arbiter) notifyMinWaiterLocked() {
+	best := -1
+	var bestDLC int64
+	for i := range a.slots {
+		if Status(a.slots[i].status.Load()) != StatusWaiting {
+			continue
+		}
+		d := a.slots[i].dlc.Load()
+		if best == -1 || d < bestDLC {
+			best, bestDLC = i, d
+		}
+	}
+	if best >= 0 {
+		select {
+		case a.wake[best] <- struct{}{}:
+		default: // a token is already pending; one is enough to re-check
+		}
+	}
+}
+
+// WaitTurn blocks until thread tid holds the turn. On return the thread's
+// status is StatusTurn; the caller must eventually call ReleaseTurn.
+func (a *Arbiter) WaitTurn(tid int) {
+	if a.nondet {
+		a.turnMu.Lock()
+		return
+	}
+	s := &a.slots[tid]
+	a.mu.Lock()
+	s.status.Store(int32(StatusWaiting))
+	a.recomputeMinWaiterLocked()
+	for !a.isMinLocked(tid) {
+		a.mu.Unlock()
+		<-a.wake[tid]
+		a.mu.Lock()
+	}
+	s.status.Store(int32(StatusTurn))
+	a.recomputeMinWaiterLocked()
+	// Drain a stale token so a future wait does not wake spuriously.
+	select {
+	case <-a.wake[tid]:
+	default:
+	}
+	a.mu.Unlock()
+}
+
+// ReleaseTurn ends the turn, charging cost to the thread's clock, and wakes
+// the minimum waiter. The thread returns to StatusRunning.
+func (a *Arbiter) ReleaseTurn(tid int, cost int64) {
+	if a.nondet {
+		a.turnMu.Unlock()
+		return
+	}
+	s := &a.slots[tid]
+	a.mu.Lock()
+	s.dlc.Add(cost)
+	s.status.Store(int32(StatusRunning))
+	a.notifyMinWaiterLocked()
+	a.mu.Unlock()
+}
+
+// Park transitions the thread from StatusTurn to StatusParked, excluding it
+// from turn arbitration, and wakes the minimum waiter. It must be called
+// while holding the turn, which makes the park point deterministic. The
+// caller is responsible for actually blocking the thread (e.g. on a
+// channel).
+func (a *Arbiter) Park(tid int) {
+	if a.nondet {
+		a.slots[tid].status.Store(int32(StatusParked))
+		a.turnMu.Unlock()
+		return
+	}
+	a.mu.Lock()
+	a.slots[tid].status.Store(int32(StatusParked))
+	a.notifyMinWaiterLocked()
+	a.checkDeadlockLocked()
+	a.mu.Unlock()
+}
+
+// Unpark returns a parked thread to arbitration with the given clock value.
+// It is called by the waking thread at its own deterministic turn point, so
+// the new clock (derived from the waker's) is deterministic.
+func (a *Arbiter) Unpark(tid int, newDLC int64) {
+	a.mu.Lock()
+	a.slots[tid].dlc.Store(newDLC)
+	a.slots[tid].status.Store(int32(StatusRunning))
+	a.notifyMinWaiterLocked()
+	a.mu.Unlock()
+}
+
+// Exit removes the thread from arbitration permanently. It may be called
+// while holding the turn (the exit then becomes visible exactly at that
+// deterministic boundary, which is what makes join retries deterministic)
+// or while running.
+func (a *Arbiter) Exit(tid int) {
+	a.mu.Lock()
+	a.slots[tid].status.Store(int32(StatusExited))
+	a.notifyMinWaiterLocked()
+	a.checkDeadlockLocked()
+	a.mu.Unlock()
+}
+
+// SetParked marks a thread parked before it has ever run: the state of a
+// suspended (not yet spawned) thread, which must not participate in turn
+// arbitration until Unpark.
+func (a *Arbiter) SetParked(tid int) {
+	a.mu.Lock()
+	a.slots[tid].status.Store(int32(StatusParked))
+	a.notifyMinWaiterLocked()
+	a.mu.Unlock()
+}
+
+// Status returns the current status of thread tid.
+func (a *Arbiter) Status(tid int) Status {
+	return Status(a.slots[tid].status.Load())
+}

@@ -1,0 +1,106 @@
+package dlc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickGrantOrderMatchesModel verifies the arbiter against a host-side
+// model: each thread runs a scripted loop of (tick, take turn, release)
+// with per-thread costs derived from a seed. The model computes the grant
+// sequence by always admitting the minimum (clock, tid); the live arbiter,
+// under real goroutine scheduling, must produce exactly that sequence.
+func TestQuickGrantOrderMatchesModel(t *testing.T) {
+	run := func(seed uint64) ([]int, []int) {
+		const threads = 4
+		const rounds = 30
+		r := seed
+		next := func(n uint64) uint64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return (r >> 33) % n
+		}
+		// Scripts: tick[i][k] before the k-th turn, release cost after.
+		tick := make([][]int64, threads)
+		rel := make([][]int64, threads)
+		for i := 0; i < threads; i++ {
+			for k := 0; k < rounds; k++ {
+				tick[i] = append(tick[i], int64(next(20))+1)
+				rel[i] = append(rel[i], int64(next(5))+1)
+			}
+		}
+
+		// Host model: priority queue by (clock, tid).
+		type st struct {
+			clock int64
+			round int
+		}
+		model := make([]st, threads)
+		for i := range model {
+			model[i].clock = tick[i][0]
+		}
+		var want []int
+		done := 0
+		for done < threads {
+			best := -1
+			for i := range model {
+				if model[i].round >= rounds {
+					continue
+				}
+				if best == -1 || model[i].clock < model[best].clock {
+					best = i
+				}
+			}
+			want = append(want, best)
+			model[best].clock += rel[best][model[best].round]
+			model[best].round++
+			if model[best].round >= rounds {
+				done++
+			} else {
+				model[best].clock += tick[best][model[best].round]
+			}
+		}
+
+		// Live arbiter.
+		a := New(threads)
+		var mu sync.Mutex
+		var got []int
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for k := 0; k < rounds; k++ {
+					a.Tick(tid, tick[tid][k])
+					a.WaitTurn(tid)
+					mu.Lock()
+					got = append(got, tid)
+					mu.Unlock()
+					a.ReleaseTurn(tid, rel[tid][k])
+				}
+				a.Exit(tid)
+			}(i)
+		}
+		wg.Wait()
+		return want, got
+	}
+
+	f := func(seed uint64) bool {
+		want, got := run(seed)
+		if len(want) != len(got) {
+			t.Logf("seed %x: grant counts differ: %d vs %d", seed, len(want), len(got))
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Logf("seed %x: grant %d: model %d, arbiter %d\nmodel:   %v\narbiter: %v",
+					seed, i, want[i], got[i], want, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

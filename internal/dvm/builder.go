@@ -1,0 +1,236 @@
+package dvm
+
+import "fmt"
+
+// Reg names a register allocated by a Builder.
+type Reg int
+
+// R reads register r. It is the closure-side accessor matching Builder regs.
+func (t *Thread) R(r Reg) int64 { return t.Regs[r] }
+
+// SetR writes register r.
+func (t *Thread) SetR(r Reg, v int64) { t.Regs[r] = v }
+
+// AddR adds delta to register r and returns the new value.
+func (t *Thread) AddR(r Reg, delta int64) int64 {
+	t.Regs[r] += delta
+	return t.Regs[r]
+}
+
+// Builder assembles a Program from structured control flow. All emit
+// methods append instructions; loops and conditionals take body callbacks
+// that emit into the same builder, with jump targets patched on completion.
+//
+// Builders are single-use: call Build exactly once.
+type Builder struct {
+	name    string
+	code    []Instr
+	numRegs int
+	scratch int
+	built   bool
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Reg allocates a fresh register.
+func (b *Builder) Reg() Reg {
+	r := Reg(b.numRegs)
+	b.numRegs++
+	return r
+}
+
+// Regs allocates n fresh registers.
+func (b *Builder) Regs(n int) []Reg {
+	rs := make([]Reg, n)
+	for i := range rs {
+		rs[i] = b.Reg()
+	}
+	return rs
+}
+
+// Scratch reserves thread-private scratch memory of at least n words and
+// returns the base offset of the reserved block.
+func (b *Builder) Scratch(n int) int64 {
+	base := int64(b.scratch)
+	b.scratch += n
+	return base
+}
+
+// emit appends an instruction and returns its index.
+func (b *Builder) emit(in Instr) int {
+	if in.Cost == 0 {
+		in.Cost = 1
+	}
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// Do emits a compute instruction with DLC cost 1.
+func (b *Builder) Do(f func(t *Thread)) {
+	b.emit(Instr{Op: OpDo, Do: f})
+}
+
+// DoCost emits a compute instruction with an explicit DLC cost, for bodies
+// that model more than one unit of work.
+func (b *Builder) DoCost(cost int64, f func(t *Thread)) {
+	b.emit(Instr{Op: OpDo, Cost: cost, Do: f})
+}
+
+// Set emits an instruction storing a constant into a register.
+func (b *Builder) Set(r Reg, v int64) {
+	b.Do(func(t *Thread) { t.SetR(r, v) })
+}
+
+// Load emits a shared-heap read into dst.
+func (b *Builder) Load(dst Reg, addr func(t *Thread) int64) {
+	b.emit(Instr{Op: OpLoad, Dst: int(dst), Addr: addr})
+}
+
+// Store emits a shared-heap write.
+func (b *Builder) Store(addr func(t *Thread) int64, val func(t *Thread) int64) {
+	b.emit(Instr{Op: OpStore, Addr: addr, Val: val})
+}
+
+// Lock emits a lock acquisition.
+func (b *Builder) Lock(l func(t *Thread) int64) {
+	b.emit(Instr{Op: OpLock, Addr: l})
+}
+
+// Unlock emits a lock release.
+func (b *Builder) Unlock(l func(t *Thread) int64) {
+	b.emit(Instr{Op: OpUnlock, Addr: l})
+}
+
+// RLock emits a shared (reader) lock acquisition.
+func (b *Builder) RLock(l func(t *Thread) int64) {
+	b.emit(Instr{Op: OpRLock, Addr: l})
+}
+
+// RUnlock emits a shared lock release.
+func (b *Builder) RUnlock(l func(t *Thread) int64) {
+	b.emit(Instr{Op: OpRUnlock, Addr: l})
+}
+
+// CondWait emits a condition-variable wait: release l, wait on cv,
+// reacquire l.
+func (b *Builder) CondWait(cv, l func(t *Thread) int64) {
+	b.emit(Instr{Op: OpCondWait, Addr: cv, Addr2: l})
+}
+
+// CondSignal emits a condition-variable signal.
+func (b *Builder) CondSignal(cv func(t *Thread) int64) {
+	b.emit(Instr{Op: OpCondSignal, Addr: cv})
+}
+
+// CondBroadcast emits a condition-variable broadcast.
+func (b *Builder) CondBroadcast(cv func(t *Thread) int64) {
+	b.emit(Instr{Op: OpCondBroadcast, Addr: cv})
+}
+
+// Barrier emits a barrier wait.
+func (b *Builder) Barrier(id func(t *Thread) int64) {
+	b.emit(Instr{Op: OpBarrier, Addr: id})
+}
+
+// Syscall emits an irrevocable external operation.
+func (b *Builder) Syscall(s *Syscall) {
+	b.emit(Instr{Op: OpSyscall, Sys: s})
+}
+
+// Spawn emits a thread creation: the suspended thread named by target
+// starts running (pthread_create).
+func (b *Builder) Spawn(target func(t *Thread) int64) {
+	b.emit(Instr{Op: OpSpawn, Addr: target})
+}
+
+// Join emits a wait for the named thread's exit (pthread_join).
+func (b *Builder) Join(target func(t *Thread) int64) {
+	b.emit(Instr{Op: OpJoin, Addr: target})
+}
+
+// Halt emits an explicit thread termination.
+func (b *Builder) Halt() {
+	b.emit(Instr{Op: OpHalt})
+}
+
+// AtomicAdd emits an atomic fetch-add; the new value lands in dst.
+func (b *Builder) AtomicAdd(dst Reg, addr, delta func(t *Thread) int64) {
+	b.emit(Instr{Op: OpAtomic, Atom: &Atomic{Kind: AtomicAdd, Addr: addr, Delta: delta, Dst: dst}})
+}
+
+// AtomicCAS emits an atomic compare-and-swap; dst receives 1 on success.
+func (b *Builder) AtomicCAS(dst Reg, addr, old, new func(t *Thread) int64) {
+	b.emit(Instr{Op: OpAtomic, Atom: &Atomic{Kind: AtomicCAS, Addr: addr, Old: old, New: new, Dst: dst}})
+}
+
+// AtomicExchange emits an atomic swap; dst receives the previous value.
+func (b *Builder) AtomicExchange(dst Reg, addr, new func(t *Thread) int64) {
+	b.emit(Instr{Op: OpAtomic, Atom: &Atomic{Kind: AtomicExchange, Addr: addr, New: new, Dst: dst}})
+}
+
+// While emits a pre-tested loop: while cond(t) { body }.
+func (b *Builder) While(cond func(t *Thread) bool, body func()) {
+	start := b.emit(Instr{Op: OpBranchUnless, Cond: cond})
+	body()
+	b.emit(Instr{Op: OpJump, Target: start})
+	b.code[start].Target = len(b.code)
+}
+
+// For emits: for r = from; r < to(t); r++ { body }. The bound is
+// re-evaluated each iteration.
+func (b *Builder) For(r Reg, from int64, to func(t *Thread) int64, body func()) {
+	b.Set(r, from)
+	b.While(func(t *Thread) bool { return t.R(r) < to(t) }, func() {
+		body()
+		b.Do(func(t *Thread) { t.AddR(r, 1) })
+	})
+}
+
+// ForN emits a loop of exactly n iterations with r counting 0..n-1.
+func (b *Builder) ForN(r Reg, n int64, body func()) {
+	b.For(r, 0, func(*Thread) int64 { return n }, body)
+}
+
+// If emits: if cond(t) { then }.
+func (b *Builder) If(cond func(t *Thread) bool, then func()) {
+	br := b.emit(Instr{Op: OpBranchUnless, Cond: cond})
+	then()
+	b.code[br].Target = len(b.code)
+}
+
+// IfElse emits: if cond(t) { then } else { els }.
+func (b *Builder) IfElse(cond func(t *Thread) bool, then, els func()) {
+	br := b.emit(Instr{Op: OpBranchUnless, Cond: cond})
+	then()
+	j := b.emit(Instr{Op: OpJump})
+	b.code[br].Target = len(b.code)
+	els()
+	b.code[j].Target = len(b.code)
+}
+
+// Build finalizes the program.
+func (b *Builder) Build() *Program {
+	if b.built {
+		panic(fmt.Sprintf("dvm: program %q built twice", b.name))
+	}
+	b.built = true
+	return &Program{
+		Name:    b.name,
+		Code:    b.code,
+		NumRegs: b.numRegs,
+		Scratch: b.scratch,
+	}
+}
+
+// Const returns an address/value closure for a compile-time constant.
+func Const(v int64) func(t *Thread) int64 {
+	return func(*Thread) int64 { return v }
+}
+
+// FromReg returns an address/value closure reading register r.
+func FromReg(r Reg) func(t *Thread) int64 {
+	return func(t *Thread) int64 { return t.R(r) }
+}

@@ -1,0 +1,16 @@
+package dvm
+
+import "sync/atomic"
+
+// burnSink defeats dead-code elimination of Burn's loop.
+var burnSink atomic.Int64
+
+// Burn consumes roughly n units of CPU time. It models the kernel-side work
+// of a simulated system call (e.g. ferret's mmap/munmap under locks, §5.4).
+func Burn(n int) {
+	var acc int64 = 1
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	burnSink.Store(acc)
+}

@@ -1,0 +1,430 @@
+// Package dvm implements the deterministic thread virtual machine that
+// stands in for pthreads in this reproduction.
+//
+// The original LazyDet interposes on pthreads programs, counts retired
+// instructions for its deterministic logical clock, and rolls back failed
+// speculation by restoring saved stack and register contents. Goroutines
+// expose none of that: stacks cannot be snapshotted and instruction counts
+// cannot be observed. The substitution (see DESIGN.md §1) is a small virtual
+// machine:
+//
+//   - A workload is a Program per thread: a flat array of instructions with
+//     explicit jumps, produced by the structured Builder in builder.go.
+//   - Each simulated thread runs its program on a dedicated goroutine, so
+//     execution is genuinely concurrent.
+//   - Thread-local state is explicit — a register file, a private scratch
+//     array, and a deterministic PRNG — so a snapshot is a plain copy and
+//     rollback is a plain restore, with the program counter playing the role
+//     of the saved instruction pointer.
+//   - The deterministic logical clock is the weighted count of retired
+//     instructions: exactly the paper's DLC, made exact.
+//
+// The VM itself is engine-agnostic: every memory access and synchronization
+// operation is delegated to an Engine, and the five engines evaluated in the
+// paper (pthreads, Consequence, TotalOrder-Weak, TotalOrder-Weak-Nondet,
+// LazyDet) are interchangeable behind that interface.
+package dvm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Opcode identifies an instruction kind.
+type Opcode uint8
+
+const (
+	// OpDo runs an arbitrary compute closure over thread-local state.
+	OpDo Opcode = iota
+	// OpLoad reads a heap word into a register via the engine.
+	OpLoad
+	// OpStore writes a heap word via the engine.
+	OpStore
+	// OpJump unconditionally transfers control.
+	OpJump
+	// OpBranchUnless transfers control when its condition is false.
+	OpBranchUnless
+	// OpLock acquires a lock via the engine; the speculation engine may
+	// begin, extend, or terminate a speculative run here.
+	OpLock
+	// OpUnlock releases a lock via the engine.
+	OpUnlock
+	// OpRLock acquires a lock in shared (reader) mode.
+	OpRLock
+	// OpRUnlock releases a reader-mode acquisition.
+	OpRUnlock
+	// OpCondWait waits on a condition variable, releasing the given lock.
+	OpCondWait
+	// OpCondSignal wakes one waiter of a condition variable.
+	OpCondSignal
+	// OpCondBroadcast wakes all waiters of a condition variable.
+	OpCondBroadcast
+	// OpBarrier waits at a barrier.
+	OpBarrier
+	// OpSyscall performs an irrevocable external operation.
+	OpSyscall
+	// OpAtomic performs an atomic read-modify-write on a heap word.
+	OpAtomic
+	// OpSpawn starts a suspended thread (pthread_create).
+	OpSpawn
+	// OpJoin blocks until a thread exits (pthread_join).
+	OpJoin
+	// OpHalt terminates the thread.
+	OpHalt
+)
+
+// AtomicKind selects the read-modify-write operation of OpAtomic.
+type AtomicKind uint8
+
+const (
+	// AtomicAdd atomically adds Delta and yields the new value.
+	AtomicAdd AtomicKind = iota
+	// AtomicCAS compares against Old and swaps in New on match,
+	// yielding 1 on success and 0 on failure.
+	AtomicCAS
+	// AtomicExchange swaps in New and yields the previous value.
+	AtomicExchange
+)
+
+// Atomic describes one OpAtomic instruction. The address and operands are
+// evaluated on the executing thread; the result lands in register Dst.
+type Atomic struct {
+	Kind  AtomicKind
+	Addr  func(t *Thread) int64
+	Delta func(t *Thread) int64 // AtomicAdd
+	Old   func(t *Thread) int64 // AtomicCAS
+	New   func(t *Thread) int64 // AtomicCAS / AtomicExchange
+	Dst   Reg
+}
+
+// Apply computes the read-modify-write against the given current value,
+// returning the stored value and the result for Dst. It is shared by every
+// engine, so atomic semantics cannot diverge between them.
+func (a *Atomic) Apply(t *Thread, cur int64) (store, result int64) {
+	switch a.Kind {
+	case AtomicAdd:
+		nv := cur + a.Delta(t)
+		return nv, nv
+	case AtomicCAS:
+		if cur == a.Old(t) {
+			return a.New(t), 1
+		}
+		return cur, 0
+	case AtomicExchange:
+		return a.New(t), cur
+	default:
+		panic(fmt.Sprintf("dvm: unknown atomic kind %d", a.Kind))
+	}
+}
+
+// Syscall describes an irrevocable external operation: Work units of
+// simulated kernel time plus an optional effect executed exactly once.
+type Syscall struct {
+	// Name labels the syscall in traces (e.g. "mmap").
+	Name string
+	// Work is the simulated cost in busy-loop units.
+	Work int
+	// Effect, if non-nil, runs exactly once when the syscall executes.
+	// It must not touch engine-mediated state.
+	Effect func(t *Thread)
+}
+
+// Instr is a single VM instruction. Instruction closures must be
+// deterministic functions of thread-local state and engine-mediated loads;
+// they run concurrently across threads and must not share mutable Go state.
+type Instr struct {
+	Op     Opcode
+	Cost   int64                 // DLC weight; defaults to 1 via the builder
+	Do     func(t *Thread)       // OpDo body
+	Cond   func(t *Thread) bool  // OpBranchUnless condition
+	Target int                   // OpJump / OpBranchUnless destination
+	Addr   func(t *Thread) int64 // address for load/store/lock/unlock/cond/barrier
+	Addr2  func(t *Thread) int64 // second address (the mutex of OpCondWait)
+	Val    func(t *Thread) int64 // OpStore value
+	Dst    int                   // OpLoad destination register
+	Sys    *Syscall              // OpSyscall payload
+	Atom   *Atomic               // OpAtomic payload
+}
+
+// Program is an immutable instruction sequence plus the register and scratch
+// file sizes its threads need.
+type Program struct {
+	Name    string
+	Code    []Instr
+	NumRegs int
+	Scratch int
+	// StartSuspended threads do not run until another thread spawns them
+	// (the pthread_create model). Every suspended thread must be spawned
+	// exactly once, or the run deadlocks (deterministically).
+	StartSuspended bool
+}
+
+// Engine mediates every memory access and synchronization operation.
+// Hooks run on the calling thread's goroutine. A hook may block (waiting for
+// the deterministic turn) and, in the speculation engine, may restore the
+// thread's snapshot — the interpreter simply continues from whatever PC the
+// hook leaves behind.
+type Engine interface {
+	// Name returns the engine's short name for reports.
+	Name() string
+	// Deterministic reports whether two runs must produce identical
+	// sync-order traces and heaps.
+	Deterministic() bool
+	// ThreadStart runs before the thread's first instruction.
+	ThreadStart(t *Thread)
+	// ThreadExit runs after the thread halts; engines commit outstanding
+	// speculation and leave turn arbitration here. It returns false if it
+	// rewound the thread (a speculation revert at exit), in which case the
+	// interpreter resumes execution and will call ThreadExit again.
+	ThreadExit(t *Thread) bool
+	// Tick charges cost to the thread's logical clock.
+	Tick(t *Thread, cost int64)
+	// Load reads a shared-heap word.
+	Load(t *Thread, addr int64) int64
+	// Store writes a shared-heap word.
+	Store(t *Thread, addr int64, val int64)
+	// Lock acquires lock l exclusively.
+	Lock(t *Thread, l int64)
+	// Unlock releases an exclusive acquisition of l.
+	Unlock(t *Thread, l int64)
+	// RLock acquires lock l in shared (reader) mode.
+	RLock(t *Thread, l int64)
+	// RUnlock releases a shared acquisition of l.
+	RUnlock(t *Thread, l int64)
+	// CondWait atomically releases lock l and waits on condition cv,
+	// reacquiring l before returning.
+	CondWait(t *Thread, cv, l int64)
+	// CondSignal wakes at most one waiter of cv.
+	CondSignal(t *Thread, cv int64)
+	// CondBroadcast wakes all waiters of cv.
+	CondBroadcast(t *Thread, cv int64)
+	// BarrierWait blocks until all participants of barrier b arrive.
+	BarrierWait(t *Thread, b int64)
+	// Syscall performs an irrevocable external operation.
+	Syscall(t *Thread, s *Syscall)
+	// Atomic performs an atomic read-modify-write, returning the value
+	// for the destination register.
+	Atomic(t *Thread, a *Atomic) int64
+	// Spawn starts the suspended thread target (pthread_create).
+	Spawn(t *Thread, target int)
+	// Join blocks until thread target exits (pthread_join).
+	Join(t *Thread, target int)
+}
+
+// Thread is one simulated thread's complete mutable state.
+type Thread struct {
+	// ID is the thread's index, 0..N-1. It is stable across the run and
+	// used for deterministic tie-breaking.
+	ID int
+	// PC is the index of the next instruction to execute.
+	PC int
+	// Regs is the register file.
+	Regs []int64
+	// Scratch is thread-private memory (never shared, never isolated).
+	Scratch []int64
+
+	rng    uint64 // deterministic per-thread PRNG state; part of snapshots
+	halted bool
+
+	prog *Program
+	eng  Engine
+	grp  *Group
+
+	// EngineData carries per-thread engine state (views, speculation
+	// logs). It is opaque to the VM.
+	EngineData any
+}
+
+// Group is the run-wide thread registry, giving engines access to start
+// and completion signals for spawn/join.
+type Group struct {
+	start []chan struct{}
+	done  []chan struct{}
+}
+
+// StartThread releases suspended thread target. Spawning a thread twice,
+// or spawning one that was not marked StartSuspended, is a loud error.
+func (g *Group) StartThread(target int) {
+	select {
+	case <-g.start[target]:
+		panic(fmt.Sprintf("dvm: thread %d spawned twice or not marked StartSuspended", target))
+	default:
+		close(g.start[target])
+	}
+}
+
+// Done returns a channel closed when thread target has fully exited.
+func (g *Group) Done(target int) <-chan struct{} { return g.done[target] }
+
+// Group returns the thread's run group.
+func (t *Thread) Group() *Group { return t.grp }
+
+// Prog returns the program the thread runs.
+func (t *Thread) Prog() *Program { return t.prog }
+
+// Halt stops the thread after the current instruction.
+func (t *Thread) Halt() { t.halted = true }
+
+// Rand returns the next value of the thread's deterministic PRNG
+// (xorshift64*). The state is part of snapshots, so replayed code re-draws
+// identical values.
+func (t *Thread) Rand() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// RandN returns a deterministic pseudo-random value in [0, n).
+func (t *Thread) RandN(n int64) int64 {
+	if n <= 0 {
+		panic("dvm: RandN with non-positive bound")
+	}
+	return int64(t.Rand() % uint64(n))
+}
+
+// Snapshot is a copy of all thread-local state needed to restart execution
+// from a speculation begin point: the VM analogue of the paper's saved stack
+// and register contents.
+type Snapshot struct {
+	PC      int
+	Regs    []int64
+	Scratch []int64
+	RNG     uint64
+}
+
+// Snapshot captures the thread state with the PC rewound to the instruction
+// currently executing (speculation always begins at a lock acquisition; on
+// restore the acquisition re-executes, this time non-speculatively).
+func (t *Thread) Snapshot() *Snapshot {
+	s := &Snapshot{
+		PC:   t.PC - 1,
+		Regs: make([]int64, len(t.Regs)),
+		RNG:  t.rng,
+	}
+	copy(s.Regs, t.Regs)
+	if len(t.Scratch) > 0 {
+		s.Scratch = make([]int64, len(t.Scratch))
+		copy(s.Scratch, t.Scratch)
+	}
+	return s
+}
+
+// Restore rewinds the thread to a snapshot. The heap view is reverted
+// separately by the engine. Restore clears any halt, since snapshots are
+// always taken before the thread could have halted.
+func (t *Thread) Restore(s *Snapshot) {
+	t.PC = s.PC
+	copy(t.Regs, s.Regs)
+	copy(t.Scratch, s.Scratch)
+	t.rng = s.RNG
+	t.halted = false
+}
+
+// run interprets the thread's program to completion.
+func (t *Thread) run() {
+	code := t.prog.Code
+	eng := t.eng
+	for !t.halted && t.PC < len(code) {
+		in := &code[t.PC]
+		t.PC++
+		switch in.Op {
+		case OpDo:
+			in.Do(t)
+		case OpLoad:
+			t.Regs[in.Dst] = eng.Load(t, in.Addr(t))
+		case OpStore:
+			eng.Store(t, in.Addr(t), in.Val(t))
+		case OpJump:
+			t.PC = in.Target
+		case OpBranchUnless:
+			if !in.Cond(t) {
+				t.PC = in.Target
+			}
+		case OpLock:
+			eng.Lock(t, in.Addr(t))
+		case OpUnlock:
+			eng.Unlock(t, in.Addr(t))
+		case OpRLock:
+			eng.RLock(t, in.Addr(t))
+		case OpRUnlock:
+			eng.RUnlock(t, in.Addr(t))
+		case OpCondWait:
+			eng.CondWait(t, in.Addr(t), in.Addr2(t))
+		case OpCondSignal:
+			eng.CondSignal(t, in.Addr(t))
+		case OpCondBroadcast:
+			eng.CondBroadcast(t, in.Addr(t))
+		case OpBarrier:
+			eng.BarrierWait(t, in.Addr(t))
+		case OpSyscall:
+			eng.Syscall(t, in.Sys)
+		case OpAtomic:
+			t.Regs[in.Atom.Dst] = eng.Atomic(t, in.Atom)
+		case OpSpawn:
+			eng.Spawn(t, int(in.Addr(t)))
+		case OpJoin:
+			eng.Join(t, int(in.Addr(t)))
+		case OpHalt:
+			t.halted = true
+		default:
+			panic(fmt.Sprintf("dvm: unknown opcode %d", in.Op))
+		}
+		eng.Tick(t, in.Cost)
+	}
+}
+
+// Run executes one program per thread under the given engine and blocks
+// until every thread exits. Thread i runs progs[i] with ID i. Threads whose
+// program is marked StartSuspended wait (registered with the engine, so
+// they do not block deterministic turn arbitration) until spawned.
+func Run(eng Engine, progs []*Program) {
+	grp := &Group{
+		start: make([]chan struct{}, len(progs)),
+		done:  make([]chan struct{}, len(progs)),
+	}
+	threads := make([]*Thread, len(progs))
+	for i, p := range progs {
+		grp.start[i] = make(chan struct{})
+		grp.done[i] = make(chan struct{})
+		threads[i] = &Thread{
+			ID:      i,
+			Regs:    make([]int64, p.NumRegs),
+			Scratch: make([]int64, p.Scratch),
+			rng:     uint64(i)*0x9E3779B97F4A7C15 + 0x853C49E6748FEA9B,
+			prog:    p,
+			eng:     eng,
+			grp:     grp,
+		}
+		if !p.StartSuspended {
+			close(grp.start[i])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(threads))
+	for _, t := range threads {
+		go func(t *Thread) {
+			defer wg.Done()
+			defer close(t.grp.done[t.ID])
+			t.eng.ThreadStart(t)
+			<-t.grp.start[t.ID]
+			if t.prog.StartSuspended {
+				// The spawner published its memory before releasing
+				// us; let the engine refresh this thread's state (the
+				// acquire half of pthread_create's happens-before).
+				if r, ok := t.eng.(interface{ ThreadResume(*Thread) }); ok {
+					r.ThreadResume(t)
+				}
+			}
+			for {
+				t.run()
+				if t.eng.ThreadExit(t) {
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+}

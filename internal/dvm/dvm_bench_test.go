@@ -1,0 +1,55 @@
+package dvm
+
+import "testing"
+
+// BenchmarkDispatch measures raw interpreter throughput on a compute loop.
+func BenchmarkDispatch(b *testing.B) {
+	bld := NewBuilder("spin")
+	i := bld.Reg()
+	bld.ForN(i, 1_000_000, func() {
+		bld.Do(func(t *Thread) {})
+	})
+	p := bld.Build()
+	e := newNullEngineB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		t := &Thread{ID: 0, Regs: make([]int64, p.NumRegs), prog: p, eng: e}
+		t.run()
+	}
+}
+
+// BenchmarkSnapshot measures the speculation checkpoint cost for a typical
+// register-file size.
+func BenchmarkSnapshot(b *testing.B) {
+	t := &Thread{ID: 0, PC: 5, Regs: make([]int64, 16), Scratch: make([]int64, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := t.Snapshot()
+		t.Restore(s)
+	}
+}
+
+// benchEngine is a no-op engine for interpreter benchmarks.
+type benchEngine struct{}
+
+func newNullEngineB() *benchEngine                       { return &benchEngine{} }
+func (e *benchEngine) Name() string                      { return "bench" }
+func (e *benchEngine) Deterministic() bool               { return false }
+func (e *benchEngine) ThreadStart(*Thread)               {}
+func (e *benchEngine) ThreadExit(*Thread) bool           { return true }
+func (e *benchEngine) Tick(*Thread, int64)               {}
+func (e *benchEngine) Load(*Thread, int64) int64         { return 0 }
+func (e *benchEngine) Store(*Thread, int64, int64)       {}
+func (e *benchEngine) Lock(*Thread, int64)               {}
+func (e *benchEngine) Unlock(*Thread, int64)             {}
+func (e *benchEngine) RLock(*Thread, int64)              {}
+func (e *benchEngine) RUnlock(*Thread, int64)            {}
+func (e *benchEngine) CondWait(*Thread, int64, int64)    {}
+func (e *benchEngine) CondSignal(*Thread, int64)         {}
+func (e *benchEngine) CondBroadcast(*Thread, int64)      {}
+func (e *benchEngine) BarrierWait(*Thread, int64)        {}
+func (e *benchEngine) Syscall(*Thread, *Syscall)         {}
+func (e *benchEngine) Atomic(t *Thread, a *Atomic) int64 { return 0 }
+func (e *benchEngine) Spawn(*Thread, int)                {}
+func (e *benchEngine) Join(*Thread, int)                 {}

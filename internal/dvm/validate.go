@@ -1,0 +1,97 @@
+package dvm
+
+import "fmt"
+
+// Validate statically checks a program: jump targets must stay inside the
+// code (or point exactly one past the end, a fall-through exit), every
+// instruction must carry the closures its opcode requires, register indices
+// must be allocated, and costs must be positive. The harness validates
+// every program before running it, so builder mistakes fail fast instead of
+// crashing an engine goroutine mid-run.
+func (p *Program) Validate() error {
+	n := len(p.Code)
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("dvm: program %q, instruction %d (op %d): %s",
+				p.Name, pc, in.Op, fmt.Sprintf(format, args...))
+		}
+		if in.Cost <= 0 {
+			return fail("non-positive cost %d", in.Cost)
+		}
+		switch in.Op {
+		case OpDo:
+			if in.Do == nil {
+				return fail("missing Do closure")
+			}
+		case OpLoad:
+			if in.Addr == nil {
+				return fail("missing address closure")
+			}
+			if in.Dst < 0 || in.Dst >= p.NumRegs {
+				return fail("destination register %d out of range [0,%d)", in.Dst, p.NumRegs)
+			}
+		case OpStore:
+			if in.Addr == nil || in.Val == nil {
+				return fail("missing address or value closure")
+			}
+		case OpJump:
+			if in.Target < 0 || in.Target > n {
+				return fail("jump target %d out of range [0,%d]", in.Target, n)
+			}
+		case OpBranchUnless:
+			if in.Cond == nil {
+				return fail("missing condition closure")
+			}
+			if in.Target < 0 || in.Target > n {
+				return fail("branch target %d out of range [0,%d]", in.Target, n)
+			}
+		case OpLock, OpUnlock, OpRLock, OpRUnlock, OpCondSignal, OpCondBroadcast, OpBarrier, OpSpawn, OpJoin:
+			if in.Addr == nil {
+				return fail("missing object closure")
+			}
+		case OpCondWait:
+			if in.Addr == nil || in.Addr2 == nil {
+				return fail("missing condition or mutex closure")
+			}
+		case OpSyscall:
+			if in.Sys == nil {
+				return fail("missing syscall payload")
+			}
+			if in.Sys.Work < 0 {
+				return fail("negative syscall work %d", in.Sys.Work)
+			}
+		case OpAtomic:
+			a := in.Atom
+			if a == nil {
+				return fail("missing atomic payload")
+			}
+			if a.Addr == nil {
+				return fail("missing atomic address closure")
+			}
+			if int(a.Dst) < 0 || int(a.Dst) >= p.NumRegs {
+				return fail("atomic destination register %d out of range [0,%d)", a.Dst, p.NumRegs)
+			}
+			switch a.Kind {
+			case AtomicAdd:
+				if a.Delta == nil {
+					return fail("AtomicAdd missing delta")
+				}
+			case AtomicCAS:
+				if a.Old == nil || a.New == nil {
+					return fail("AtomicCAS missing operands")
+				}
+			case AtomicExchange:
+				if a.New == nil {
+					return fail("AtomicExchange missing operand")
+				}
+			default:
+				return fail("unknown atomic kind %d", a.Kind)
+			}
+		case OpHalt:
+		default:
+			return fail("unknown opcode")
+		}
+	}
+	return nil
+}

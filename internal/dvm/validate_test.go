@@ -1,0 +1,95 @@
+package dvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsBuilderOutput(t *testing.T) {
+	b := NewBuilder("ok")
+	i, v := b.Reg(), b.Reg()
+	base := b.Scratch(2)
+	b.ForN(i, 10, func() {
+		b.Lock(Const(0))
+		b.Load(v, Const(1))
+		b.Store(Const(1), FromReg(v))
+		b.Unlock(Const(0))
+		b.If(func(th *Thread) bool { return th.R(i) > 3 }, func() {
+			b.Do(func(th *Thread) { th.Scratch[base]++ })
+		})
+	})
+	b.RLock(Const(0))
+	b.RUnlock(Const(0))
+	b.AtomicAdd(v, Const(2), Const(1))
+	b.AtomicCAS(v, Const(2), Const(0), Const(5))
+	b.AtomicExchange(v, Const(2), Const(9))
+	b.CondWait(Const(0), Const(0))
+	b.CondSignal(Const(0))
+	b.CondBroadcast(Const(0))
+	b.Barrier(Const(0))
+	b.Syscall(&Syscall{Name: "x", Work: 1})
+	b.Halt()
+	if err := b.Build().Validate(); err != nil {
+		t.Fatalf("builder-produced program rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBrokenPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{
+			"jump-out-of-range",
+			&Program{Name: "j", Code: []Instr{{Op: OpJump, Cost: 1, Target: 99}}},
+			"out of range",
+		},
+		{
+			"missing-do",
+			&Program{Name: "d", Code: []Instr{{Op: OpDo, Cost: 1}}},
+			"missing Do",
+		},
+		{
+			"load-register-out-of-range",
+			&Program{Name: "l", NumRegs: 1, Code: []Instr{{Op: OpLoad, Cost: 1, Dst: 5, Addr: Const(0)}}},
+			"out of range",
+		},
+		{
+			"zero-cost",
+			&Program{Name: "c", Code: []Instr{{Op: OpHalt}}},
+			"non-positive cost",
+		},
+		{
+			"branch-missing-cond",
+			&Program{Name: "b", Code: []Instr{{Op: OpBranchUnless, Cost: 1, Target: 0}}},
+			"missing condition",
+		},
+		{
+			"condwait-missing-mutex",
+			&Program{Name: "w", Code: []Instr{{Op: OpCondWait, Cost: 1, Addr: Const(0)}}},
+			"missing condition or mutex",
+		},
+		{
+			"syscall-missing-payload",
+			&Program{Name: "s", Code: []Instr{{Op: OpSyscall, Cost: 1}}},
+			"missing syscall",
+		},
+		{
+			"atomic-missing-delta",
+			&Program{Name: "a", NumRegs: 1, Code: []Instr{{Op: OpAtomic, Cost: 1, Atom: &Atomic{Kind: AtomicAdd, Addr: Const(0)}}}},
+			"missing delta",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.prog.Validate()
+			if err == nil {
+				t.Fatal("broken program accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

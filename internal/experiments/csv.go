@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// csvOut writes one experiment's rows as a CSV file under cfg.CSVDir. When
+// no directory is configured every method is a no-op, so experiments call
+// it unconditionally.
+type csvOut struct {
+	w *csv.Writer
+	f *os.File
+}
+
+// csvFile opens <dir>/<name>.csv and writes the header. Returns a no-op
+// writer when dir is empty.
+func (c Config) csvFile(name string, header ...string) (*csvOut, error) {
+	if c.CSVDir == "" {
+		return &csvOut{}, nil
+	}
+	if err := os.MkdirAll(c.CSVDir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(c.CSVDir, name+".csv"))
+	if err != nil {
+		return nil, err
+	}
+	out := &csvOut{w: csv.NewWriter(f), f: f}
+	out.row(toAny(header)...)
+	return out, nil
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// row appends one record, formatting each value with %v.
+func (o *csvOut) row(vals ...any) {
+	if o.w == nil {
+		return
+	}
+	rec := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			rec[i] = fmt.Sprintf("%.4f", x)
+		default:
+			rec[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	_ = o.w.Write(rec)
+}
+
+// close flushes and closes the file.
+func (o *csvOut) close() {
+	if o.w == nil {
+		return
+	}
+	o.w.Flush()
+	_ = o.f.Close()
+}

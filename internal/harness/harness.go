@@ -1,0 +1,283 @@
+// Package harness wires workloads to engines and runs experiments: it
+// constructs the substrate each engine needs (versioned heap or direct
+// shared memory, turn arbiter, synchronization table), loads the workload's
+// initial data, runs the programs, and collects the measurements the
+// paper's tables and figures report.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lazydet/internal/core"
+	"lazydet/internal/detsync"
+	"lazydet/internal/dlc"
+	"lazydet/internal/dvm"
+	"lazydet/internal/engine/direct"
+	"lazydet/internal/shmem"
+	"lazydet/internal/stats"
+	"lazydet/internal/trace"
+	"lazydet/internal/vheap"
+)
+
+// EngineKind names the five systems of the paper's evaluation.
+type EngineKind int
+
+const (
+	// Pthreads is the nondeterministic baseline every result is
+	// normalized against.
+	Pthreads EngineKind = iota
+	// Consequence is eager strong determinism (Merrifield et al.,
+	// EuroSys'15), the state of the art LazyDet is compared to.
+	Consequence
+	// TotalOrderWeak is eager weak determinism (Kendo-style): a
+	// deterministic total order on synchronization without isolation.
+	TotalOrderWeak
+	// TotalOrderWeakNondet totally orders synchronization through a
+	// global mutex, nondeterministically — the "perfect logical clock"
+	// simulation.
+	TotalOrderWeakNondet
+	// LazyDet is the paper's contribution: strong determinism with
+	// speculative order elision.
+	LazyDet
+)
+
+// AllEngines lists the engines in the order the paper's figures plot them.
+var AllEngines = []EngineKind{Pthreads, Consequence, TotalOrderWeak, TotalOrderWeakNondet, LazyDet}
+
+// String returns the evaluation's name for the engine.
+func (k EngineKind) String() string {
+	switch k {
+	case Pthreads:
+		return "pthreads"
+	case Consequence:
+		return "Consequence"
+	case TotalOrderWeak:
+		return "TotalOrder-Weak"
+	case TotalOrderWeakNondet:
+		return "TotalOrder-Weak-Nondet"
+	case LazyDet:
+		return "LazyDet"
+	}
+	return "unknown"
+}
+
+// Deterministic reports whether the engine guarantees deterministic
+// execution (for TotalOrderWeak: of data-race-free programs).
+func (k EngineKind) Deterministic() bool {
+	return k == Consequence || k == TotalOrderWeak || k == LazyDet
+}
+
+// Workload describes one benchmark program: its memory and synchronization
+// footprint, per-thread programs, initial data, and an optional final
+// correctness check.
+type Workload struct {
+	// Name is the benchmark's name as the paper reports it.
+	Name string
+	// HeapWords is the shared memory size in 64-bit words.
+	HeapWords int64
+	// Locks, Conds and Barriers size the synchronization object tables.
+	Locks, Conds, Barriers int
+	// Programs builds the per-thread programs for a thread count.
+	Programs func(threads int) []*dvm.Program
+	// Init loads initial shared-memory contents.
+	Init func(set func(addr, val int64), threads int)
+	// Validate, if non-nil, checks the final shared memory.
+	Validate func(read func(addr int64) int64, threads int) error
+}
+
+// Options configures one run.
+type Options struct {
+	Engine  EngineKind
+	Threads int
+	// Trace enables sync-order trace recording (determinism checks).
+	Trace bool
+	// LogEvents additionally keeps the full per-thread event streams,
+	// for divergence diffing (implies Trace).
+	LogEvents bool
+	// MeasureTimes enables blocked-time accounting (Figure 10).
+	MeasureTimes bool
+	// CollectSpec enables speculation statistics (Table 2, Figure 12).
+	CollectSpec bool
+	// CountLocks enables per-lock acquisition counting on the pthreads
+	// engine (Table 1).
+	CountLocks bool
+	// Spec overrides LazyDet's speculation parameters; zero value means
+	// the paper's defaults.
+	Spec core.SpecConfig
+	// PageWords overrides the versioned heap's page size.
+	PageWords int
+	// FullVersionChains retains every page version (DLRC-style
+	// accounting) instead of trimming to live bases (§4.2 experiment).
+	FullVersionChains bool
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Engine   EngineKind
+	Workload string
+	Threads  int
+	Wall     time.Duration
+	// HeapHash fingerprints the final shared memory.
+	HeapHash uint64
+	// TraceSig fingerprints the synchronization order (0 if untraced).
+	TraceSig uint64
+	// SyncEvents counts traced synchronization events.
+	SyncEvents int64
+	// Recorder is the trace recorder when tracing was enabled; with
+	// LogEvents it carries the full event streams for diffing.
+	Recorder *trace.Recorder
+	// Commits/PagesCommitted/WordsCommitted are versioned-heap totals
+	// (strong engines only).
+	Commits, PagesCommitted, WordsCommitted int64
+	// LiveVersions counts page versions still reachable after the run
+	// (strong engines only).
+	LiveVersions int
+	// Spec carries speculation statistics when collected.
+	Spec *stats.Spec
+	// Counter carries per-lock acquisition counts when collected.
+	Counter *stats.LockCounter
+	// UtilizationPct is the machine-level CPU utilization of the run
+	// (process CPU time / (wall × NumCPU)) when measured — Figure 10's
+	// metric.
+	UtilizationPct float64
+	// BlockedPct is the fraction of total thread-time spent blocked
+	// (turn waits, lock waits, parks) when measured.
+	BlockedPct float64
+}
+
+// Run executes the workload once under the configured engine.
+func Run(w *Workload, opt Options) (*Result, error) {
+	if opt.Threads <= 0 {
+		return nil, fmt.Errorf("harness: thread count %d", opt.Threads)
+	}
+	progs := w.Programs(opt.Threads)
+	if len(progs) != opt.Threads {
+		return nil, fmt.Errorf("harness: workload %s built %d programs for %d threads", w.Name, len(progs), opt.Threads)
+	}
+	for i, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: workload %s, thread %d: %w", w.Name, i, err)
+		}
+	}
+
+	res := &Result{Engine: opt.Engine, Workload: w.Name, Threads: opt.Threads}
+
+	var rec *trace.Recorder
+	if opt.LogEvents {
+		rec = trace.NewLogging(opt.Threads)
+	} else if opt.Trace {
+		rec = trace.New(opt.Threads)
+	}
+	var times *stats.Times
+	if opt.MeasureTimes {
+		times = stats.NewTimes(opt.Threads)
+	}
+	var spec *stats.Spec
+	if opt.CollectSpec {
+		spec = &stats.Spec{}
+	}
+
+	var eng dvm.Engine
+	var readFinal func(int64) int64
+	var heap *vheap.Heap
+
+	switch opt.Engine {
+	case Pthreads:
+		mem := shmem.New(w.HeapWords)
+		if w.Init != nil {
+			w.Init(mem.SetInitial, opt.Threads)
+		}
+		de := direct.New(mem, opt.Threads, w.Locks, w.Conds, w.Barriers)
+		de.Times = times
+		if opt.CountLocks {
+			de.Counter = stats.NewLockCounter(w.Locks)
+			res.Counter = de.Counter
+		}
+		eng = de
+		readFinal = mem.ReadCommitted
+		defer func() { res.HeapHash = mem.Hash() }()
+
+	case Consequence, LazyDet:
+		var hopts []vheap.Option
+		if opt.PageWords > 0 {
+			hopts = append(hopts, vheap.WithPageWords(opt.PageWords))
+		}
+		if opt.FullVersionChains {
+			hopts = append(hopts, vheap.WithFullVersionChains())
+		}
+		heap = vheap.New(w.HeapWords, hopts...)
+		if w.Init != nil {
+			w.Init(heap.SetInitial, opt.Threads)
+		}
+		cfg := core.Config{Mode: core.ModeStrong, Speculation: opt.Engine == LazyDet, Spec: opt.Spec}
+		eng = core.New(cfg, core.Deps{
+			Arb:   dlc.New(opt.Threads),
+			Tbl:   detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, opt.Engine == LazyDet),
+			Heap:  heap,
+			Rec:   rec,
+			Times: times,
+			Spec:  spec,
+		})
+		readFinal = heap.ReadCommitted
+		defer func() {
+			res.HeapHash = heap.Hash()
+			res.Commits, res.PagesCommitted, res.WordsCommitted = heap.Stats()
+			res.LiveVersions = heap.LiveVersions()
+		}()
+
+	case TotalOrderWeak, TotalOrderWeakNondet:
+		mem := shmem.New(w.HeapWords)
+		if w.Init != nil {
+			w.Init(mem.SetInitial, opt.Threads)
+		}
+		mode := core.ModeWeak
+		arb := dlc.New(opt.Threads)
+		if opt.Engine == TotalOrderWeakNondet {
+			mode = core.ModeWeakNondet
+			arb = dlc.NewNondet(opt.Threads)
+		}
+		eng = core.New(core.Config{Mode: mode}, core.Deps{
+			Arb:   arb,
+			Tbl:   detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, false),
+			Mem:   mem,
+			Rec:   rec,
+			Times: times,
+		})
+		readFinal = mem.ReadCommitted
+		defer func() { res.HeapHash = mem.Hash() }()
+
+	default:
+		return nil, fmt.Errorf("harness: unknown engine %d", opt.Engine)
+	}
+
+	cpuBefore := stats.ProcessCPUNs()
+	start := time.Now()
+	dvm.Run(eng, progs)
+	res.Wall = time.Since(start)
+	cpuAfter := stats.ProcessCPUNs()
+
+	if rec != nil {
+		res.TraceSig = rec.Signature()
+		res.SyncEvents = rec.Events()
+		res.Recorder = rec
+	}
+	res.Spec = spec
+	if times != nil {
+		capacity := res.Wall.Nanoseconds() * int64(runtime.NumCPU())
+		if capacity > 0 {
+			res.UtilizationPct = 100 * float64(cpuAfter-cpuBefore) / float64(capacity)
+			if res.UtilizationPct > 100 {
+				res.UtilizationPct = 100
+			}
+		}
+		res.BlockedPct = 100 - times.UtilizationPct(res.Wall.Nanoseconds(), opt.Threads)
+	}
+	if w.Validate != nil {
+		if err := w.Validate(readFinal, opt.Threads); err != nil {
+			return res, fmt.Errorf("harness: %s under %s: %w", w.Name, opt.Engine, err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package harness_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lazydet/internal/harness"
+	"lazydet/internal/randprog"
+)
+
+// TestQuickCrossEngineEquivalence: for random commutative race-free
+// programs, all five engines produce exactly the host model's final memory
+// (randprog workloads carry the model as their Validate check).
+func TestQuickCrossEngineEquivalence(t *testing.T) {
+	const threads = 3
+	f := func(seed uint64) bool {
+		w, _ := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		for _, eng := range harness.AllEngines {
+			if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: threads}); err != nil {
+				t.Logf("seed %x engine %v: %v", seed, eng, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterministicEnginesReproduceRandomPrograms: for random
+// programs, deterministic engines produce identical trace signatures across
+// repeated runs.
+func TestQuickDeterministicEnginesReproduceRandomPrograms(t *testing.T) {
+	const threads = 3
+	f := func(seed uint64) bool {
+		w, _ := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		for _, eng := range []harness.EngineKind{harness.Consequence, harness.TotalOrderWeak, harness.LazyDet} {
+			opt := harness.Options{Engine: eng, Threads: threads, Trace: true}
+			r1, err := harness.Run(w, opt)
+			if err != nil {
+				return false
+			}
+			r2, err := harness.Run(w, opt)
+			if err != nil {
+				return false
+			}
+			if r1.TraceSig != r2.TraceSig || r1.HeapHash != r2.HeapHash {
+				t.Logf("seed %x engine %v: trace %x/%x heap %x/%x",
+					seed, eng, r1.TraceSig, r2.TraceSig, r1.HeapHash, r2.HeapHash)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpeculationAccounting: commits plus reverts always equal runs.
+func TestQuickSpeculationAccounting(t *testing.T) {
+	const threads = 4
+	f := func(seed uint64) bool {
+		w, _ := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		res, err := harness.Run(w, harness.Options{Engine: harness.LazyDet, Threads: threads, CollectSpec: true})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		runs := res.Spec.Runs.Load()
+		if res.Spec.Commits.Load()+res.Spec.Reverts.Load() != runs {
+			t.Logf("seed %x: %d commits + %d reverts != %d runs",
+				seed, res.Spec.Commits.Load(), res.Spec.Reverts.Load(), runs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package memmodel
+
+// This file builds happens-before relations for the deterministic models.
+// A "synchronization order" is one valid total order of the program's
+// acquire/release events (acquires only take free locks). For each such
+// order, happens-before is program order ∪ {release(l) → later acquire(l)}
+// closed transitively; DLRC and DDRF outcomes are derived from it.
+
+// syncOrders enumerates every valid total order of synchronization events,
+// as lists of (thread, index) pairs.
+func syncOrders(p *Program) [][]event {
+	evs := events(p)
+	// Per-thread queues of sync events.
+	var queues [][]event
+	for _, tevs := range evs {
+		var q []event
+		for _, e := range tevs {
+			if e.op.Kind == OpAcquire || e.op.Kind == OpRelease {
+				q = append(q, e)
+			}
+		}
+		queues = append(queues, q)
+	}
+	var out [][]event
+	var rec func(pos []int, held map[int]int, prefix []event)
+	rec = func(pos []int, held map[int]int, prefix []event) {
+		done := true
+		for t := range queues {
+			if pos[t] < len(queues[t]) {
+				done = false
+				e := queues[t][pos[t]]
+				switch e.op.Kind {
+				case OpAcquire:
+					if _, ok := held[e.op.Lock]; ok {
+						continue // held (even by self: no reentrancy)
+					}
+					held[e.op.Lock] = e.tid
+					pos[t]++
+					rec(pos, held, append(prefix, e))
+					pos[t]--
+					delete(held, e.op.Lock)
+				case OpRelease:
+					owner := held[e.op.Lock]
+					delete(held, e.op.Lock)
+					pos[t]++
+					rec(pos, held, append(prefix, e))
+					pos[t]--
+					held[e.op.Lock] = owner
+				}
+			}
+		}
+		if done {
+			out = append(out, append([]event(nil), prefix...))
+		}
+	}
+	rec(make([]int, len(queues)), map[int]int{}, nil)
+	return out
+}
+
+// hbRelation is happens-before over all events, indexed by a dense event id.
+type hbRelation struct {
+	ids map[[2]int]int // (tid, idx) -> id
+	n   int
+	hb  [][]bool // hb[a][b]: a happens-before b
+	evs []event  // by id
+}
+
+// buildHB computes happens-before for one synchronization order.
+func buildHB(p *Program, order []event) *hbRelation {
+	evs := events(p)
+	r := &hbRelation{ids: map[[2]int]int{}}
+	for _, tevs := range evs {
+		for _, e := range tevs {
+			r.ids[[2]int{e.tid, e.idx}] = r.n
+			r.evs = append(r.evs, e)
+			r.n++
+		}
+	}
+	r.hb = make([][]bool, r.n)
+	for i := range r.hb {
+		r.hb[i] = make([]bool, r.n)
+	}
+	// Program order.
+	for _, tevs := range evs {
+		for i := 1; i < len(tevs); i++ {
+			a := r.ids[[2]int{tevs[i-1].tid, tevs[i-1].idx}]
+			b := r.ids[[2]int{tevs[i].tid, tevs[i].idx}]
+			r.hb[a][b] = true
+		}
+	}
+	// Synchronization order: release(l) → every later acquire(l).
+	for i, rel := range order {
+		if rel.op.Kind != OpRelease {
+			continue
+		}
+		for j := i + 1; j < len(order); j++ {
+			acq := order[j]
+			if acq.op.Kind == OpAcquire && acq.op.Lock == rel.op.Lock {
+				a := r.ids[[2]int{rel.tid, rel.idx}]
+				b := r.ids[[2]int{acq.tid, acq.idx}]
+				r.hb[a][b] = true
+			}
+		}
+	}
+	// Transitive closure (Floyd-Warshall on booleans).
+	for k := 0; k < r.n; k++ {
+		for i := 0; i < r.n; i++ {
+			if !r.hb[i][k] {
+				continue
+			}
+			for j := 0; j < r.n; j++ {
+				if r.hb[k][j] {
+					r.hb[i][j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// happensBefore reports whether event a happens-before event b.
+func (r *hbRelation) happensBefore(a, b event) bool {
+	return r.hb[r.ids[[2]int{a.tid, a.idx}]][r.ids[[2]int{b.tid, b.idx}]]
+}
+
+// mandated returns the happens-before-latest stores to the load's address:
+// the values the DRF discipline requires the load to be able to see. Empty
+// means only the initial value is mandated.
+func (r *hbRelation) mandated(load event) []event {
+	var cands []event
+	for _, e := range r.evs {
+		if e.op.Kind == OpStore && e.op.Addr == load.op.Addr && r.happensBefore(e, load) {
+			cands = append(cands, e)
+		}
+	}
+	// Drop stores dominated by a later hb store.
+	var maximal []event
+	for _, s := range cands {
+		dominated := false
+		for _, s2 := range cands {
+			if (s2.tid != s.tid || s2.idx != s.idx) && r.happensBefore(s, s2) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, s)
+		}
+	}
+	return maximal
+}
+
+// loads returns the program's load events.
+func loads(p *Program) []event {
+	var out []event
+	for _, tevs := range events(p) {
+		for _, e := range tevs {
+			if e.op.Kind == OpLoad {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// DLRC enumerates outcomes under RFDet's Deterministic Lazy Release
+// Consistency: a load sees a store if and only if a happens-before edge
+// runs from the store to the load (paper §4.1). Without such an edge the
+// store must remain invisible, so each load returns the hb-latest store's
+// value, or the initial value when none exists.
+func DLRC(p *Program) OutcomeSet {
+	out := OutcomeSet{}
+	for _, order := range syncOrders(p) {
+		r := buildHB(p, order)
+		// Each load has a set of hb-maximal mandated stores; racy
+		// hb-incomparable stores make the value ambiguous, so fan out.
+		assign := map[string][]int{}
+		for _, l := range loads(p) {
+			m := r.mandated(l)
+			if len(m) == 0 {
+				assign[l.op.Reg] = []int{0}
+				continue
+			}
+			vals := make([]int, len(m))
+			for i, s := range m {
+				vals[i] = s.op.Val
+			}
+			assign[l.op.Reg] = vals
+		}
+		expand(assign, func(regs map[string]int) {
+			out[canon(regs)] = struct{}{}
+		})
+	}
+	return out
+}
+
+// DDRF enumerates outcomes under the paper's Deterministic Data-Race-Free
+// model (§4.1): visibility is required along happens-before edges and
+// additionally permitted — via the deterministic visibility order — for any
+// store not ordered after the load and not overwritten by a mandated store.
+// Since the visibility order may be induced by arbitrary deterministic
+// program events, the allowed set closes over every such choice.
+func DDRF(p *Program) OutcomeSet {
+	out := OutcomeSet{}
+	allStores := func(addr int) []event {
+		var ss []event
+		for _, tevs := range events(p) {
+			for _, e := range tevs {
+				if e.op.Kind == OpStore && e.op.Addr == addr {
+					ss = append(ss, e)
+				}
+			}
+		}
+		return ss
+	}
+	for _, order := range syncOrders(p) {
+		r := buildHB(p, order)
+		assign := map[string][]int{}
+		for _, l := range loads(p) {
+			mand := r.mandated(l)
+			vals := map[int]struct{}{}
+			for _, s := range mand {
+				vals[s.op.Val] = struct{}{}
+			}
+			if len(mand) == 0 {
+				vals[0] = struct{}{} // initial value permitted
+			}
+			for _, s := range allStores(l.op.Addr) {
+				if r.happensBefore(l, s) {
+					continue // the future is never visible
+				}
+				// A store hb-older than a mandated store has been
+				// overwritten along the required chain.
+				overwritten := false
+				for _, m := range mand {
+					if r.happensBefore(s, m) {
+						overwritten = true
+						break
+					}
+				}
+				if !overwritten {
+					vals[s.op.Val] = struct{}{}
+				}
+			}
+			list := make([]int, 0, len(vals))
+			for v := range vals {
+				list = append(list, v)
+			}
+			assign[l.op.Reg] = list
+		}
+		expand(assign, func(regs map[string]int) {
+			out[canon(regs)] = struct{}{}
+		})
+	}
+	return out
+}
+
+// expand enumerates the cartesian product of per-register value choices.
+func expand(assign map[string][]int, emit func(map[string]int)) {
+	regs := make([]string, 0, len(assign))
+	for r := range assign {
+		regs = append(regs, r)
+	}
+	cur := map[string]int{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(regs) {
+			emit(cur)
+			return
+		}
+		for _, v := range assign[regs[i]] {
+			cur[regs[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,72 @@
+package memmodel
+
+// The paper's litmus tests.
+
+// Figure4 is the store-buffer variant with per-thread locks: under TSO the
+// fences forbid both loads returning zero; under DDRF both-zero is allowed
+// (no happens-before edges connect the threads); under DLRC both loads
+// must return zero.
+func Figure4() *Program {
+	const x, y = 0, 1
+	const A, B = 0, 1
+	return &Program{
+		Name: "figure-4 store buffering with locks",
+		Threads: [][]Op{
+			{
+				Acquire(A), Store(x, 1), Release(A),
+				Acquire(A), Load("r1", y), Release(A),
+			},
+			{
+				Acquire(B), Store(y, 1), Release(B),
+				Acquire(B), Load("r2", x), Release(B),
+			},
+		},
+	}
+}
+
+// Figure5 is the cross-lock visibility test: thread 1 stores x under lock
+// A; thread 2 loads x under lock B. DLRC's biconditional forbids the load
+// from ever returning 1; DDRF allows 0 or 1 (deterministic visibility-order
+// edges may or may not arise).
+func Figure5() *Program {
+	const x = 0
+	const A, B = 0, 1
+	return &Program{
+		Name: "figure-5 cross-lock visibility",
+		Threads: [][]Op{
+			{Acquire(A), Store(x, 1), Release(A)},
+			{Acquire(B), Load("r1", x), Release(B)},
+		},
+	}
+}
+
+// MessagePassing is the classic same-lock handoff: with matching
+// synchronization, every model must allow the receiver to see the data when
+// it sees the flag's critical section ordered after the sender's.
+func MessagePassing() *Program {
+	const data = 0
+	const L = 0
+	return &Program{
+		Name: "message passing via one lock",
+		Threads: [][]Op{
+			{Store(data, 42), Acquire(L), Store(1, 1), Release(L)},
+			{Acquire(L), Load("flag", 1), Release(L), Load("data", data)},
+		},
+	}
+}
+
+// BothZero is the Figure 4 outcome of interest.
+const BothZero = Outcome("r1=0 r2=0")
+
+// StoreBufferNoLocks is the classic store-buffer litmus without any
+// synchronization: TSO allows both-zero, SC forbids it.
+func StoreBufferNoLocks() *Program {
+	const x, y = 0, 1
+	return &Program{
+		Name: "store buffering, no locks",
+		Threads: [][]Op{
+			{Store(x, 1), Load("r1", y)},
+			{Store(y, 1), Load("r2", x)},
+		},
+	}
+}

@@ -1,0 +1,133 @@
+// Package memmodel is an executable model of the three memory-consistency
+// models the paper compares in §4: TSO (Consequence's model), DLRC (RFDet's
+// Deterministic Lazy Release Consistency) and the paper's DDRF
+// (Deterministic Data-Race-Free). It enumerates the final outcomes a litmus
+// program may produce under each model, which is how the claims of
+// Figures 4, 5 and 6 are checked mechanically:
+//
+//   - Figure 4 (store buffering with per-thread locks): TSO forbids the
+//     both-loads-zero outcome, DDRF allows it, DLRC requires it.
+//   - Figure 5 (cross-lock visibility): DLRC forbids the racy load
+//     returning the store's value; DDRF allows either value.
+//   - Figure 6: the outcome sets nest — TSO ⊆ DDRF and DLRC ⊆ DDRF, while
+//     TSO and DLRC are incomparable.
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind is a litmus operation kind.
+type OpKind int
+
+const (
+	// OpAcquire acquires a lock (a full fence under TSO).
+	OpAcquire OpKind = iota
+	// OpRelease releases a lock (a full fence under TSO).
+	OpRelease
+	// OpStore writes a value to a shared location.
+	OpStore
+	// OpLoad reads a shared location into a named register.
+	OpLoad
+)
+
+// Op is one litmus operation.
+type Op struct {
+	Kind OpKind
+	Lock int    // OpAcquire / OpRelease
+	Addr int    // OpStore / OpLoad
+	Val  int    // OpStore
+	Reg  string // OpLoad destination
+}
+
+// Acquire returns an acquire op.
+func Acquire(lock int) Op { return Op{Kind: OpAcquire, Lock: lock} }
+
+// Release returns a release op.
+func Release(lock int) Op { return Op{Kind: OpRelease, Lock: lock} }
+
+// Store returns a store op.
+func Store(addr, val int) Op { return Op{Kind: OpStore, Addr: addr, Val: val} }
+
+// Load returns a load op into register reg.
+func Load(reg string, addr int) Op { return Op{Kind: OpLoad, Reg: reg, Addr: addr} }
+
+// Program is a multi-threaded litmus test. Memory locations start at zero.
+type Program struct {
+	Name    string
+	Threads [][]Op
+}
+
+// Outcome is a final register assignment, canonicalized as
+// "r1=0 r2=1" with registers sorted by name.
+type Outcome string
+
+func canon(regs map[string]int) Outcome {
+	keys := make([]string, 0, len(regs))
+	for k := range regs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, regs[k])
+	}
+	return Outcome(strings.Join(parts, " "))
+}
+
+// OutcomeSet is a set of outcomes.
+type OutcomeSet map[Outcome]struct{}
+
+// Has reports whether the set contains the outcome.
+func (s OutcomeSet) Has(o Outcome) bool {
+	_, ok := s[o]
+	return ok
+}
+
+// SubsetOf reports whether every outcome of s is in t.
+func (s OutcomeSet) SubsetOf(t OutcomeSet) bool {
+	for o := range s {
+		if !t.Has(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the outcomes in lexical order.
+func (s OutcomeSet) Sorted() []Outcome {
+	out := make([]Outcome, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set compactly.
+func (s OutcomeSet) String() string {
+	strs := make([]string, 0, len(s))
+	for _, o := range s.Sorted() {
+		strs = append(strs, "{"+string(o)+"}")
+	}
+	return strings.Join(strs, " ")
+}
+
+// event is an op instance identified by (thread, index).
+type event struct {
+	tid, idx int
+	op       Op
+}
+
+// events flattens the program into per-thread event lists.
+func events(p *Program) [][]event {
+	out := make([][]event, len(p.Threads))
+	for t, ops := range p.Threads {
+		for i, op := range ops {
+			out[t] = append(out[t], event{tid: t, idx: i, op: op})
+		}
+	}
+	return out
+}

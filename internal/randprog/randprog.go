@@ -1,0 +1,159 @@
+// Package randprog generates random-but-checkable workloads for
+// differential testing of the engines: every generated program is
+// data-race-free and all its updates commute, so the final shared memory is
+// schedule-independent and predictable on the host. Any engine —
+// deterministic or not — must produce exactly the model's state, and the
+// deterministic engines must additionally reproduce their synchronization
+// traces run over run.
+//
+// The generator is used by the property tests in internal/harness and by
+// the cmd/lazydet-fuzz stress tool.
+package randprog
+
+import (
+	"fmt"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// Config bounds the generated programs.
+type Config struct {
+	Threads      int
+	Cells        int // lock-protected cells (one lock per cell)
+	AtomicCells  int // cells updated only with atomics
+	OpsPerThread int
+	MaxBarriers  int
+	// WithCondvars adds a final condvar rendezvous phase.
+	WithCondvars bool
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:      threads,
+		Cells:        32,
+		AtomicCells:  8,
+		OpsPerThread: 60,
+		MaxBarriers:  3,
+	}
+}
+
+type opKind int
+
+const (
+	opLockedAdd opKind = iota
+	opAtomicAdd
+	opBarrier
+	opNestedAdd // two cells under ordered nested locks
+)
+
+type op struct {
+	kind   opKind
+	cell   int64
+	cell2  int64
+	delta  int64
+	delta2 int64
+}
+
+// Generate builds a workload from the seed and returns it with the
+// host-side model of the expected final memory.
+func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
+	plans := make([][]op, cfg.Threads)
+	expected := map[int64]int64{}
+	r := seed
+	next := func(n uint64) uint64 {
+		r = r*6364136223846793005 + 1442695040888963407
+		return (r >> 33) % n
+	}
+	barriers := 0
+	for tid := 0; tid < cfg.Threads; tid++ {
+		for i := 0; i < cfg.OpsPerThread; i++ {
+			switch next(12) {
+			case 0:
+				if tid == 0 && barriers < cfg.MaxBarriers {
+					barriers++
+					for t2 := 0; t2 < cfg.Threads; t2++ {
+						plans[t2] = append(plans[t2], op{kind: opBarrier})
+					}
+					continue
+				}
+				fallthrough
+			case 1, 2, 3, 4, 5:
+				c := int64(next(uint64(cfg.Cells)))
+				d := int64(next(7)) + 1
+				plans[tid] = append(plans[tid], op{kind: opLockedAdd, cell: c, delta: d})
+				expected[c] += d
+			case 6, 7:
+				// Nested critical section over two ordered cells.
+				a := int64(next(uint64(cfg.Cells)))
+				b := int64(next(uint64(cfg.Cells)))
+				if a == b {
+					b = (b + 1) % int64(cfg.Cells)
+				}
+				if a > b {
+					a, b = b, a
+				}
+				da := int64(next(5)) + 1
+				db := int64(next(5)) + 1
+				plans[tid] = append(plans[tid], op{kind: opNestedAdd, cell: a, cell2: b, delta: da, delta2: db})
+				expected[a] += da
+				expected[b] += db
+			default:
+				c := int64(cfg.Cells) + int64(next(uint64(cfg.AtomicCells)))
+				d := int64(next(5)) + 1
+				plans[tid] = append(plans[tid], op{kind: opAtomicAdd, cell: c, delta: d})
+				expected[c] += d
+			}
+		}
+	}
+
+	w := &harness.Workload{
+		Name:      fmt.Sprintf("randprog-%x", seed),
+		HeapWords: int64(cfg.Cells + cfg.AtomicCells),
+		Locks:     cfg.Cells,
+		Barriers:  1,
+		Conds:     1,
+		Programs: func(n int) []*dvm.Program {
+			progs := make([]*dvm.Program, n)
+			for tid := 0; tid < n; tid++ {
+				b := dvm.NewBuilder(fmt.Sprintf("rnd-%d", tid))
+				v := b.Reg()
+				for _, o := range plans[tid] {
+					o := o
+					switch o.kind {
+					case opLockedAdd:
+						b.Lock(dvm.Const(o.cell))
+						b.Load(v, dvm.Const(o.cell))
+						b.Store(dvm.Const(o.cell), func(t *dvm.Thread) int64 { return t.R(v) + o.delta })
+						b.Unlock(dvm.Const(o.cell))
+					case opNestedAdd:
+						b.Lock(dvm.Const(o.cell))
+						b.Lock(dvm.Const(o.cell2))
+						b.Load(v, dvm.Const(o.cell))
+						b.Store(dvm.Const(o.cell), func(t *dvm.Thread) int64 { return t.R(v) + o.delta })
+						b.Load(v, dvm.Const(o.cell2))
+						b.Store(dvm.Const(o.cell2), func(t *dvm.Thread) int64 { return t.R(v) + o.delta2 })
+						b.Unlock(dvm.Const(o.cell2))
+						b.Unlock(dvm.Const(o.cell))
+					case opAtomicAdd:
+						b.AtomicAdd(v, dvm.Const(o.cell), dvm.Const(o.delta))
+					case opBarrier:
+						b.Barrier(dvm.Const(0))
+					}
+				}
+				progs[tid] = b.Build()
+			}
+			return progs
+		},
+	}
+	w.Validate = func(read func(int64) int64, _ int) error {
+		for cell, want := range expected {
+			if got := read(cell); got != want {
+				return fmt.Errorf("cell %d = %d, want %d", cell, got, want)
+			}
+		}
+		return nil
+	}
+	return w, expected
+}

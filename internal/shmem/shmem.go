@@ -1,0 +1,77 @@
+// Package shmem provides the non-isolated shared memory used by the engines
+// that do not provide strong determinism: the pthreads baseline,
+// TotalOrder-Weak, and TotalOrder-Weak-Nondet. Accesses are atomic so that
+// the deliberate races these engines permit remain well-defined in Go.
+package shmem
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Mem is a flat array of shared 64-bit words.
+type Mem struct {
+	words []int64
+}
+
+// New allocates a zeroed shared memory of the given size in words.
+func New(words int64) *Mem {
+	return &Mem{words: make([]int64, words)}
+}
+
+// Words returns the memory size in words.
+func (m *Mem) Words() int64 { return int64(len(m.words)) }
+
+// Load atomically reads addr.
+func (m *Mem) Load(addr int64) int64 {
+	return atomic.LoadInt64(&m.words[addr])
+}
+
+// Store atomically writes addr.
+func (m *Mem) Store(addr, val int64) {
+	atomic.StoreInt64(&m.words[addr], val)
+}
+
+// Add atomically adds delta to addr and returns the new value.
+func (m *Mem) Add(addr, delta int64) int64 {
+	return atomic.AddInt64(&m.words[addr], delta)
+}
+
+// CAS atomically compares addr against old and swaps in new on a match.
+func (m *Mem) CAS(addr, old, new int64) bool {
+	return atomic.CompareAndSwapInt64(&m.words[addr], old, new)
+}
+
+// Swap atomically stores new at addr and returns the previous value.
+func (m *Mem) Swap(addr, new int64) int64 {
+	return atomic.SwapInt64(&m.words[addr], new)
+}
+
+// SetInitial writes initial data before the run starts.
+func (m *Mem) SetInitial(addr, val int64) {
+	m.words[addr] = val
+}
+
+// ReadCommitted reads the final value after the run completes.
+func (m *Mem) ReadCommitted(addr int64) int64 {
+	return atomic.LoadInt64(&m.words[addr])
+}
+
+// Hash returns an FNV-1a hash of the memory contents. Only meaningful when
+// no thread is running.
+func (m *Mem) Hash() uint64 {
+	f := fnv.New64a()
+	var buf [8]byte
+	for _, w := range m.words {
+		buf[0] = byte(w)
+		buf[1] = byte(w >> 8)
+		buf[2] = byte(w >> 16)
+		buf[3] = byte(w >> 24)
+		buf[4] = byte(w >> 32)
+		buf[5] = byte(w >> 40)
+		buf[6] = byte(w >> 48)
+		buf[7] = byte(w >> 56)
+		f.Write(buf[:])
+	}
+	return f.Sum64()
+}

@@ -1,0 +1,63 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLoadStore(t *testing.T) {
+	m := New(16)
+	m.Store(3, 42)
+	if got := m.Load(3); got != 42 {
+		t.Fatalf("Load(3) = %d, want 42", got)
+	}
+	if m.Words() != 16 {
+		t.Fatalf("Words = %d", m.Words())
+	}
+}
+
+func TestAddConcurrent(t *testing.T) {
+	m := New(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Load(0); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestCASAndSwap(t *testing.T) {
+	m := New(4)
+	if !m.CAS(0, 0, 5) {
+		t.Fatal("CAS from initial value failed")
+	}
+	if m.CAS(0, 0, 9) {
+		t.Fatal("CAS with stale expectation succeeded")
+	}
+	if old := m.Swap(0, 7); old != 5 {
+		t.Fatalf("Swap returned %d, want 5", old)
+	}
+	if got := m.Load(0); got != 7 {
+		t.Fatalf("after swap = %d, want 7", got)
+	}
+}
+
+func TestHashDistinguishesContents(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal memories hash differently")
+	}
+	a.SetInitial(10, 1)
+	if a.Hash() == b.Hash() {
+		t.Fatal("different memories hash equally")
+	}
+}

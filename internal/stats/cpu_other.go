@@ -1,0 +1,7 @@
+//go:build !unix
+
+package stats
+
+// ProcessCPUNs is unavailable on this platform; utilization reports fall
+// back to the blocked-time proxy.
+func ProcessCPUNs() int64 { return 0 }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package stats
+
+import "syscall"
+
+// ProcessCPUNs returns the process's cumulative user+system CPU time in
+// nanoseconds. Deltas across a run, divided by wall time × NumCPU, give the
+// machine-level CPU utilization that the paper's Figure 10 reports.
+func ProcessCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

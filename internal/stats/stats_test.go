@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLockCounterSummarize(t *testing.T) {
+	c := NewLockCounter(5)
+	for i := 0; i < 10; i++ {
+		c.Inc(0)
+	}
+	c.Inc(2)
+	c.Inc(2)
+	c.Inc(4)
+	s := c.Summarize()
+	if s.Variables != 3 {
+		t.Errorf("variables = %d, want 3 (unused locks excluded)", s.Variables)
+	}
+	if s.Acquisitions != 13 {
+		t.Errorf("acquisitions = %d, want 13", s.Acquisitions)
+	}
+	if s.Max != 10 {
+		t.Errorf("max = %d, want 10", s.Max)
+	}
+	if s.P50 != 2 {
+		t.Errorf("p50 = %d, want 2", s.P50)
+	}
+}
+
+func TestLockCounterNilSafe(t *testing.T) {
+	var c *LockCounter
+	c.Inc(3) // must not panic
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{50, 5}, {75, 8}, {95, 10}, {100, 10}, {1, 1}}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("P%.0f = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestSpecPercentages(t *testing.T) {
+	s := &Spec{}
+	s.TotalAcquires.Store(200)
+	s.SpecAcquires.Store(150)
+	s.Runs.Store(40)
+	s.Commits.Store(30)
+	s.CommittedCS.Store(90)
+	if got := s.SpecAcquirePct(); got != 75 {
+		t.Errorf("spec acquire pct = %v, want 75", got)
+	}
+	if got := s.SuccessPct(); got != 75 {
+		t.Errorf("success pct = %v, want 75", got)
+	}
+	if got := s.MeanRunCS(); got != 3 {
+		t.Errorf("mean run = %v, want 3", got)
+	}
+}
+
+func TestSpecZeroSafe(t *testing.T) {
+	s := &Spec{}
+	if s.SpecAcquirePct() != 0 || s.SuccessPct() != 0 {
+		t.Error("zero-state percentages must be 0")
+	}
+	if !math.IsNaN(s.MeanRunCS()) {
+		t.Error("mean run with no commits must be NaN")
+	}
+}
+
+func TestRevertSamplesConcurrent(t *testing.T) {
+	s := &Spec{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.AddRevertSample(int64(i*100+j), j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.RevertSamples()); got != 400 {
+		t.Fatalf("samples = %d, want 400", got)
+	}
+}
+
+func TestTimesUtilization(t *testing.T) {
+	tm := NewTimes(2)
+	tm.AddBlocked(0, 500)
+	tm.AddBlocked(1, 500)
+	// 2 threads × 1000ns wall = 2000ns capacity, 1000 blocked → 50 %.
+	if got := tm.UtilizationPct(1000, 2); got != 50 {
+		t.Fatalf("utilization = %v, want 50", got)
+	}
+	var nilT *Times
+	nilT.AddBlocked(0, 1) // nil-safe
+	if nilT.TotalBlockedNs() != 0 {
+		t.Fatal("nil Times must report 0")
+	}
+}
+
+func TestLinRegRecoversLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	slope, intercept := LinReg(xs, ys)
+	if math.Abs(slope-3) > 1e-9 || math.Abs(intercept-7) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (3, 7)", slope, intercept)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vs); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if sd := Stddev(vs); math.Abs(sd-2.138089935299395) > 1e-12 {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+// TestQuickPercentileBounds: percentiles always come from the data and are
+// monotone in p.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		prev := vals[0]
+		for _, p := range []float64{1, 25, 50, 75, 95, 100} {
+			got := Percentile(vals, p)
+			if got < vals[0] || got > vals[len(vals)-1] || got < prev {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLinRegResidualOrthogonality: least squares leaves residuals with
+// zero mean.
+func TestQuickLinRegResidualOrthogonality(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(i)
+			ys[i] = float64(v)
+		}
+		slope, intercept := LinReg(xs, ys)
+		var sum float64
+		for i := range xs {
+			sum += ys[i] - (slope*xs[i] + intercept)
+		}
+		return math.Abs(sum) < 1e-6*float64(len(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Sync(0, OpAcquire, 1, 2)
+	r.Commit(0, 1, 2)
+	if r.Signature() != 0 || r.Events() != 0 {
+		t.Fatal("nil recorder must report zero")
+	}
+}
+
+func TestSignatureOrderIndependentAcrossThreads(t *testing.T) {
+	// The same per-thread event sequences recorded in different
+	// wall-clock interleavings must produce identical signatures.
+	mk := func(order []int) uint64 {
+		r := New(2)
+		seq := [][3]int64{{int64(OpAcquire), 5, 10}, {int64(OpRelease), 5, 12}}
+		idx := []int{0, 0}
+		for _, tid := range order {
+			e := seq[idx[tid]]
+			r.Sync(tid, Op(e[0]), e[1], e[2])
+			idx[tid]++
+		}
+		return r.Signature()
+	}
+	a := mk([]int{0, 0, 1, 1})
+	b := mk([]int{0, 1, 0, 1})
+	c := mk([]int{1, 1, 0, 0})
+	if a != b || b != c {
+		t.Fatalf("signatures differ across interleavings: %x %x %x", a, b, c)
+	}
+}
+
+func TestSignatureSensitiveToPerThreadOrder(t *testing.T) {
+	r1 := New(1)
+	r1.Sync(0, OpAcquire, 1, 1)
+	r1.Sync(0, OpAcquire, 2, 2)
+	r2 := New(1)
+	r2.Sync(0, OpAcquire, 2, 2)
+	r2.Sync(0, OpAcquire, 1, 1)
+	if r1.Signature() == r2.Signature() {
+		t.Fatal("signature must depend on per-thread event order")
+	}
+}
+
+func TestSignatureSensitiveToThreadIdentity(t *testing.T) {
+	r1 := New(2)
+	r1.Sync(0, OpAcquire, 1, 1)
+	r2 := New(2)
+	r2.Sync(1, OpAcquire, 1, 1)
+	if r1.Signature() == r2.Signature() {
+		t.Fatal("signature must bind events to their thread")
+	}
+}
+
+func TestCommitChainOrderSensitive(t *testing.T) {
+	r1 := New(2)
+	r1.Commit(0, 1, 1)
+	r1.Commit(1, 2, 2)
+	r2 := New(2)
+	r2.Commit(1, 2, 2)
+	r2.Commit(0, 1, 1)
+	if r1.Signature() == r2.Signature() {
+		t.Fatal("commit chain must be order-sensitive (commits are totally ordered)")
+	}
+}
+
+func TestEventsCount(t *testing.T) {
+	r := New(3)
+	var wg sync.WaitGroup
+	for tid := 0; tid < 3; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Sync(tid, OpAcquire, int64(i), int64(i))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := r.Events(); got != 300 {
+		t.Fatalf("events = %d, want 300", got)
+	}
+}
+
+// TestQuickSignatureDeterministic: identical event streams always produce
+// identical signatures.
+func TestQuickSignatureDeterministic(t *testing.T) {
+	f := func(events []uint32) bool {
+		mk := func() uint64 {
+			r := New(4)
+			for _, e := range events {
+				r.Sync(int(e%4), Op(e%10+1), int64(e>>8), int64(e>>16))
+			}
+			return r.Signature()
+		}
+		return mk() == mk()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoggingAndDiff: logged runs diff correctly — identical runs yield no
+// divergences, and a mutated stream pinpoints the first difference.
+func TestLoggingAndDiff(t *testing.T) {
+	mk := func(alter bool) *Recorder {
+		r := NewLogging(2)
+		r.Sync(0, OpAcquire, 1, 10)
+		r.Sync(0, OpRelease, 1, 12)
+		obj := int64(2)
+		if alter {
+			obj = 3
+		}
+		r.Sync(1, OpAcquire, obj, 11)
+		return r
+	}
+	if divs := DiffLogs(mk(false), mk(false)); len(divs) != 0 {
+		t.Fatalf("identical runs reported divergent: %v", divs)
+	}
+	divs := DiffLogs(mk(false), mk(true))
+	if len(divs) != 1 || divs[0].Tid != 1 || divs[0].Index != 0 {
+		t.Fatalf("unexpected divergences: %v", divs)
+	}
+	if divs[0].A.Obj != 2 || divs[0].B.Obj != 3 {
+		t.Fatalf("divergence events wrong: %v", divs[0])
+	}
+}
+
+// TestDiffLengthMismatch: a truncated stream diverges at the end marker.
+func TestDiffLengthMismatch(t *testing.T) {
+	a := NewLogging(1)
+	a.Sync(0, OpAcquire, 1, 1)
+	a.Sync(0, OpRelease, 1, 2)
+	b := NewLogging(1)
+	b.Sync(0, OpAcquire, 1, 1)
+	divs := DiffLogs(a, b)
+	if len(divs) != 1 || divs[0].Index != 1 || divs[0].B != nil || divs[0].A == nil {
+		t.Fatalf("unexpected divergences: %+v", divs)
+	}
+	if divs[0].String() == "" {
+		t.Fatal("divergence must render")
+	}
+}

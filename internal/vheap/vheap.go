@@ -1,0 +1,487 @@
+// Package vheap implements the versioned shared memory substrate that gives
+// the strong-determinism engines their thread isolation. It is a user-space
+// reimplementation of CONVERSION (Merrifield & Eriksson, EuroSys'13), the
+// multi-version memory system LazyDet and Consequence are built on:
+//
+//   - Shared memory is an array of 64-bit words divided into fixed-size
+//     pages.
+//   - Each page slot holds a central version list: an immutable chain of
+//     page versions, newest first, each tagged with the commit sequence
+//     number that produced it.
+//   - A thread reads and writes through a View. Reads resolve against the
+//     newest page version no newer than the view's base sequence; the first
+//     write to a page makes a private working copy plus a "twin" (a snapshot
+//     of the base contents used for diffing).
+//   - Commit publishes, for every dirty page, the words that differ from the
+//     twin, merged word-by-word onto the current head version. Commits are
+//     serialized (in this repository, by the deterministic turn), so the
+//     merge order — and therefore the heap contents — is deterministic.
+//   - Update re-bases a view on the newest committed state; Revert discards
+//     all private modifications. Both are O(dirty set).
+//
+// Version chains are trimmed below the oldest base sequence still referenced
+// by a live view. This is the space advantage the paper ascribes to DDRF
+// (§4.2): the heap holds one version per page plus short tails for in-flight
+// views (t views → at most t extra bases), rather than the l+t versions a
+// DLRC-style system must retain. WithFullVersionChains disables trimming so
+// the DLRC accounting experiment can measure the difference.
+//
+// Word-level twin diffing gives the same write-isolation semantics as the
+// paper's system, including its documented limitation: a "silent store" (a
+// store that writes the value already present) produces no diff and is lost
+// if another thread commits a different value for the same word.
+package vheap
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageWords is the default page size in 64-bit words (2 KiB pages).
+const DefaultPageWords = 256
+
+// page is one immutable version of one page, linked into that slot's
+// version list. Only the prev pointer mutates (for trimming), hence atomic.
+type page struct {
+	seq   int64 // commit sequence that created this version
+	prev  atomic.Pointer[page]
+	words []int64
+}
+
+// Heap is the shared versioned memory.
+type Heap struct {
+	mu        sync.Mutex // serializes commits, trims and view registration
+	pageWords int
+	pageShift uint
+	pageMask  int64
+	npages    int
+	seq       atomic.Int64 // newest committed sequence
+	slots     []atomic.Pointer[page]
+
+	views map[*View]struct{} // live views, for trim floor computation
+
+	commits      atomic.Int64 // total commits (stats)
+	pagesWritten atomic.Int64 // total page versions published (stats)
+	wordsDiffed  atomic.Int64 // total words found dirty across commits (stats)
+
+	trim bool // trim chains below the oldest live base (DDRF coalescing)
+}
+
+// Option configures a Heap.
+type Option func(*heapConfig)
+
+type heapConfig struct {
+	pageWords  int
+	keepChains bool
+}
+
+// WithPageWords sets the page size in words; it must be a power of two.
+func WithPageWords(n int) Option { return func(c *heapConfig) { c.pageWords = n } }
+
+// WithFullVersionChains retains every page version rather than trimming
+// chains to the versions still reachable by a live view. Used by the
+// DLRC-vs-DDRF version accounting experiment.
+func WithFullVersionChains() Option { return func(c *heapConfig) { c.keepChains = true } }
+
+// New creates a heap of the given size in words. The initial contents are
+// all zero at sequence 0.
+func New(words int64, opts ...Option) *Heap {
+	cfg := heapConfig{pageWords: DefaultPageWords}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.pageWords <= 0 || cfg.pageWords&(cfg.pageWords-1) != 0 {
+		panic(fmt.Sprintf("vheap: page size %d is not a positive power of two", cfg.pageWords))
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.pageWords {
+		shift++
+	}
+	np := int((words + int64(cfg.pageWords) - 1) >> shift)
+	if np == 0 {
+		np = 1
+	}
+	h := &Heap{
+		pageWords: cfg.pageWords,
+		pageShift: shift,
+		pageMask:  int64(cfg.pageWords - 1),
+		npages:    np,
+		slots:     make([]atomic.Pointer[page], np),
+		views:     make(map[*View]struct{}),
+		trim:      !cfg.keepChains,
+	}
+	zero := make([]int64, cfg.pageWords)
+	for i := range h.slots {
+		h.slots[i].Store(&page{seq: 0, words: zero}) // shared zero page; copied on first write
+	}
+	return h
+}
+
+// Words returns the heap size in words.
+func (h *Heap) Words() int64 { return int64(h.npages) * int64(h.pageWords) }
+
+// PageWords returns the page size in words.
+func (h *Heap) PageWords() int { return h.pageWords }
+
+// Seq returns the newest committed sequence number.
+func (h *Heap) Seq() int64 { return h.seq.Load() }
+
+// SetInitial writes directly into the committed state. It must only be used
+// before any views exist (to load a workload's initial data).
+func (h *Heap) SetInitial(addr, val int64) {
+	pi := addr >> h.pageShift
+	off := addr & h.pageMask
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	head := h.slots[pi].Load()
+	w := make([]int64, h.pageWords)
+	copy(w, head.words)
+	w[off] = val
+	np := &page{seq: head.seq, words: w}
+	np.prev.Store(head.prev.Load())
+	h.slots[pi].Store(np)
+}
+
+// ReadCommitted returns the committed value of addr at the newest version.
+// It is used by validation and by the harness after a run completes.
+func (h *Heap) ReadCommitted(addr int64) int64 {
+	p := h.slots[addr>>h.pageShift].Load()
+	return p.words[addr&h.pageMask]
+}
+
+// pageAt resolves the newest page version with seq <= base for page index pi.
+func (h *Heap) pageAt(pi int, base int64) *page {
+	p := h.slots[pi].Load()
+	for p.seq > base {
+		prev := p.prev.Load()
+		if prev == nil {
+			panic("vheap: version older than base was trimmed while still referenced")
+		}
+		p = prev
+	}
+	return p
+}
+
+// trimFloorLocked returns the oldest base sequence referenced by any live
+// view. Caller holds h.mu.
+func (h *Heap) trimFloorLocked() int64 {
+	floor := int64(math.MaxInt64)
+	for v := range h.views {
+		if b := v.base.Load(); b < floor {
+			floor = b
+		}
+	}
+	return floor
+}
+
+// Hash returns an FNV-1a hash of the newest committed heap contents. Two
+// deterministic runs of the same program must produce equal hashes.
+func (h *Heap) Hash() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := fnv.New64a()
+	var buf [8]byte
+	for i := range h.slots {
+		p := h.slots[i].Load()
+		for _, w := range p.words {
+			buf[0] = byte(w)
+			buf[1] = byte(w >> 8)
+			buf[2] = byte(w >> 16)
+			buf[3] = byte(w >> 24)
+			buf[4] = byte(w >> 32)
+			buf[5] = byte(w >> 40)
+			buf[6] = byte(w >> 48)
+			buf[7] = byte(w >> 56)
+			f.Write(buf[:])
+		}
+	}
+	return f.Sum64()
+}
+
+// Stats returns cumulative commit statistics: commits, page versions
+// published, and words diffed.
+func (h *Heap) Stats() (commits, pages, words int64) {
+	return h.commits.Load(), h.pagesWritten.Load(), h.wordsDiffed.Load()
+}
+
+// LiveVersions counts page versions currently reachable from the version
+// lists. With full chains retained this measures the cost that DLRC-style
+// systems pay (paper §4.2).
+func (h *Heap) LiveVersions() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for i := range h.slots {
+		for p := h.slots[i].Load(); p != nil; p = p.prev.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// dirtyPage is a view's private working copy of one page.
+type dirtyPage struct {
+	words []int64
+	twin  []int64 // snapshot of the base contents at first write
+}
+
+// View is one thread's isolated window onto the heap.
+type View struct {
+	h     *Heap
+	base  atomic.Int64 // committed sequence the view reads at
+	dirty map[int]*dirtyPage
+	// clean caches pages already resolved at the current base, so reads
+	// against a stale base (a speculating thread that has not re-based
+	// for a while) do not re-walk version chains. Page versions are
+	// immutable and trimming never cuts above a live base, so a cached
+	// resolution stays valid until the base moves.
+	clean map[int]*page
+}
+
+// NewView creates a view based on the newest committed state.
+func (h *Heap) NewView() *View {
+	v := &View{h: h, dirty: make(map[int]*dirtyPage), clean: make(map[int]*page)}
+	h.mu.Lock()
+	v.base.Store(h.seq.Load())
+	h.views[v] = struct{}{}
+	h.mu.Unlock()
+	return v
+}
+
+// Close unregisters the view so its base no longer pins old versions.
+func (v *View) Close() {
+	v.h.mu.Lock()
+	delete(v.h.views, v)
+	v.h.mu.Unlock()
+}
+
+// BaseSeq returns the committed sequence the view is based on.
+func (v *View) BaseSeq() int64 { return v.base.Load() }
+
+// DirtyPages returns the number of privately modified pages.
+func (v *View) DirtyPages() int { return len(v.dirty) }
+
+// DirtyWords returns the number of words that differ from the twins — the
+// "change set size" reported in the paper's Figure 12.
+func (v *View) DirtyWords() int {
+	n := 0
+	for _, d := range v.dirty {
+		for i, w := range d.words {
+			if w != d.twin[i] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// resolve returns the committed page for pi at the view's base, caching the
+// resolution.
+func (v *View) resolve(pi int) *page {
+	if p, ok := v.clean[pi]; ok {
+		return p
+	}
+	p := v.h.pageAt(pi, v.base.Load())
+	v.clean[pi] = p
+	return p
+}
+
+// Load reads addr through the view: private copy if the page is dirty,
+// otherwise the newest committed version no newer than the base.
+func (v *View) Load(addr int64) int64 {
+	pi := int(addr >> v.h.pageShift)
+	if d, ok := v.dirty[pi]; ok {
+		return d.words[addr&v.h.pageMask]
+	}
+	return v.resolve(pi).words[addr&v.h.pageMask]
+}
+
+// Store writes addr privately, creating a working copy and twin on the first
+// write to a page.
+func (v *View) Store(addr, val int64) {
+	pi := int(addr >> v.h.pageShift)
+	d, ok := v.dirty[pi]
+	if !ok {
+		base := v.resolve(pi)
+		w := make([]int64, v.h.pageWords)
+		copy(w, base.words)
+		t := make([]int64, v.h.pageWords)
+		copy(t, base.words)
+		d = &dirtyPage{words: w, twin: t}
+		v.dirty[pi] = d
+	}
+	d.words[addr&v.h.pageMask] = val
+}
+
+// StoreDirty writes addr like Store, but guarantees the word is treated as
+// modified at commit even when the stored value equals the page's base
+// contents. Needed when the value was computed against state newer than the
+// view's base (irrevocable atomics), where a "silent" store must still win
+// the merge.
+func (v *View) StoreDirty(addr, val int64) {
+	v.Store(addr, val)
+	pi := int(addr >> v.h.pageShift)
+	off := addr & v.h.pageMask
+	if d := v.dirty[pi]; d.twin[off] == val {
+		d.twin[off] = ^val
+	}
+}
+
+// Commit publishes the view's modifications: for every dirty page, the words
+// that differ from the twin are merged onto the current head version, and a
+// new page version is linked in. The view is re-based on the new committed
+// state and its dirty set cleared. Returns the new sequence number and the
+// number of words merged.
+//
+// Callers must serialize commits deterministically (all engines here commit
+// while holding the turn); the heap mutex only protects the data structures.
+func (v *View) Commit() (seq int64, changed int) {
+	h := v.h
+	h.mu.Lock()
+	newSeq := h.seq.Load() + 1
+	var floor int64 = -1
+	if h.trim {
+		floor = h.trimFloorLocked()
+	}
+	for pi, d := range v.dirty {
+		head := h.slots[pi].Load()
+		var merged []int64
+		n := 0
+		for i, w := range d.words {
+			if w != d.twin[i] {
+				if merged == nil {
+					merged = make([]int64, h.pageWords)
+					copy(merged, head.words)
+				}
+				merged[i] = w
+				n++
+			}
+		}
+		if merged == nil {
+			continue // page dirtied but all stores were silent
+		}
+		np := &page{seq: newSeq, words: merged}
+		np.prev.Store(head)
+		h.slots[pi].Store(np)
+		h.pagesWritten.Add(1)
+		h.wordsDiffed.Add(int64(n))
+		changed += n
+		if h.trim {
+			trimChain(np, floor)
+		}
+	}
+	h.seq.Store(newSeq)
+	h.commits.Add(1)
+	h.mu.Unlock()
+	v.base.Store(newSeq)
+	clear(v.dirty)
+	clear(v.clean)
+	return newSeq, changed
+}
+
+// trimChain cuts the version chain below the newest version whose seq is
+// <= floor: no live view can need anything older. Readers concurrently
+// walking the chain hold bases >= floor, so they never traverse past the new
+// terminal node.
+func trimChain(head *page, floor int64) {
+	p := head
+	for p.seq > floor {
+		prev := p.prev.Load()
+		if prev == nil {
+			return
+		}
+		p = prev
+	}
+	// p is the newest version <= floor; it becomes the terminal node.
+	p.prev.Store(nil)
+}
+
+// Update re-bases the view on the newest committed state. The dirty set must
+// be empty (engines always commit or revert before updating).
+func (v *View) Update() {
+	if len(v.dirty) != 0 {
+		panic("vheap: Update with non-empty dirty set")
+	}
+	v.base.Store(v.h.seq.Load())
+	clear(v.clean)
+}
+
+// UpdateTo re-bases the view on a specific committed sequence, used when a
+// woken thread must adopt the exact state its waker published (barrier
+// releases, thread spawns): re-basing on "newest" at wake time would depend
+// on wall-clock timing and break determinism.
+func (v *View) UpdateTo(seq int64) {
+	if len(v.dirty) != 0 {
+		panic("vheap: UpdateTo with non-empty dirty set")
+	}
+	if cur := v.base.Load(); seq < cur {
+		panic(fmt.Sprintf("vheap: UpdateTo(%d) would move the base backwards from %d", seq, cur))
+	}
+	v.base.Store(seq)
+	clear(v.clean)
+}
+
+// Revert discards all private modifications and re-bases the view on the
+// newest committed state, as LazyDet does when a speculation run fails.
+// It returns the number of discarded (non-silent) dirty words.
+func (v *View) Revert() (discarded int) {
+	discarded = v.DirtyWords()
+	clear(v.dirty)
+	v.base.Store(v.h.seq.Load())
+	clear(v.clean)
+	return discarded
+}
+
+// DirtySnapshot is a deep copy of a view's private modifications, taken when
+// a speculation run begins so that a revert can restore the thread's
+// pre-speculation writes (which were made before the run and must survive
+// its failure).
+type DirtySnapshot struct {
+	pages map[int]*dirtyPage
+	words int
+}
+
+// Words returns the number of non-silent dirty words in the snapshot.
+func (s *DirtySnapshot) Words() int { return s.words }
+
+// SnapshotDirty deep-copies the view's dirty set.
+func (v *View) SnapshotDirty() *DirtySnapshot {
+	s := &DirtySnapshot{pages: make(map[int]*dirtyPage, len(v.dirty))}
+	for pi, d := range v.dirty {
+		w := make([]int64, len(d.words))
+		copy(w, d.words)
+		tw := make([]int64, len(d.twin))
+		copy(tw, d.twin)
+		s.pages[pi] = &dirtyPage{words: w, twin: tw}
+		for i := range w {
+			if w[i] != tw[i] {
+				s.words++
+			}
+		}
+	}
+	return s
+}
+
+// RevertTo discards the run's modifications and reinstates the dirty set
+// captured at the run's begin. The view keeps its base (it never advanced
+// during the run), so after RevertTo the view is exactly as it was when the
+// snapshot was taken. Returns the number of discarded speculative words
+// (the run's change set, net of the preserved pre-run writes).
+func (v *View) RevertTo(s *DirtySnapshot) (discarded int) {
+	discarded = v.DirtyWords() - s.words
+	if discarded < 0 {
+		discarded = 0
+	}
+	v.dirty = make(map[int]*dirtyPage, len(s.pages))
+	for pi, d := range s.pages {
+		w := make([]int64, len(d.words))
+		copy(w, d.words)
+		tw := make([]int64, len(d.twin))
+		copy(tw, d.twin)
+		v.dirty[pi] = &dirtyPage{words: w, twin: tw}
+	}
+	return discarded
+}

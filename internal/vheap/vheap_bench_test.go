@@ -1,0 +1,71 @@
+package vheap
+
+import "testing"
+
+func BenchmarkViewLoadClean(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Load(int64(i) & 0xffff)
+	}
+}
+
+func BenchmarkViewLoadDirty(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	for a := int64(0); a < 1<<16; a += 64 {
+		v.Store(a, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Load(int64(i) & 0xffff)
+	}
+}
+
+func BenchmarkViewStoreHot(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Store(int64(i)&0xffff, int64(i))
+	}
+}
+
+func BenchmarkCommitSmall(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Store(int64(i)&0xffff, int64(i)|1)
+		v.Commit()
+	}
+}
+
+func BenchmarkCommitWide(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := int64(0); p < 32; p++ {
+			v.Store(p*256+int64(i)&0xff, int64(i)|1)
+		}
+		v.Commit()
+	}
+}
+
+func BenchmarkSnapshotAndRevert(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Store(int64(i)&0xffff, int64(i)|1)
+		snap := v.SnapshotDirty()
+		v.Store(int64(i+7)&0xffff, int64(i))
+		v.RevertTo(snap)
+		v.Revert()
+	}
+}

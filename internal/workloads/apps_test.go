@@ -1,0 +1,114 @@
+package workloads
+
+import (
+	"testing"
+
+	"lazydet/internal/harness"
+)
+
+// TestAllWorkloadsAllEngines runs every Table 1 benchmark at scale 1 under
+// every engine, exercising each workload's Validate check.
+func TestAllWorkloadsAllEngines(t *testing.T) {
+	for _, g := range All() {
+		w := g.New(1)
+		for _, eng := range harness.AllEngines {
+			t.Run(g.Name+"/"+eng.String(), func(t *testing.T) {
+				if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: 4}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAllWorkloadsDeterministic runs every benchmark twice under
+// Consequence and LazyDet and requires identical heaps and sync traces.
+func TestAllWorkloadsDeterministic(t *testing.T) {
+	for _, g := range All() {
+		w := g.New(1)
+		for _, eng := range []harness.EngineKind{harness.Consequence, harness.LazyDet} {
+			t.Run(g.Name+"/"+eng.String(), func(t *testing.T) {
+				opt := harness.Options{Engine: eng, Threads: 4, Trace: true}
+				r1, err := harness.Run(w, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := harness.Run(w, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r1.HeapHash != r2.HeapHash {
+					t.Errorf("heap hashes differ: %x vs %x", r1.HeapHash, r2.HeapHash)
+				}
+				if r1.TraceSig != r2.TraceSig {
+					t.Errorf("trace signatures differ: %x vs %x", r1.TraceSig, r2.TraceSig)
+				}
+			})
+		}
+	}
+}
+
+// TestFerretUpgradesToIrrevocable: ferret's mmap calls inside critical
+// sections must drive the irrevocable-upgrade path (paper §3.5).
+func TestFerretUpgradesToIrrevocable(t *testing.T) {
+	w := Ferret(1)
+	r, err := harness.Run(w, harness.Options{Engine: harness.LazyDet, Threads: 4, CollectSpec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spec.Upgrades.Load() == 0 {
+		t.Error("ferret performed no irrevocable upgrades")
+	}
+	if pct := r.Spec.SuccessPct(); pct < 90 {
+		t.Errorf("ferret spec success = %.1f%%, want >= 90%% (paper: 99.8%%)", pct)
+	}
+	t.Logf("ferret: acq %.1f%% success %.1f%% mean run %.1f CS, %d upgrades",
+		r.Spec.SpecAcquirePct(), r.Spec.SuccessPct(), r.Spec.MeanRunCS(), r.Spec.Upgrades.Load())
+}
+
+// TestTable1Shapes spot-checks that the reimplementations reproduce the
+// qualitative lock statistics of Table 1: which programs have many lock
+// variables, which have a single dominant lock, and which barely lock.
+func TestTable1Shapes(t *testing.T) {
+	summarize := func(name string) (vars int, acqs int64, p50, max int64) {
+		g := ByName(name)
+		if g == nil {
+			t.Fatalf("no workload %q", name)
+		}
+		r, err := harness.Run(g.New(1), harness.Options{Engine: harness.Pthreads, Threads: 8, CountLocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.Counter.Summarize()
+		t.Logf("%-16s vars=%5d acqs=%7d p50=%5d max=%6d", name, s.Variables, s.Acquisitions, s.P50, s.Max)
+		return s.Variables, s.Acquisitions, s.P50, s.Max
+	}
+
+	if vars, _, p50, _ := summarize("barnes"); vars < 1000 || p50 > 3 {
+		t.Errorf("barnes: want >1000 lock variables with median ~1, got vars=%d p50=%d", vars, p50)
+	}
+	if vars, acqs, _, max := summarize("ocean_cp"); vars > 20 || max < acqs*7/10 {
+		t.Errorf("ocean_cp: want few locks with one dominant, got vars=%d max=%d/%d", vars, max, acqs)
+	}
+	// The paper's ferret touches 1004 lock variables over 532k
+	// acquisitions; at this repository's ~100× smaller acquisition count
+	// the hash-table coverage is proportionally sparser.
+	if vars, _, _, max := summarize("ferret"); vars < 300 || max < 1000 {
+		t.Errorf("ferret: want hundreds of locks with one extremely hot, got vars=%d max=%d", vars, max)
+	}
+	if vars, _, p50, _ := summarize("water_nsquared"); vars < 500 || p50 > 20 {
+		t.Errorf("water_nsquared: want many uniform locks, got vars=%d p50=%d", vars, p50)
+	}
+	if _, acqs, _, max := summarize("reverse_index"); max < acqs*9/10 {
+		t.Errorf("reverse_index: want one lock dominating >90%%, got max=%d/%d", max, acqs)
+	}
+	if vars, _, _, _ := summarize("dedup"); vars < 500 {
+		t.Errorf("dedup: want >500 lock variables, got %d", vars)
+	}
+	if vars, acqs, _, _ := summarize("blackscholes"); vars > 1 || acqs > 2 {
+		t.Errorf("blackscholes: want 1 lock 2 acquisitions, got vars=%d acqs=%d", vars, acqs)
+	}
+	if vars, _, _, _ := summarize("lu_cb"); vars != 0 {
+		t.Errorf("lu_cb: want 0 locks, got %d", vars)
+	}
+}

@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"math"
+
+	"lazydet/internal/dvm"
+)
+
+// splitRange partitions [0, n) into contiguous per-thread slices.
+func splitRange(n int64, threads, tid int) (lo, hi int64) {
+	per := n / int64(threads)
+	rem := n % int64(threads)
+	lo = int64(tid)*per + min64(int64(tid), rem)
+	hi = lo + per
+	if int64(tid) < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// itof reinterprets a heap word as a float64.
+func itof(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+
+// ftoi packs a float64 into a heap word.
+func ftoi(v float64) int64 { return int64(math.Float64bits(v)) }
+
+// sameProgram replicates one program across all threads.
+func sameProgram(p *dvm.Program, threads int) []*dvm.Program {
+	progs := make([]*dvm.Program, threads)
+	for i := range progs {
+		progs[i] = p
+	}
+	return progs
+}
+
+// zipfPick maps a uniform draw u in [0, 1<<16) onto [0, n) with a heavily
+// skewed (approximately zipfian) distribution: low indices are hot.
+func zipfPick(u, n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	// Square the normalized draw twice: u^4 concentrates mass near 0.
+	x := float64(u) / 65536.0
+	x = x * x
+	x = x * x
+	i := int64(x * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// lcg advances a simple deterministic generator for host-side data
+// initialization (workload inputs must be identical across engines).
+func lcg(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// This file holds workloads outside the paper's Table 1 set: the ad-hoc
+// synchronization demonstration of Appendix A (Table 3), and an
+// atomics-based benchmark for the §7 extension.
+
+// AdHocFlag reproduces the incompatibility documented in the paper's
+// Appendix A: thread 0 sets a shared flag with a plain store ("ad-hoc
+// synchronization"); the other threads poll it with plain loads, up to a
+// bound. Because strong-determinism engines make writes visible only at
+// synchronization operations, the polling threads never see the flag: they
+// exhaust their budget and record a failure — deterministically, every run,
+// exactly as the paper describes ("the resulting deadlocks or program
+// crashes are repeatable"). Under pthreads the flag is usually, but not
+// reliably, observed.
+//
+// The outcome cell at address 1+tid holds 1 if thread tid saw the flag,
+// or 2 if it gave up.
+func AdHocFlag(pollBudget int64) *harness.Workload {
+	const flagAddr = 0
+	return &harness.Workload{
+		Name:      "adhoc_flag",
+		HeapWords: 64,
+		Locks:     1,
+		Programs: func(threads int) []*dvm.Program {
+			progs := make([]*dvm.Program, threads)
+			for tid := 0; tid < threads; tid++ {
+				b := dvm.NewBuilder(fmt.Sprintf("adhoc-%d", tid))
+				if tid == 0 {
+					// Setter: plain store, no synchronization.
+					b.Store(dvm.Const(flagAddr), dvm.Const(1))
+				} else {
+					f, tries := b.Reg(), b.Reg()
+					b.While(func(t *dvm.Thread) bool {
+						return t.R(f) == 0 && t.R(tries) < pollBudget
+					}, func() {
+						b.Load(f, dvm.Const(flagAddr))
+						b.Do(func(t *dvm.Thread) { t.AddR(tries, 1) })
+					})
+					out := int64(1 + tid)
+					b.IfElse(func(t *dvm.Thread) bool { return t.R(f) != 0 },
+						func() { b.Store(dvm.Const(out), dvm.Const(1)) }, // saw it
+						func() { b.Store(dvm.Const(out), dvm.Const(2)) }, // gave up
+					)
+				}
+				progs[tid] = b.Build()
+			}
+			return progs
+		},
+	}
+}
+
+// AtomicHistogram exercises the §7 speculative-atomics extension: threads
+// atomically increment histogram bins chosen deterministically, inside
+// lock-protected critical sections on per-thread locks, so the atomics are
+// the only cross-thread communication.
+func AtomicHistogram(scale int) *harness.Workload {
+	bins := int64(256)
+	ops := int64(400 * scale)
+	var l layout
+	hist := l.alloc(bins)
+
+	var lk lockAlloc
+	myLock := int64(lk.alloc(64))
+
+	w := &harness.Workload{Name: "atomic_histogram", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("athist-%d", tid))
+			i, bin, r := b.Reg(), b.Reg(), b.Reg()
+			lock := dvm.Const(myLock + int64(tid%64))
+			b.ForN(i, ops, func() {
+				b.Lock(lock)
+				b.DoCost(4, func(t *dvm.Thread) { t.SetR(bin, t.RandN(bins)) })
+				b.AtomicAdd(r, func(t *dvm.Thread) int64 { return hist + t.R(bin) }, dvm.Const(1))
+				b.Unlock(lock)
+			})
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		var total int64
+		for i := int64(0); i < bins; i++ {
+			total += read(hist + i)
+		}
+		if want := ops * int64(threads); total != want {
+			return fmt.Errorf("histogram total = %d, want %d (atomic increments lost)", total, want)
+		}
+		return nil
+	}
+	return w
+}

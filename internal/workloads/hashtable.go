@@ -1,0 +1,281 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// This file implements the Synchrobench lock-based hash table of the
+// paper's §5.1 (Figures 1 and 7): a bucketed table whose chains are
+// synchronized either with hand-over-hand locking ("ht") or with a lazy
+// list-based set in the style of Heller et al. ("htLazy").
+//
+// Storage: bucket b occupies MaxChain slots; a slot holds 0 (empty),
+// 1 (removed/tombstone), or key+2. Every slot has its own lock.
+//
+//   - ht: every operation traverses its chain hand-over-hand — acquire the
+//     next slot's lock before releasing the current one — so acquisitions
+//     per operation grow with the load factor, exactly the behaviour the
+//     paper's load-factor sweep exercises.
+//   - htLazy: traversal is lock-free; only updates lock the single slot
+//     they modify and re-validate it, so update percentage controls the
+//     acquisition rate.
+
+// HTVariant selects the chaining synchronization.
+type HTVariant string
+
+const (
+	// HT is hand-over-hand chain locking.
+	HT HTVariant = "ht"
+	// HTLazy is the lazy list-based set.
+	HTLazy HTVariant = "htlazy"
+)
+
+// HTConfig parameterizes the microbenchmark, mirroring Figure 7's axes.
+type HTConfig struct {
+	Variant HTVariant
+	// MaxObjects is the key-space size ("max objects inserted").
+	MaxObjects int
+	// LoadFactor is the target chain length; the bucket count is
+	// MaxObjects / LoadFactor.
+	LoadFactor int
+	// UpdatePct is the percentage of operations that mutate the table.
+	UpdatePct int
+	// OpsPerThread is the operation count per thread.
+	OpsPerThread int
+	// Prefill inserts MaxObjects/2 keys before timing when true.
+	Prefill bool
+}
+
+// Buckets returns the bucket count implied by the configuration.
+func (c HTConfig) Buckets() int {
+	b := c.MaxObjects / c.LoadFactor
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// DefaultHTConfig is the baseline point of the Figure 7 sweeps.
+func DefaultHTConfig(v HTVariant) HTConfig {
+	return HTConfig{
+		Variant:      v,
+		MaxObjects:   2048,
+		LoadFactor:   2,
+		UpdatePct:    50,
+		OpsPerThread: 200,
+		Prefill:      true,
+	}
+}
+
+// hashKey spreads keys across buckets.
+func hashKey(key, buckets int64) int64 {
+	return (key * 2654435761) % buckets
+}
+
+// NewHashTable builds the microbenchmark workload.
+func NewHashTable(cfg HTConfig) *harness.Workload {
+	buckets := int64(cfg.Buckets())
+	chain := int64(cfg.LoadFactor) * 2 // slack so chains don't saturate instantly
+	if chain < 2 {
+		chain = 2
+	}
+	slots := buckets * chain
+
+	w := &harness.Workload{
+		Name:      string(cfg.Variant),
+		HeapWords: slots,
+		Locks:     int(slots),
+	}
+
+	w.Init = func(set func(addr, val int64), threads int) {
+		if !cfg.Prefill {
+			return
+		}
+		// Deterministic prefill of half the key space: key k goes to
+		// the next free slot of its chain (chains have 2× slack).
+		occupied := make(map[int64]int64)
+		for k := int64(0); k < int64(cfg.MaxObjects); k += 2 {
+			b := hashKey(k, buckets)
+			used := occupied[b]
+			if used < chain {
+				set(b*chain+used, k+2)
+				occupied[b] = used + 1
+			}
+		}
+	}
+
+	w.Programs = func(threads int) []*dvm.Program {
+		p := buildHTProgram(cfg, buckets, chain)
+		progs := make([]*dvm.Program, threads)
+		for i := range progs {
+			progs[i] = p
+		}
+		return progs
+	}
+
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// Structural invariant: every occupied slot holds a key that
+		// hashes to its bucket.
+		for b := int64(0); b < buckets; b++ {
+			for s := int64(0); s < chain; s++ {
+				v := read(b*chain + s)
+				if v <= 1 {
+					continue
+				}
+				key := v - 2
+				if hashKey(key, buckets) != b {
+					return fmt.Errorf("slot (%d,%d) holds key %d of bucket %d", b, s, key, hashKey(key, buckets))
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// buildHTProgram emits one thread's operation loop.
+func buildHTProgram(cfg HTConfig, buckets, chain int64) *dvm.Program {
+	b := dvm.NewBuilder(string(cfg.Variant))
+	i := b.Reg()    // operation counter
+	key := b.Reg()  // key being operated on
+	mode := b.Reg() // 0 lookup, 1 insert, 2 remove
+	base := b.Reg() // first slot address of the bucket
+	s := b.Reg()    // current slot offset
+	v := b.Reg()    // loaded slot value
+	act := b.Reg()  // slot chosen for the action, -1 none
+
+	slotAddr := func(t *dvm.Thread) int64 { return t.R(base) + t.R(s) }
+	lockOfSlot := slotAddr // lock l guards slot l
+
+	b.ForN(i, int64(cfg.OpsPerThread), func() {
+		// Draw the operation deterministically from the thread PRNG.
+		b.Do(func(t *dvm.Thread) {
+			t.SetR(key, t.RandN(int64(cfg.MaxObjects)))
+			r := t.RandN(200)
+			switch {
+			case r%2 == 0 && r/2 < int64(cfg.UpdatePct): // insert
+				t.SetR(mode, 1)
+			case r%2 == 1 && r/2 < int64(cfg.UpdatePct): // remove
+				t.SetR(mode, 2)
+			default:
+				t.SetR(mode, 0)
+			}
+			t.SetR(base, hashKey(t.R(key), buckets)*chain)
+			t.SetR(s, 0)
+			t.SetR(act, -1)
+		})
+		if cfg.Variant == HT {
+			emitHandOverHand(b, chain, key, mode, base, s, v, act, slotAddr, lockOfSlot)
+		} else {
+			emitLazySet(b, chain, key, mode, base, s, v, act, slotAddr, lockOfSlot)
+		}
+	})
+	return b.Build()
+}
+
+// emitHandOverHand walks the chain holding one slot lock at a time,
+// acquiring the successor before releasing the predecessor, then performs
+// the operation on the final locked slot.
+func emitHandOverHand(b *dvm.Builder, chain int64, key, mode, base, s, v, act dvm.Reg,
+	slotAddr, lockOfSlot func(*dvm.Thread) int64) {
+
+	next := func(t *dvm.Thread) int64 { return t.R(base) + t.R(s) + 1 }
+	stop := b.Reg()
+
+	b.Lock(lockOfSlot)
+	b.Set(stop, 0)
+	b.While(func(t *dvm.Thread) bool { return t.R(stop) == 0 }, func() {
+		b.Load(v, slotAddr)
+		b.Do(func(t *dvm.Thread) {
+			switch {
+			case t.R(v) == t.R(key)+2: // found
+				t.SetR(act, t.R(s))
+				t.SetR(stop, 1)
+			case t.R(v) == 0: // chain end
+				t.SetR(act, t.R(s))
+				t.SetR(stop, 1)
+			case t.R(s) == chain-1: // chain exhausted
+				t.SetR(act, t.R(s))
+				t.SetR(stop, 1)
+			}
+		})
+		b.If(func(t *dvm.Thread) bool { return t.R(stop) == 0 }, func() {
+			b.Lock(next)
+			b.Unlock(lockOfSlot)
+			b.Do(func(t *dvm.Thread) { t.AddR(s, 1) })
+		})
+	})
+	// Act on the locked slot: v holds its current value.
+	b.If(func(t *dvm.Thread) bool { return t.R(mode) == 1 && t.R(v) <= 1 }, func() {
+		b.Store(slotAddr, func(t *dvm.Thread) int64 { return t.R(key) + 2 })
+	})
+	b.If(func(t *dvm.Thread) bool { return t.R(mode) == 2 && t.R(v) == t.R(key)+2 }, func() {
+		b.Store(slotAddr, dvm.Const(1)) // tombstone
+	})
+	b.Unlock(lockOfSlot)
+}
+
+// emitLazySet traverses without locks, then locks and re-validates only the
+// slot an update modifies. Lookups acquire no locks at all.
+func emitLazySet(b *dvm.Builder, chain int64, key, mode, base, s, v, act dvm.Reg,
+	slotAddr, lockOfSlot func(*dvm.Thread) int64) {
+
+	tomb := b.Reg() // first tombstone seen, -1 none
+	stop := b.Reg()
+
+	b.Set(tomb, -1)
+	b.Set(stop, 0)
+	b.While(func(t *dvm.Thread) bool { return t.R(stop) == 0 && t.R(s) < chain }, func() {
+		b.Load(v, slotAddr)
+		b.Do(func(t *dvm.Thread) {
+			switch {
+			case t.R(v) == t.R(key)+2:
+				t.SetR(act, t.R(s))
+				t.SetR(stop, 1)
+			case t.R(v) == 0:
+				t.SetR(stop, 1)
+			case t.R(v) == 1 && t.R(tomb) < 0:
+				t.SetR(tomb, t.R(s))
+			}
+			if t.R(stop) == 0 {
+				t.AddR(s, 1)
+			}
+		})
+	})
+	// Insert: claim the found slot if present (no-op), else the first
+	// tombstone, else the terminating empty slot.
+	b.If(func(t *dvm.Thread) bool { return t.R(mode) == 1 && t.R(act) < 0 }, func() {
+		b.Do(func(t *dvm.Thread) {
+			target := t.R(s)
+			if t.R(tomb) >= 0 {
+				target = t.R(tomb)
+			}
+			if target >= chain { // chain full
+				target = -1
+			}
+			t.SetR(s, target)
+		})
+		b.If(func(t *dvm.Thread) bool { return t.R(s) >= 0 }, func() {
+			b.Lock(lockOfSlot)
+			b.Load(v, slotAddr)
+			// Validate: still empty or tombstoned.
+			b.If(func(t *dvm.Thread) bool { return t.R(v) <= 1 }, func() {
+				b.Store(slotAddr, func(t *dvm.Thread) int64 { return t.R(key) + 2 })
+			})
+			b.Unlock(lockOfSlot)
+		})
+	})
+	// Remove: lock the found slot, re-validate, tombstone it.
+	b.If(func(t *dvm.Thread) bool { return t.R(mode) == 2 && t.R(act) >= 0 }, func() {
+		b.Do(func(t *dvm.Thread) { t.SetR(s, t.R(act)) })
+		b.Lock(lockOfSlot)
+		b.Load(v, slotAddr)
+		b.If(func(t *dvm.Thread) bool { return t.R(v) == t.R(key)+2 }, func() {
+			b.Store(slotAddr, dvm.Const(1))
+		})
+		b.Unlock(lockOfSlot)
+	})
+}

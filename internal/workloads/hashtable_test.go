@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"testing"
+
+	"lazydet/internal/harness"
+)
+
+func htSmall(v HTVariant) HTConfig {
+	return HTConfig{
+		Variant:      v,
+		MaxObjects:   256,
+		LoadFactor:   2,
+		UpdatePct:    50,
+		OpsPerThread: 100,
+		Prefill:      true,
+	}
+}
+
+func TestHashTableAllEngines(t *testing.T) {
+	for _, v := range []HTVariant{HT, HTLazy} {
+		w := NewHashTable(htSmall(v))
+		for _, eng := range harness.AllEngines {
+			t.Run(string(v)+"/"+eng.String(), func(t *testing.T) {
+				if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: 4}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestHashTableDeterminism(t *testing.T) {
+	for _, v := range []HTVariant{HT, HTLazy} {
+		w := NewHashTable(htSmall(v))
+		for _, eng := range []harness.EngineKind{harness.Consequence, harness.LazyDet} {
+			t.Run(string(v)+"/"+eng.String(), func(t *testing.T) {
+				opt := harness.Options{Engine: eng, Threads: 4, Trace: true}
+				r1, err := harness.Run(w, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := harness.Run(w, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r1.HeapHash != r2.HeapHash {
+					t.Errorf("heap hashes differ: %x vs %x", r1.HeapHash, r2.HeapHash)
+				}
+				if r1.TraceSig != r2.TraceSig {
+					t.Errorf("trace signatures differ")
+				}
+			})
+		}
+	}
+}
+
+func TestHashTableSpeculationProfile(t *testing.T) {
+	// Paper §5.1: "LazyDet does better as we increase the size of the
+	// data structure because the likelihood of a conflict is reduced."
+	// Check both a floor on success for a large table and the shape:
+	// success grows with table size.
+	profile := func(maxObjects int) (acqPct, successPct float64) {
+		w := NewHashTable(HTConfig{
+			Variant: HT, MaxObjects: maxObjects, LoadFactor: 2,
+			UpdatePct: 50, OpsPerThread: 200, Prefill: true,
+		})
+		r, err := harness.Run(w, harness.Options{Engine: harness.LazyDet, Threads: 4, CollectSpec: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("ht %5d objects: spec acq %.1f%% success %.1f%% mean run %.1f CS",
+			maxObjects, r.Spec.SpecAcquirePct(), r.Spec.SuccessPct(), r.Spec.MeanRunCS())
+		return r.Spec.SpecAcquirePct(), r.Spec.SuccessPct()
+	}
+	acqBig, successBig := profile(16384)
+	_, successSmall := profile(512)
+	if acqBig < 80 {
+		t.Errorf("spec acquisitions = %.1f%%, want >= 80%% on a large table", acqBig)
+	}
+	if successBig < 50 {
+		t.Errorf("spec success = %.1f%%, want >= 50%% on a large table", successBig)
+	}
+	if successBig <= successSmall {
+		t.Errorf("spec success must grow with table size: %.1f%% (16384) vs %.1f%% (512)",
+			successBig, successSmall)
+	}
+}
+
+func TestHashTableHandOverHandAcquiresScaleWithLoadFactor(t *testing.T) {
+	// Table 1 / Figure 7 mechanics: ht's acquisitions per operation grow
+	// with the load factor; htLazy's do not.
+	count := func(v HTVariant, lf int) int64 {
+		w := NewHashTable(HTConfig{
+			Variant: v, MaxObjects: 512, LoadFactor: lf,
+			UpdatePct: 50, OpsPerThread: 200, Prefill: true,
+		})
+		r, err := harness.Run(w, harness.Options{Engine: harness.Pthreads, Threads: 2, CountLocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Counter.Summarize().Acquisitions
+	}
+	htLF1 := count(HT, 1)
+	htLF8 := count(HT, 8)
+	if htLF8 < htLF1*2 {
+		t.Errorf("ht acquisitions: lf=1 %d, lf=8 %d; want clear growth with load factor", htLF1, htLF8)
+	}
+	lzLF1 := count(HTLazy, 1)
+	lzLF8 := count(HTLazy, 8)
+	if lzLF8 > lzLF1*2 {
+		t.Errorf("htLazy acquisitions: lf=1 %d, lf=8 %d; want little growth", lzLF1, lzLF8)
+	}
+	if lzLF1 >= htLF1 {
+		t.Errorf("htLazy (%d) should acquire fewer locks than ht (%d)", lzLF1, htLF1)
+	}
+}

@@ -1,0 +1,265 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// NewLinkedList is the Synchrobench-style sorted linked-list set with
+// lock-coupling (hand-over-hand) synchronization: the other classic
+// fine-grained structure the paper's class of workloads covers. Every node
+// has its own lock; traversal holds at most two locks at a time, so
+// acquisitions per operation grow with the list length — an even harsher
+// version of the ht chain behaviour.
+//
+// Layout: node k (for key k) occupies two words, next-pointer and
+// presence; a sentinel head node precedes all keys. Next pointers store
+// node index + 1, 0 meaning nil. Lock k guards node k; lock Keys guards
+// the head.
+type LLConfig struct {
+	// Keys is the key-space size (and preallocated node count).
+	Keys int
+	// UpdatePct is the percentage of mutating operations.
+	UpdatePct int
+	// OpsPerThread is the operation count per thread.
+	OpsPerThread int
+}
+
+// DefaultLLConfig returns a small, contended list.
+func DefaultLLConfig() LLConfig {
+	return LLConfig{Keys: 128, UpdatePct: 50, OpsPerThread: 60}
+}
+
+// NewLinkedList builds the workload.
+func NewLinkedList(cfg LLConfig) *harness.Workload {
+	keys := int64(cfg.Keys)
+	head := keys // head node index (sentinel)
+	nextOf := func(node int64) int64 { return node * 2 }
+	presentOf := func(node int64) int64 { return node*2 + 1 }
+
+	w := &harness.Workload{
+		Name:      "llist",
+		HeapWords: (keys + 1) * 2,
+		Locks:     int(keys) + 1,
+	}
+	w.Init = func(set func(addr, val int64), threads int) {
+		// Prefill every second key, linked in order from the head.
+		prev := head
+		for k := int64(0); k < keys; k += 2 {
+			set(nextOf(prev), k+1)
+			set(presentOf(k), 1)
+			prev = k
+		}
+		set(nextOf(prev), 0)
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		b := dvm.NewBuilder("llist")
+		i, key, mode := b.Reg(), b.Reg(), b.Reg()
+		pred, curr, nxt := b.Reg(), b.Reg(), b.Reg()
+		v := b.Reg()
+
+		lockOf := func(r dvm.Reg) func(*dvm.Thread) int64 {
+			return func(t *dvm.Thread) int64 { return t.R(r) }
+		}
+		b.ForN(i, int64(cfg.OpsPerThread), func() {
+			b.Do(func(t *dvm.Thread) {
+				t.SetR(key, t.RandN(keys))
+				r := t.RandN(200)
+				switch {
+				case r%2 == 0 && r/2 < int64(cfg.UpdatePct):
+					t.SetR(mode, 1) // insert
+				case r%2 == 1 && r/2 < int64(cfg.UpdatePct):
+					t.SetR(mode, 2) // remove
+				default:
+					t.SetR(mode, 0) // contains
+				}
+				t.SetR(pred, head)
+			})
+			// Hand-over-hand traversal: lock pred, walk until the next
+			// node's key reaches the target.
+			b.Lock(lockOf(pred))
+			b.Load(nxt, func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) })
+			b.While(func(t *dvm.Thread) bool { return t.R(nxt) != 0 && t.R(nxt)-1 < t.R(key) }, func() {
+				b.Do(func(t *dvm.Thread) { t.SetR(curr, t.R(nxt)-1) })
+				b.Lock(lockOf(curr))
+				b.Unlock(lockOf(pred))
+				b.Do(func(t *dvm.Thread) { t.SetR(pred, t.R(curr)) })
+				b.Load(nxt, func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) })
+			})
+			// pred is locked; nxt-1 is the first node with key >= target
+			// (or nil). For updates, lock it too when it is the target.
+			b.IfElse(func(t *dvm.Thread) bool { return t.R(nxt) != 0 && t.R(nxt)-1 == t.R(key) },
+				func() {
+					// Target node present.
+					b.Do(func(t *dvm.Thread) { t.SetR(curr, t.R(nxt)-1) })
+					b.Lock(lockOf(curr))
+					b.If(func(t *dvm.Thread) bool { return t.R(mode) == 2 }, func() {
+						// Remove: unlink and clear.
+						b.Load(v, func(t *dvm.Thread) int64 { return nextOf(t.R(curr)) })
+						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) }, dvm.FromReg(v))
+						b.Store(func(t *dvm.Thread) int64 { return presentOf(t.R(curr)) }, dvm.Const(0))
+						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(curr)) }, dvm.Const(0))
+					})
+					b.Unlock(lockOf(curr))
+				},
+				func() {
+					// Target absent.
+					b.If(func(t *dvm.Thread) bool { return t.R(mode) == 1 }, func() {
+						// Insert: link the key's node after pred.
+						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(key)) }, dvm.FromReg(nxt))
+						b.Store(func(t *dvm.Thread) int64 { return presentOf(t.R(key)) }, dvm.Const(1))
+						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) },
+							func(t *dvm.Thread) int64 { return t.R(key) + 1 })
+					})
+				},
+			)
+			b.Unlock(lockOf(pred))
+		})
+		p := b.Build()
+		return sameProgram(p, threads)
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// Walk the list: keys strictly increasing, presence flags
+		// consistent, no cycles.
+		seen := 0
+		prevKey := int64(-1)
+		node := read(nextOf(head))
+		for node != 0 {
+			k := node - 1
+			if k <= prevKey {
+				return fmt.Errorf("list keys not increasing: %d after %d", k, prevKey)
+			}
+			if read(presentOf(k)) != 1 {
+				return fmt.Errorf("linked node %d not marked present", k)
+			}
+			prevKey = k
+			node = read(nextOf(k))
+			seen++
+			if seen > cfg.Keys {
+				return fmt.Errorf("cycle detected after %d nodes", seen)
+			}
+		}
+		// Every present-marked node must be reachable: count them.
+		marked := 0
+		for k := int64(0); k < keys; k++ {
+			if read(presentOf(k)) == 1 {
+				marked++
+			}
+		}
+		if marked != seen {
+			return fmt.Errorf("%d nodes marked present, %d linked", marked, seen)
+		}
+		return nil
+	}
+	return w
+}
+
+// NewBoundedQueue is a classic condition-variable producer/consumer
+// pipeline: producers block on not-full, the consumer blocks on not-empty.
+// Condition-variable operations force speculation runs to terminate (paper
+// footnote 2), so this workload stresses the commit-if-possible path and
+// deterministic park/unpark ordering.
+func NewBoundedQueue(itemsPerProducer, capacity int) *harness.Workload {
+	var l layout
+	count := l.alloc(1)
+	headIdx := l.alloc(1)
+	tailIdx := l.alloc(1)
+	buf := l.alloc(int64(capacity))
+	consumed := l.alloc(1)
+	checksum := l.alloc(1)
+	done := l.alloc(1)
+
+	var lk lockAlloc
+	qLock := int64(lk.alloc(1))
+
+	const cvNotFull, cvNotEmpty = 0, 1
+
+	w := &harness.Workload{
+		Name:      "bounded_queue",
+		HeapWords: l.next,
+		Locks:     lk.next,
+		Conds:     2,
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		producers := threads - 1
+		if producers < 1 {
+			producers = 1
+		}
+		total := int64(itemsPerProducer) * int64(producers)
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("queue-%d", tid))
+			if tid == 0 && threads > 1 {
+				// Consumer.
+				n, c, v, t2 := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+				b.Set(n, 0)
+				b.While(func(t *dvm.Thread) bool { return t.R(n) < total }, func() {
+					b.Lock(dvm.Const(qLock))
+					b.Load(c, dvm.Const(count))
+					b.While(func(t *dvm.Thread) bool { return t.R(c) == 0 }, func() {
+						b.CondWait(dvm.Const(cvNotEmpty), dvm.Const(qLock))
+						b.Load(c, dvm.Const(count))
+					})
+					b.Load(t2, dvm.Const(headIdx))
+					b.Load(v, func(t *dvm.Thread) int64 { return buf + t.R(t2)%int64(capacity) })
+					b.Store(dvm.Const(headIdx), func(t *dvm.Thread) int64 { return t.R(t2) + 1 })
+					b.Store(dvm.Const(count), func(t *dvm.Thread) int64 { return t.R(c) - 1 })
+					b.Load(t2, dvm.Const(checksum))
+					b.Store(dvm.Const(checksum), func(t *dvm.Thread) int64 { return t.R(t2) + t.R(v) })
+					b.CondSignal(dvm.Const(cvNotFull))
+					b.Unlock(dvm.Const(qLock))
+					b.Do(func(t *dvm.Thread) { t.AddR(n, 1) })
+				})
+				b.Store(dvm.Const(consumed), dvm.FromReg(n))
+				b.Store(dvm.Const(done), dvm.Const(1))
+			} else {
+				// Producer.
+				i, c, t2 := b.Reg(), b.Reg(), b.Reg()
+				items := int64(itemsPerProducer)
+				if threads == 1 {
+					items = 0 // no consumer: produce nothing
+				}
+				b.ForN(i, items, func() {
+					b.Lock(dvm.Const(qLock))
+					b.Load(c, dvm.Const(count))
+					b.While(func(t *dvm.Thread) bool { return t.R(c) >= int64(capacity) }, func() {
+						b.CondWait(dvm.Const(cvNotFull), dvm.Const(qLock))
+						b.Load(c, dvm.Const(count))
+					})
+					b.Load(t2, dvm.Const(tailIdx))
+					b.Store(func(t *dvm.Thread) int64 { return buf + t.R(t2)%int64(capacity) },
+						func(t *dvm.Thread) int64 { return t.R(i) + int64(t.ID)*1000 })
+					b.Store(dvm.Const(tailIdx), func(t *dvm.Thread) int64 { return t.R(t2) + 1 })
+					b.Store(dvm.Const(count), func(t *dvm.Thread) int64 { return t.R(c) + 1 })
+					b.CondSignal(dvm.Const(cvNotEmpty))
+					b.Unlock(dvm.Const(qLock))
+				})
+			}
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		if threads < 2 {
+			return nil
+		}
+		producers := threads - 1
+		total := int64(itemsPerProducer) * int64(producers)
+		if got := read(consumed); got != total {
+			return fmt.Errorf("consumed %d items, want %d", got, total)
+		}
+		// Every producer contributes Σi + tid*1000*items.
+		var want int64
+		for tid := 1; tid <= producers; tid++ {
+			n := int64(itemsPerProducer)
+			want += n*(n-1)/2 + int64(tid)*1000*n
+		}
+		if got := read(checksum); got != want {
+			return fmt.Errorf("checksum %d, want %d (items lost or duplicated)", got, want)
+		}
+		return nil
+	}
+	return w
+}

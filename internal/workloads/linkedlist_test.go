@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"testing"
+
+	"lazydet/internal/harness"
+)
+
+func TestLinkedListAllEngines(t *testing.T) {
+	w := NewLinkedList(DefaultLLConfig())
+	for _, eng := range harness.AllEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: 4}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLinkedListDeterminism(t *testing.T) {
+	w := NewLinkedList(DefaultLLConfig())
+	for _, eng := range []harness.EngineKind{harness.Consequence, harness.LazyDet} {
+		opt := harness.Options{Engine: eng, Threads: 4, Trace: true}
+		r1, err := harness.Run(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := harness.Run(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.HeapHash != r2.HeapHash || r1.TraceSig != r2.TraceSig {
+			t.Fatalf("%s: linked list not deterministic", eng)
+		}
+	}
+}
+
+func TestLinkedListLockCouplingAcquiresScaleWithLength(t *testing.T) {
+	count := func(keys int) int64 {
+		cfg := DefaultLLConfig()
+		cfg.Keys = keys
+		r, err := harness.Run(NewLinkedList(cfg), harness.Options{Engine: harness.Pthreads, Threads: 2, CountLocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Counter.Summarize().Acquisitions
+	}
+	short := count(32)
+	long := count(256)
+	if long < short*3 {
+		t.Errorf("lock-coupling acquisitions must grow with list length: %d (32 keys) vs %d (256 keys)", short, long)
+	}
+}
+
+func TestBoundedQueueAllEngines(t *testing.T) {
+	w := NewBoundedQueue(40, 4)
+	for _, eng := range harness.AllEngines {
+		t.Run(eng.String(), func(t *testing.T) {
+			if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: 4}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBoundedQueueDeterminism(t *testing.T) {
+	w := NewBoundedQueue(30, 3)
+	for _, eng := range []harness.EngineKind{harness.Consequence, harness.LazyDet, harness.TotalOrderWeak} {
+		opt := harness.Options{Engine: eng, Threads: 4, Trace: true}
+		r1, err := harness.Run(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := harness.Run(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.HeapHash != r2.HeapHash || r1.TraceSig != r2.TraceSig {
+			t.Fatalf("%s: bounded queue not deterministic", eng)
+		}
+	}
+}
+
+func TestBoundedQueueTinyCapacityStress(t *testing.T) {
+	// Capacity 1 maximizes condvar churn: every item parks someone.
+	w := NewBoundedQueue(25, 1)
+	for _, eng := range []harness.EngineKind{harness.Consequence, harness.LazyDet} {
+		if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: 5}); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+	}
+}

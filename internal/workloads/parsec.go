@@ -1,0 +1,442 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// PARSEC-2 programs (Bienia et al., PACT'08). blackscholes and swaptions
+// are the suite's embarrassingly parallel members (one lock, two
+// acquisitions); ferret and dedup are the pipeline programs whose thousands
+// of lock variables and in-critical-section system calls make them the
+// paper's flagship speculation targets (Figures 8, 9 and 11).
+
+// cndf is the cumulative normal distribution used by the Black-Scholes
+// formula (Abramowitz-Stegun polynomial, as in PARSEC).
+func cndf(x float64) float64 {
+	sign := false
+	if x < 0 {
+		x = -x
+		sign = true
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	v := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-x*x/2)*poly
+	if sign {
+		return 1 - v
+	}
+	return v
+}
+
+// Blackscholes prices a portfolio of European options, partitioned across
+// threads, with the suite's single init lock.
+func Blackscholes(scale int) *harness.Workload {
+	options := int64(2048 * scale)
+	var l layout
+	spot := l.alloc(options)
+	strike := l.alloc(options)
+	rate := l.alloc(options)
+	vol := l.alloc(options)
+	tte := l.alloc(options)
+	price := l.alloc(options)
+
+	w := &harness.Workload{Name: "blackscholes", HeapWords: l.next, Locks: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(19)
+		for i := int64(0); i < options; i++ {
+			r = lcg(r)
+			set(spot+i, ftoi(80+float64(r%4000)/100))
+			r = lcg(r)
+			set(strike+i, ftoi(80+float64(r%4000)/100))
+			set(rate+i, ftoi(0.05))
+			r = lcg(r)
+			set(vol+i, ftoi(0.1+float64(r%40)/100))
+			r = lcg(r)
+			set(tte+i, ftoi(0.25+float64(r%8)/4))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("blackscholes-%d", tid))
+			lo, hi := splitRange(options, threads, tid)
+			i, s, k, r, v, tt, out := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			if tid == 0 {
+				b.Lock(dvm.Const(0))
+				b.Unlock(dvm.Const(0))
+			}
+			b.For(i, lo, dvm.Const(hi), func() {
+				b.Load(s, func(t *dvm.Thread) int64 { return spot + t.R(i) })
+				b.Load(k, func(t *dvm.Thread) int64 { return strike + t.R(i) })
+				b.Load(r, func(t *dvm.Thread) int64 { return rate + t.R(i) })
+				b.Load(v, func(t *dvm.Thread) int64 { return vol + t.R(i) })
+				b.Load(tt, func(t *dvm.Thread) int64 { return tte + t.R(i) })
+				b.DoCost(8, func(t *dvm.Thread) {
+					S, K := itof(t.R(s)), itof(t.R(k))
+					R, V, T := itof(t.R(r)), itof(t.R(v)), itof(t.R(tt))
+					d1 := (math.Log(S/K) + (R+V*V/2)*T) / (V * math.Sqrt(T))
+					d2 := d1 - V*math.Sqrt(T)
+					c := S*cndf(d1) - K*math.Exp(-R*T)*cndf(d2)
+					t.SetR(out, ftoi(c))
+				})
+				b.Store(func(t *dvm.Thread) int64 { return price + t.R(i) }, dvm.FromReg(out))
+			})
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		for i := int64(0); i < options; i += options / 16 {
+			c := itof(read(price + i))
+			s := itof(read(spot + i))
+			if c < 0 || c > s {
+				return fmt.Errorf("option %d price %v out of [0, %v]", i, c, s)
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// Swaptions runs a Monte-Carlo swaption pricer on the thread-local
+// deterministic PRNG.
+func Swaptions(scale int) *harness.Workload {
+	swaptions := int64(32)
+	trials := int64(400 * scale)
+	var l layout
+	params := l.alloc(swaptions)
+	results := l.alloc(swaptions)
+
+	w := &harness.Workload{Name: "swaptions", HeapWords: l.next, Locks: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		for i := int64(0); i < swaptions; i++ {
+			set(params+i, ftoi(0.01+float64(i)/1000))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("swaptions-%d", tid))
+			lo, hi := splitRange(swaptions, threads, tid)
+			i, tr, p, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			if tid == 0 {
+				b.Lock(dvm.Const(0))
+				b.Unlock(dvm.Const(0))
+			}
+			b.For(i, lo, dvm.Const(hi), func() {
+				b.Load(p, func(t *dvm.Thread) int64 { return params + t.R(i) })
+				b.Set(acc, 0)
+				b.For(tr, 0, dvm.Const(trials), func() {
+					b.DoCost(4, func(t *dvm.Thread) {
+						strike := itof(t.R(p))
+						// Simulated forward-rate path.
+						rnd := float64(t.RandN(10000))/10000 - 0.5
+						rate := 0.05 + strike + rnd*0.02
+						payoff := rate - 0.05
+						if payoff < 0 {
+							payoff = 0
+						}
+						t.SetR(acc, ftoi(itof(t.R(acc))+payoff))
+					})
+				})
+				b.Store(func(t *dvm.Thread) int64 { return results + t.R(i) },
+					func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(trials)) })
+			})
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	return w
+}
+
+// Streamcluster clusters points with barrier-delimited phases and two
+// locks, one of them hot (the global cost accumulator), per Table 1.
+func Streamcluster(scale int) *harness.Workload {
+	points := int64(1024 * scale)
+	const dim = 4
+	const iters = 8
+	var l layout
+	data := l.alloc(points * dim)
+	center := l.alloc(dim)
+	cost := l.alloc(1)
+	opened := l.alloc(1)
+
+	var lk lockAlloc
+	costLock := int64(lk.alloc(1))
+	openLock := int64(lk.alloc(1))
+
+	w := &harness.Workload{Name: "streamcluster", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(13)
+		for i := int64(0); i < points*dim; i++ {
+			r = lcg(r)
+			set(data+i, ftoi(float64(r%100)))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("streamcluster-%d", tid))
+			lo, hi := splitRange(points, threads, tid)
+			it, i, d, v, cv, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			cbuf := b.Scratch(dim)
+			b.ForN(it, iters, func() {
+				// Cache the center, then accumulate the local cost.
+				b.ForN(d, dim, func() {
+					b.Load(cv, func(t *dvm.Thread) int64 { return center + t.R(d) })
+					b.Do(func(t *dvm.Thread) { t.Scratch[cbuf+t.R(d)] = t.R(cv) })
+				})
+				b.Set(acc, 0)
+				b.For(i, lo, dvm.Const(hi), func() {
+					b.ForN(d, dim, func() {
+						b.Load(v, func(t *dvm.Thread) int64 { return data + t.R(i)*dim + t.R(d) })
+						b.Do(func(t *dvm.Thread) {
+							df := itof(t.R(v)) - itof(t.Scratch[cbuf+t.R(d)])
+							t.SetR(acc, ftoi(itof(t.R(acc))+df*df))
+						})
+					})
+				})
+				b.Lock(dvm.Const(costLock))
+				b.Load(v, dvm.Const(cost))
+				b.Store(dvm.Const(cost), func(t *dvm.Thread) int64 {
+					return ftoi(itof(t.R(v)) + itof(t.R(acc)))
+				})
+				b.Unlock(dvm.Const(costLock))
+				b.Barrier(dvm.Const(0))
+				// Thread 0 decides whether to open a new center.
+				if tid == 0 {
+					b.Lock(dvm.Const(openLock))
+					b.Load(v, dvm.Const(opened))
+					b.Store(dvm.Const(opened), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.ForN(d, dim, func() {
+						b.Load(cv, func(t *dvm.Thread) int64 { return data + (t.R(v)*31%points)*dim + t.R(d) })
+						b.Store(func(t *dvm.Thread) int64 { return center + t.R(d) }, dvm.FromReg(cv))
+					})
+					b.Unlock(dvm.Const(openLock))
+				}
+				b.Barrier(dvm.Const(0))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	return w
+}
+
+// Ferret is the image-similarity pipeline. As in PARSEC, threads are
+// assigned to stages, which concentrates each lock population in its
+// stage's threads — the reason the paper measures ~100 % speculation
+// success despite half a million acquisitions. The DMT-relevant shape
+// (Table 1, §5.4): the rank stage performs an extreme number of
+// acquisitions of its queue lock with little work between them (coarsening
+// is essential) and calls mmap/munmap inside critical sections
+// (irrevocable upgrade is essential); the index stage probes a
+// ~thousand-lock hash table with a skewed distribution; the remaining
+// threads do compute-heavy feature extraction.
+func Ferret(scale int) *harness.Workload {
+	const tableLocks = 1000
+	rankOps := int64(4800 * scale)
+	indexItems := int64(600 * scale)
+	extractItems := int64(150 * scale)
+	const syscallEvery = 40 // gives the paper's ~40-CS mean run length
+	var l layout
+	images := l.alloc(4096)
+	table := l.alloc(tableLocks)
+	candidates := l.alloc(64 * 8) // per-extractor candidate slots
+	rankOut := l.alloc(8)
+
+	var lk lockAlloc
+	tableLock := int64(lk.alloc(tableLocks))
+	rankLock := int64(lk.alloc(1))
+
+	w := &harness.Workload{Name: "ferret", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(29)
+		for i := int64(0); i < 4096; i++ {
+			r = lcg(r)
+			set(images+i, int64(r%65536))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("ferret-%d", tid))
+			switch {
+			case tid == 0:
+				// Rank stage: a tight lock-acquire loop with mmap
+				// system calls inside the critical section.
+				i, v, best := b.Reg(), b.Reg(), b.Reg()
+				b.ForN(i, rankOps, func() {
+					b.Lock(dvm.Const(rankLock))
+					b.Load(v, func(t *dvm.Thread) int64 {
+						return candidates + t.R(i)%(64*8)
+					})
+					b.Do(func(t *dvm.Thread) {
+						if t.R(v) > t.R(best) {
+							t.SetR(best, t.R(v))
+						}
+					})
+					// Maintain the rank list under the lock.
+					b.Store(func(t *dvm.Thread) int64 { return rankOut + t.R(i)%8 }, dvm.FromReg(best))
+					b.If(func(t *dvm.Thread) bool { return t.R(i)%syscallEvery == syscallEvery-1 }, func() {
+						b.Syscall(&dvm.Syscall{Name: "mmap", Work: 300})
+					})
+					b.Unlock(dvm.Const(rankLock))
+				})
+			case tid == 1:
+				// Index stage: hash-table probes over a skewed
+				// bucket distribution.
+				i, h, v := b.Reg(), b.Reg(), b.Reg()
+				b.ForN(i, indexItems, func() {
+					b.Load(v, func(t *dvm.Thread) int64 { return images + (t.R(i)*7)%4096 })
+					b.DoCost(6, func(t *dvm.Thread) {
+						f := t.R(v)*2654435761 + t.R(i)
+						// Half the probes follow a skewed popularity,
+						// half are uniform: a few very hot buckets over
+						// a broad population, as in Table 1's row.
+						if f&1 == 0 {
+							t.SetR(h, zipfPick(f>>1&0xffff, tableLocks))
+						} else {
+							t.SetR(h, f>>1%tableLocks)
+						}
+					})
+					for probe := 0; probe < 2; probe++ {
+						probe := probe
+						bucket := func(t *dvm.Thread) int64 {
+							return (t.R(h) + int64(probe)*37) % tableLocks
+						}
+						b.Lock(func(t *dvm.Thread) int64 { return tableLock + bucket(t) })
+						b.Load(v, func(t *dvm.Thread) int64 { return table + bucket(t) })
+						b.Store(func(t *dvm.Thread) int64 { return table + bucket(t) },
+							func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+						b.Unlock(func(t *dvm.Thread) int64 { return tableLock + bucket(t) })
+					}
+				})
+			default:
+				// Extraction stage: compute-heavy, lock-free; results
+				// go to this thread's private candidate slots.
+				i, v, feat := b.Reg(), b.Reg(), b.Reg()
+				b.ForN(i, extractItems, func() {
+					b.Load(v, func(t *dvm.Thread) int64 { return images + (t.R(i)*int64(tid*131+7))%4096 })
+					b.DoCost(20, func(t *dvm.Thread) {
+						f := t.R(v)
+						for k := 0; k < 8; k++ {
+							f = f*2654435761 + int64(tid)
+						}
+						t.SetR(feat, f&0x7fffffff)
+					})
+					b.Store(func(t *dvm.Thread) int64 {
+						return candidates + int64(tid%64)*8 + t.R(i)%8
+					}, dvm.FromReg(feat))
+				})
+			}
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		var probes int64
+		for i := int64(0); i < tableLocks; i++ {
+			probes += read(table + i)
+		}
+		want := indexItems * 2
+		if threads == 1 {
+			want = 0
+		}
+		if probes != want {
+			return fmt.Errorf("table probes = %d, want %d", probes, want)
+		}
+		return nil
+	}
+	return w
+}
+
+// Dedup is the deduplicating compression pipeline: ~2k fingerprint-bucket
+// locks with moderate counts, plus a hot shared output-queue lock. As in
+// PARSEC, queue traffic is batched (a stage hands whole item batches
+// across), so runs coarsen over several bucket critical sections between
+// queue operations, and queue sharing causes the real-but-survivable
+// conflict rate the paper measures (Table 2: ~60 % success). write()
+// system calls happen inside the queue critical section.
+func Dedup(scale int) *harness.Workload {
+	const buckets = 1024
+	chunksPerThread := int64(320 * scale)
+	const batch = 8 // chunks per queue append
+	const syscallEvery = 8
+	var l layout
+	input := l.alloc(8192)
+	bucketData := l.alloc(buckets)
+	outLen := l.alloc(1)
+	outQueue := l.alloc(4096)
+
+	var lk lockAlloc
+	bucketLock := int64(lk.alloc(buckets))
+	queueLock := int64(lk.alloc(1))
+
+	w := &harness.Workload{Name: "dedup", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(37)
+		for i := int64(0); i < 8192; i++ {
+			r = lcg(r)
+			set(input+i, int64(r%100000))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("dedup-%d", tid))
+			lo, hi := splitRange(chunksPerThread*int64(threads), threads, tid)
+			i, v, fp, hb, n, fresh := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.For(i, lo, dvm.Const(hi), func() {
+				// Chunk + fingerprint (compute over the input).
+				b.Load(v, func(t *dvm.Thread) int64 { return input + t.R(i)%8192 })
+				b.DoCost(6, func(t *dvm.Thread) {
+					f := t.R(v)*-7046029254386353131 + t.R(i) // Fibonacci hashing constant
+					t.SetR(fp, f&0x7fffffffffffffff)
+					t.SetR(hb, zipfPick(t.R(fp)&0xffff, buckets))
+				})
+				// Deduplicate against the fingerprint table bucket.
+				b.Lock(func(t *dvm.Thread) int64 { return bucketLock + t.R(hb) })
+				b.Load(v, func(t *dvm.Thread) int64 { return bucketData + t.R(hb) })
+				b.Store(func(t *dvm.Thread) int64 { return bucketData + t.R(hb) },
+					func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+				b.Unlock(func(t *dvm.Thread) int64 { return bucketLock + t.R(hb) })
+				b.Do(func(t *dvm.Thread) { t.AddR(fresh, 1) })
+				// Every batch, append to the shared output queue under
+				// the hot lock and write() the compressed batch out
+				// inside the critical section.
+				b.If(func(t *dvm.Thread) bool { return t.R(fresh) >= batch }, func() {
+					b.Lock(dvm.Const(queueLock))
+					b.Load(n, dvm.Const(outLen))
+					b.Store(func(t *dvm.Thread) int64 { return outQueue + t.R(n)%4096 }, dvm.FromReg(fp))
+					b.Store(dvm.Const(outLen), func(t *dvm.Thread) int64 { return t.R(n) + 1 })
+					b.If(func(t *dvm.Thread) bool { return t.R(n)%syscallEvery == syscallEvery-1 }, func() {
+						b.Syscall(&dvm.Syscall{Name: "write", Work: 200})
+					})
+					b.Unlock(dvm.Const(queueLock))
+					b.Set(fresh, 0)
+				})
+			})
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		var dedups int64
+		for i := int64(0); i < buckets; i++ {
+			dedups += read(bucketData + i)
+		}
+		if want := chunksPerThread * int64(threads); dedups != want {
+			return fmt.Errorf("bucket updates = %d, want %d", dedups, want)
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,426 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// Phoenix map-reduce kernels (Ranger et al., HPCA'07). Five of them share
+// the suite's synchronization shape from Table 1 — one lock acquired twice
+// for the whole run, everything else data-parallel — and reverse_index is
+// the suite's pathological case: one extremely hot list lock.
+
+// coarseReduce emits the Phoenix pattern: barrier, then thread 0 reduces
+// per-thread partials under the single global lock (lock id 0).
+func coarseReduce(b *dvm.Builder, tid int, reduce func()) {
+	b.Barrier(dvm.Const(0))
+	if tid == 0 {
+		b.Lock(dvm.Const(0))
+		reduce()
+		b.Unlock(dvm.Const(0))
+	}
+	b.Barrier(dvm.Const(0))
+}
+
+// LinearRegression fits y = a*x + b over a shared point array: threads
+// accumulate partial sums over their slice, thread 0 reduces.
+func LinearRegression(scale int) *harness.Workload {
+	points := int64(8192 * scale)
+	var l layout
+	xs := l.alloc(points)
+	ys := l.alloc(points)
+	partials := l.alloc(64 * 4) // per-thread sx, sy, sxx, sxy
+	out := l.alloc(2)
+
+	w := &harness.Workload{
+		Name: "linear_regression", HeapWords: l.next, Locks: 1, Barriers: 1,
+	}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(42)
+		for i := int64(0); i < points; i++ {
+			r = lcg(r)
+			x := float64(r%1000) / 10
+			noise := float64(lcg(r)%100)/100 - 0.5
+			set(xs+i, ftoi(x))
+			set(ys+i, ftoi(3*x+7+noise))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("linreg-%d", tid))
+			lo, hi := splitRange(points, threads, tid)
+			i, xv, yv := b.Reg(), b.Reg(), b.Reg()
+			sx, sy, sxx, sxy := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.For(i, lo, dvm.Const(hi), func() {
+				b.Load(xv, func(t *dvm.Thread) int64 { return xs + t.R(i) })
+				b.Load(yv, func(t *dvm.Thread) int64 { return ys + t.R(i) })
+				b.Do(func(t *dvm.Thread) {
+					x, y := itof(t.R(xv)), itof(t.R(yv))
+					t.SetR(sx, ftoi(itof(t.R(sx))+x))
+					t.SetR(sy, ftoi(itof(t.R(sy))+y))
+					t.SetR(sxx, ftoi(itof(t.R(sxx))+x*x))
+					t.SetR(sxy, ftoi(itof(t.R(sxy))+x*y))
+				})
+			})
+			base := partials + int64(tid)*4
+			b.Store(dvm.Const(base+0), dvm.FromReg(sx))
+			b.Store(dvm.Const(base+1), dvm.FromReg(sy))
+			b.Store(dvm.Const(base+2), dvm.FromReg(sxx))
+			b.Store(dvm.Const(base+3), dvm.FromReg(sxy))
+			coarseReduce(b, tid, func() {
+				v := b.Reg()
+				acc := b.Scratch(4)
+				for t2 := 0; t2 < threads; t2++ {
+					pb := partials + int64(t2)*4
+					for f := int64(0); f < 4; f++ {
+						f := f
+						b.Load(v, dvm.Const(pb+f))
+						b.Do(func(t *dvm.Thread) {
+							t.Scratch[acc+f] = ftoi(itof(t.Scratch[acc+f]) + itof(t.R(v)))
+						})
+					}
+				}
+				b.Do(func(t *dvm.Thread) {
+					n := float64(points)
+					gx, gy := itof(t.Scratch[acc]), itof(t.Scratch[acc+1])
+					gxx, gxy := itof(t.Scratch[acc+2]), itof(t.Scratch[acc+3])
+					slope := (n*gxy - gx*gy) / (n*gxx - gx*gx)
+					t.SetR(v, ftoi(slope))
+				})
+				b.Store(dvm.Const(out), dvm.FromReg(v))
+				b.Do(func(t *dvm.Thread) {
+					n := float64(points)
+					gx, gy := itof(t.Scratch[acc]), itof(t.Scratch[acc+1])
+					t.SetR(v, ftoi((gy-itof(t.R(v))*gx)/n))
+				})
+				b.Store(dvm.Const(out+1), dvm.FromReg(v))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		slope := itof(read(out))
+		if math.Abs(slope-3) > 0.1 {
+			return fmt.Errorf("slope = %v, want ~3", slope)
+		}
+		return nil
+	}
+	return w
+}
+
+// WordCount counts word occurrences: threads build private histograms over
+// their slice of the document, thread 0 merges them.
+func WordCount(scale int) *harness.Workload {
+	words := int64(16384 * scale)
+	const vocab = 512
+	var l layout
+	doc := l.alloc(words)
+	priv := l.alloc(64 * vocab) // per-thread histograms (disjoint)
+	counts := l.alloc(vocab)
+
+	w := &harness.Workload{Name: "word_count", HeapWords: l.next, Locks: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(7)
+		for i := int64(0); i < words; i++ {
+			r = lcg(r)
+			set(doc+i, int64(zipfPick(int64(r>>16&0xffff), vocab)))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("wordcount-%d", tid))
+			lo, hi := splitRange(words, threads, tid)
+			i, wv, c := b.Reg(), b.Reg(), b.Reg()
+			mine := priv + int64(tid)*vocab
+			b.For(i, lo, dvm.Const(hi), func() {
+				b.Load(wv, func(t *dvm.Thread) int64 { return doc + t.R(i) })
+				b.Load(c, func(t *dvm.Thread) int64 { return mine + t.R(wv) })
+				b.Store(func(t *dvm.Thread) int64 { return mine + t.R(wv) },
+					func(t *dvm.Thread) int64 { return t.R(c) + 1 })
+			})
+			coarseReduce(b, tid, func() {
+				word, v, acc := b.Reg(), b.Reg(), b.Reg()
+				b.ForN(word, vocab, func() {
+					b.Set(acc, 0)
+					for t2 := 0; t2 < threads; t2++ {
+						pb := priv + int64(t2)*vocab
+						b.Load(v, func(t *dvm.Thread) int64 { return pb + t.R(word) })
+						b.Do(func(t *dvm.Thread) { t.AddR(acc, t.R(v)) })
+					}
+					b.Store(func(t *dvm.Thread) int64 { return counts + t.R(word) }, dvm.FromReg(acc))
+				})
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		var total int64
+		for v := int64(0); v < vocab; v++ {
+			total += read(counts + v)
+		}
+		if total != words {
+			return fmt.Errorf("counted %d words, want %d", total, words)
+		}
+		return nil
+	}
+	return w
+}
+
+// MatrixMultiply computes C = A × B with rows partitioned across threads.
+func MatrixMultiply(scale int) *harness.Workload {
+	n := int64(32)
+	if scale > 1 {
+		n *= 2
+	}
+	var l layout
+	a := l.alloc(n * n)
+	bm := l.alloc(n * n)
+	c := l.alloc(n * n)
+
+	w := &harness.Workload{Name: "matrix_multiply", HeapWords: l.next, Locks: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		for i := int64(0); i < n*n; i++ {
+			set(a+i, i%7+1)
+			set(bm+i, i%5+1)
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("matmul-%d", tid))
+			lo, hi := splitRange(n, threads, tid)
+			row, col, k, av, bv, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			if tid == 0 {
+				b.Lock(dvm.Const(0)) // the suite's single init lock
+				b.Unlock(dvm.Const(0))
+			}
+			b.For(row, lo, dvm.Const(hi), func() {
+				b.ForN(col, n, func() {
+					b.Set(acc, 0)
+					b.ForN(k, n, func() {
+						b.Load(av, func(t *dvm.Thread) int64 { return a + t.R(row)*n + t.R(k) })
+						b.Load(bv, func(t *dvm.Thread) int64 { return bm + t.R(k)*n + t.R(col) })
+						b.Do(func(t *dvm.Thread) { t.AddR(acc, t.R(av)*t.R(bv)) })
+					})
+					b.Store(func(t *dvm.Thread) int64 { return c + t.R(row)*n + t.R(col) }, dvm.FromReg(acc))
+				})
+			})
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// Spot-check C[0,0] against a host-side computation.
+		var want int64
+		for k := int64(0); k < n; k++ {
+			want += (k%7 + 1) * ((k*n)%5 + 1)
+		}
+		if got := read(c); got != want {
+			return fmt.Errorf("C[0,0] = %d, want %d", got, want)
+		}
+		return nil
+	}
+	return w
+}
+
+// PCA computes column means and a covariance block of a data matrix.
+func PCA(scale int) *harness.Workload {
+	rows := int64(128 * scale)
+	const cols = 16
+	var l layout
+	m := l.alloc(rows * cols)
+	means := l.alloc(cols)
+	cov := l.alloc(cols * cols)
+
+	w := &harness.Workload{Name: "pca", HeapWords: l.next, Locks: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(11)
+		for i := int64(0); i < rows*cols; i++ {
+			r = lcg(r)
+			set(m+i, ftoi(float64(r%100)))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("pca-%d", tid))
+			col, row, v, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			// Phase 1: column means, columns partitioned.
+			clo, chi := splitRange(cols, threads, tid)
+			b.For(col, clo, dvm.Const(chi), func() {
+				b.Set(acc, 0)
+				b.ForN(row, rows, func() {
+					b.Load(v, func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(col) })
+					b.Do(func(t *dvm.Thread) { t.SetR(acc, ftoi(itof(t.R(acc))+itof(t.R(v)))) })
+				})
+				b.Store(func(t *dvm.Thread) int64 { return means + t.R(col) },
+					func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(rows)) })
+			})
+			b.Barrier(dvm.Const(0))
+			// Phase 2: covariance entries, partitioned by flat index.
+			elo, ehi := splitRange(cols*cols, threads, tid)
+			e, mi, mj, xi, xj := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.For(e, elo, dvm.Const(ehi), func() {
+				b.Load(mi, func(t *dvm.Thread) int64 { return means + t.R(e)/cols })
+				b.Load(mj, func(t *dvm.Thread) int64 { return means + t.R(e)%cols })
+				b.Set(acc, 0)
+				b.ForN(row, rows, func() {
+					b.Load(xi, func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(e)/cols })
+					b.Load(xj, func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(e)%cols })
+					b.Do(func(t *dvm.Thread) {
+						d := (itof(t.R(xi)) - itof(t.R(mi))) * (itof(t.R(xj)) - itof(t.R(mj)))
+						t.SetR(acc, ftoi(itof(t.R(acc))+d))
+					})
+				})
+				b.Store(func(t *dvm.Thread) int64 { return cov + t.R(e) },
+					func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(rows-1)) })
+			})
+			coarseReduce(b, tid, func() {})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// Variance entries must be non-negative.
+		for cidx := int64(0); cidx < cols; cidx++ {
+			if v := itof(read(cov + cidx*cols + cidx)); v < 0 {
+				return fmt.Errorf("variance[%d] = %v < 0", cidx, v)
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// StringMatch scans an encrypted keyword array for matches, Phoenix-style.
+func StringMatch(scale int) *harness.Workload {
+	n := int64(16384 * scale)
+	const nkeys = 4
+	var l layout
+	data := l.alloc(n)
+	keys := l.alloc(nkeys)
+	hits := l.alloc(64)
+
+	encrypt := func(v int64) int64 { return (v*2654435761 + 12345) & 0x7fffffff }
+
+	w := &harness.Workload{Name: "string_match", HeapWords: l.next, Locks: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(3)
+		for i := int64(0); i < n; i++ {
+			r = lcg(r)
+			set(data+i, int64(r%997))
+		}
+		for k := int64(0); k < nkeys; k++ {
+			set(keys+k, encrypt(k*211+5))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("strmatch-%d", tid))
+			lo, hi := splitRange(n, threads, tid)
+			i, v, k, kv, cnt := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			ktab := b.Scratch(nkeys)
+			// Cache the keys in private scratch first.
+			b.ForN(k, nkeys, func() {
+				b.Load(kv, func(t *dvm.Thread) int64 { return keys + t.R(k) })
+				b.Do(func(t *dvm.Thread) { t.Scratch[ktab+t.R(k)] = t.R(kv) })
+			})
+			b.For(i, lo, dvm.Const(hi), func() {
+				b.Load(v, func(t *dvm.Thread) int64 { return data + t.R(i) })
+				b.Do(func(t *dvm.Thread) {
+					enc := encrypt(t.R(v))
+					for kk := int64(0); kk < nkeys; kk++ {
+						if t.Scratch[ktab+kk] == enc {
+							t.AddR(cnt, 1)
+						}
+					}
+				})
+			})
+			b.Store(dvm.Const(hits+int64(tid)), dvm.FromReg(cnt))
+			coarseReduce(b, tid, func() {})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	return w
+}
+
+// ReverseIndex builds a link index: threads scan their file slice and
+// append every link to a shared list under one extremely hot lock — the
+// suite's worst case for total ordering, and a workload speculation cannot
+// help (Table 1, Table 2: 0 % speculation at 32 threads).
+func ReverseIndex(scale int) *harness.Workload {
+	files := int64(512 * scale)
+	const wordsPerFile = 24
+	const dirLocks = 60 // per-directory locks, rarely taken
+	var l layout
+	corpus := l.alloc(files * wordsPerFile)
+	listLen := l.alloc(1)
+	list := l.alloc(files * 4)
+	dirs := l.alloc(dirLocks)
+
+	var lk lockAlloc
+	listLock := int64(lk.alloc(1))
+	dirLock := int64(lk.alloc(dirLocks))
+
+	w := &harness.Workload{Name: "reverse_index", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(17)
+		for i := int64(0); i < files*wordsPerFile; i++ {
+			r = lcg(r)
+			// ~12% of words are links.
+			if r%8 == 0 {
+				set(corpus+i, int64(r%1024)+2)
+			}
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("revindex-%d", tid))
+			lo, hi := splitRange(files, threads, tid)
+			f, i, v, n := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.For(f, lo, dvm.Const(hi), func() {
+				// Once per directory (64 files), touch its lock.
+				b.If(func(t *dvm.Thread) bool { return t.R(f)%64 == 0 }, func() {
+					dl := func(t *dvm.Thread) int64 { return dirLock + t.R(f)/64%dirLocks }
+					b.Lock(dl)
+					b.Load(v, func(t *dvm.Thread) int64 { return dirs + t.R(f)/64%dirLocks })
+					b.Store(func(t *dvm.Thread) int64 { return dirs + t.R(f)/64%dirLocks },
+						func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Unlock(dl)
+				})
+				b.ForN(i, wordsPerFile, func() {
+					b.Load(v, func(t *dvm.Thread) int64 { return corpus + t.R(f)*wordsPerFile + t.R(i) })
+					b.If(func(t *dvm.Thread) bool { return t.R(v) >= 2 }, func() {
+						// Append to the shared link list: the hot lock.
+						b.Lock(dvm.Const(listLock))
+						b.Load(n, dvm.Const(listLen))
+						b.Store(func(t *dvm.Thread) int64 { return list + t.R(n)%(files*4) }, dvm.FromReg(v))
+						b.Store(dvm.Const(listLen), func(t *dvm.Thread) int64 { return t.R(n) + 1 })
+						b.Unlock(dvm.Const(listLock))
+					})
+				})
+			})
+			b.Barrier(dvm.Const(0))
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		if read(listLen) == 0 {
+			return fmt.Errorf("no links indexed")
+		}
+		return nil
+	}
+	return w
+}

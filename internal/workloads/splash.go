@@ -1,0 +1,680 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// SPLASH-2 kernels (Woo et al., ISCA'95), reimplemented to match each
+// program's Table 1 synchronization shape.
+
+// Barnes is the n-body tree code: thousands of lock variables (per-body
+// locks touched once, per-cell locks with a skewed popularity distribution),
+// barriers between iterations, and — per the paper's Appendix A — a
+// condition variable replacing the original's ad-hoc flag synchronization.
+func Barnes(scale int) *harness.Workload {
+	bodies := int64(1024 * scale)
+	const l2Cells, l3Cells = 256, 2048
+	const iters = 2
+	var l layout
+	pos := l.alloc(bodies)
+	vel := l.alloc(bodies)
+	cellAcc := l.alloc(l2Cells + l3Cells) // per-cell accumulated mass
+	flag := l.alloc(1)                    // iteration flag, condvar-protected
+
+	var lk lockAlloc
+	bodyLock := int64(lk.alloc(int(bodies)))
+	cellLock := int64(lk.alloc(l2Cells + l3Cells))
+	flagLock := int64(lk.alloc(1))
+
+	w := &harness.Workload{Name: "barnes", HeapWords: l.next, Locks: lk.next, Conds: 1, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(23)
+		for i := int64(0); i < bodies; i++ {
+			r = lcg(r)
+			set(pos+i, int64(r%65536))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("barnes-%d", tid))
+			lo, hi := splitRange(bodies, threads, tid)
+			i, p, v, n1, n2, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			it, fv := b.Reg(), b.Reg()
+
+			// Load phase: each body's lock is taken exactly once — the
+			// "acquired once" half of barnes' lock population.
+			b.For(i, lo, dvm.Const(hi), func() {
+				b.Lock(func(t *dvm.Thread) int64 { return bodyLock + t.R(i) })
+				b.Load(p, func(t *dvm.Thread) int64 { return pos + t.R(i) })
+				b.Unlock(func(t *dvm.Thread) int64 { return bodyLock + t.R(i) })
+			})
+
+			b.ForN(it, iters, func() {
+				// Iteration start handshake: the original polls a shared
+				// flag; the paper's modified barnes uses a condition
+				// variable, as do we.
+				if tid == 0 {
+					b.Lock(dvm.Const(flagLock))
+					b.Store(dvm.Const(flag), func(t *dvm.Thread) int64 { return t.R(it) + 1 })
+					b.CondBroadcast(dvm.Const(0))
+					b.Unlock(dvm.Const(flagLock))
+				} else {
+					b.Lock(dvm.Const(flagLock))
+					b.Load(fv, dvm.Const(flag))
+					b.While(func(t *dvm.Thread) bool { return t.R(fv) < t.R(it)+1 }, func() {
+						b.CondWait(dvm.Const(0), dvm.Const(flagLock))
+						b.Load(fv, dvm.Const(flag))
+					})
+					b.Unlock(dvm.Const(flagLock))
+				}
+
+				b.For(i, lo, dvm.Const(hi), func() {
+					// Force computation: read a few neighbours.
+					b.Load(p, func(t *dvm.Thread) int64 { return pos + t.R(i) })
+					b.Load(n1, func(t *dvm.Thread) int64 { return pos + (t.R(i)+1)%bodies })
+					b.Load(n2, func(t *dvm.Thread) int64 { return pos + (t.R(i)+7)%bodies })
+					b.Do(func(t *dvm.Thread) {
+						f := (t.R(n1) - t.R(p)) / 16
+						f += (t.R(n2) - t.R(p)) / 64
+						t.SetR(v, f)
+					})
+					// Tree update: lock the body's level-2 and level-3
+					// cells and fold its mass in. Cell indices derive
+					// from the position, so popularity is skewed.
+					for _, lvl := range []struct{ base, cells int64 }{
+						{0, l2Cells},
+						{l2Cells, l3Cells},
+					} {
+						lvl := lvl
+						cell := func(t *dvm.Thread) int64 {
+							return lvl.base + (t.R(p)*2654435761)%lvl.cells
+						}
+						b.Lock(func(t *dvm.Thread) int64 { return cellLock + cell(t) })
+						b.Load(acc, func(t *dvm.Thread) int64 { return cellAcc + cell(t) })
+						b.Store(func(t *dvm.Thread) int64 { return cellAcc + cell(t) },
+							func(t *dvm.Thread) int64 { return t.R(acc) + 1 })
+						b.Unlock(func(t *dvm.Thread) int64 { return cellLock + cell(t) })
+					}
+					// Advance the body.
+					b.Store(func(t *dvm.Thread) int64 { return vel + t.R(i) }, dvm.FromReg(v))
+					b.Store(func(t *dvm.Thread) int64 { return pos + t.R(i) },
+						func(t *dvm.Thread) int64 { return (t.R(p) + t.R(v)) & 0xffff })
+				})
+				b.Barrier(dvm.Const(0))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		var total int64
+		for c := int64(0); c < l2Cells+l3Cells; c++ {
+			total += read(cellAcc + c)
+		}
+		want := bodies * iters * 2 // each body folds into 2 cells per iteration
+		if total != want {
+			return fmt.Errorf("cell mass = %d, want %d", total, want)
+		}
+		return nil
+	}
+	return w
+}
+
+// OceanCP is the grid solver: a handful of locks, one of them (the global
+// error accumulator) taking nearly all acquisitions, plus per-iteration
+// barriers — Table 1's ocean_cp row.
+func OceanCP(scale int) *harness.Workload {
+	const n = 64 // grid edge
+	iters := int64(6 * scale)
+	const chunksPerThread = 8
+	var l layout
+	grid := l.alloc(n * n)
+	scratchGrid := l.alloc(n * n)
+	errCell := l.alloc(1)
+	miscCells := l.alloc(14)
+
+	var lk lockAlloc
+	errLock := int64(lk.alloc(1))
+	miscLock := int64(lk.alloc(14))
+
+	w := &harness.Workload{Name: "ocean_cp", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		for i := int64(0); i < n*n; i++ {
+			set(grid+i, ftoi(float64(i%17)))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("ocean-%d", tid))
+			rlo, rhi := splitRange(n-2, threads, tid)
+			rlo, rhi = rlo+1, rhi+1
+			it, row, col, c, up, dn, lf, rt, acc := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			ev := b.Reg()
+
+			// Startup: touch one of the rarely used setup locks.
+			ml := int64(tid % 14)
+			b.Lock(dvm.Const(miscLock + ml))
+			b.Load(ev, dvm.Const(miscCells+ml))
+			b.Store(dvm.Const(miscCells+ml), func(t *dvm.Thread) int64 { return t.R(ev) + 1 })
+			b.Unlock(dvm.Const(miscLock + ml))
+
+			b.ForN(it, iters, func() {
+				b.Set(acc, 0)
+				chunk := b.Reg()
+				b.Set(chunk, 0)
+				b.For(row, rlo, dvm.Const(rhi), func() {
+					b.For(col, 1, dvm.Const(n-1), func() {
+						at := func(dr, dc int64) func(*dvm.Thread) int64 {
+							return func(t *dvm.Thread) int64 {
+								return grid + (t.R(row)+dr)*n + t.R(col) + dc
+							}
+						}
+						b.Load(c, at(0, 0))
+						b.Load(up, at(-1, 0))
+						b.Load(dn, at(1, 0))
+						b.Load(lf, at(0, -1))
+						b.Load(rt, at(0, 1))
+						b.Do(func(t *dvm.Thread) {
+							nv := (itof(t.R(up)) + itof(t.R(dn)) + itof(t.R(lf)) + itof(t.R(rt))) / 4
+							d := nv - itof(t.R(c))
+							t.SetR(acc, ftoi(itof(t.R(acc))+d*d))
+							t.SetR(c, ftoi(nv))
+						})
+						b.Store(func(t *dvm.Thread) int64 {
+							return scratchGrid + t.R(row)*n + t.R(col)
+						}, dvm.FromReg(c))
+					})
+					// Fold the chunk's residual into the hot global
+					// error lock several times per iteration.
+					b.Do(func(t *dvm.Thread) { t.AddR(chunk, 1) })
+					b.If(func(t *dvm.Thread) bool {
+						return t.R(chunk)%((rhi-rlo)/chunksPerThread+1) == 0
+					}, func() {
+						b.Lock(dvm.Const(errLock))
+						b.Load(ev, dvm.Const(errCell))
+						b.Store(dvm.Const(errCell), func(t *dvm.Thread) int64 {
+							return ftoi(itof(t.R(ev)) + itof(t.R(acc)))
+						})
+						b.Unlock(dvm.Const(errLock))
+						b.Set(acc, 0)
+					})
+				})
+				b.Barrier(dvm.Const(0))
+				// Copy back (partitioned, no locks).
+				b.For(row, rlo, dvm.Const(rhi), func() {
+					b.For(col, 1, dvm.Const(n-1), func() {
+						b.Load(c, func(t *dvm.Thread) int64 { return scratchGrid + t.R(row)*n + t.R(col) })
+						b.Store(func(t *dvm.Thread) int64 { return grid + t.R(row)*n + t.R(col) }, dvm.FromReg(c))
+					})
+				})
+				b.Barrier(dvm.Const(0))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	return w
+}
+
+// WaterNSquared computes pairwise molecular interactions with one lock per
+// molecule: thousands of locks, each acquired a handful of times — the
+// uniform, sparse pattern where LazyDet shines (it even beats
+// TotalOrder-Weak here in the paper's Figure 8).
+func WaterNSquared(scale int) *harness.Workload {
+	mols := int64(512 * scale)
+	const iters = 2
+	const neighbors = 3
+	var l layout
+	mpos := l.alloc(mols)
+	force := l.alloc(mols)
+	kinetic := l.alloc(1)
+
+	var lk lockAlloc
+	molLock := int64(lk.alloc(int(mols)))
+	keLock := int64(lk.alloc(1))
+
+	w := &harness.Workload{Name: "water_nsquared", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(31)
+		for i := int64(0); i < mols; i++ {
+			r = lcg(r)
+			set(mpos+i, ftoi(float64(r%1000)/10))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("waterns-%d", tid))
+			lo, hi := splitRange(mols, threads, tid)
+			it, i, k, pi, pj, f, fv, ke := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			jreg := b.Reg()
+			b.ForN(it, iters, func() {
+				b.Set(ke, 0)
+				b.For(i, lo, dvm.Const(hi), func() {
+					b.ForN(k, neighbors, func() {
+						b.Do(func(t *dvm.Thread) {
+							t.SetR(jreg, (t.R(i)+(t.R(k)+1)*97)%mols)
+						})
+						b.Load(pi, func(t *dvm.Thread) int64 { return mpos + t.R(i) })
+						b.Load(pj, func(t *dvm.Thread) int64 { return mpos + t.R(jreg) })
+						// Lennard-Jones-flavoured force.
+						b.Do(func(t *dvm.Thread) {
+							d := itof(t.R(pi)) - itof(t.R(pj))
+							if d == 0 {
+								d = 0.1
+							}
+							r2 := d*d + 0.3
+							t.SetR(f, ftoi(1/(r2*r2*r2)-1/(r2*r2)))
+							t.SetR(ke, ftoi(itof(t.R(ke))+d*d/2))
+						})
+						// Symmetric update: both molecules' locks.
+						for _, side := range []dvm.Reg{i, jreg} {
+							side := side
+							b.Lock(func(t *dvm.Thread) int64 { return molLock + t.R(side) })
+							b.Load(fv, func(t *dvm.Thread) int64 { return force + t.R(side) })
+							b.Store(func(t *dvm.Thread) int64 { return force + t.R(side) },
+								func(t *dvm.Thread) int64 { return ftoi(itof(t.R(fv)) + itof(t.R(f))) })
+							b.Unlock(func(t *dvm.Thread) int64 { return molLock + t.R(side) })
+						}
+					})
+				})
+				// Fold kinetic energy into the single global lock.
+				b.Lock(dvm.Const(keLock))
+				b.Load(fv, dvm.Const(kinetic))
+				b.Store(dvm.Const(kinetic), func(t *dvm.Thread) int64 {
+					return ftoi(itof(t.R(fv)) + itof(t.R(ke)))
+				})
+				b.Unlock(dvm.Const(keLock))
+				b.Barrier(dvm.Const(0))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	return w
+}
+
+// WaterSpatial uses a small fixed number of spatial-box locks — few locks,
+// moderate counts, high contention, so speculation rarely pays (Table 2).
+func WaterSpatial(scale int) *harness.Workload {
+	mols := int64(128 * scale)
+	const boxes = 10
+	const iters = 2
+	var l layout
+	mpos := l.alloc(mols)
+	boxAcc := l.alloc(boxes)
+
+	var lk lockAlloc
+	boxLock := int64(lk.alloc(boxes))
+
+	w := &harness.Workload{Name: "water_spatial", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(41)
+		for i := int64(0); i < mols; i++ {
+			r = lcg(r)
+			set(mpos+i, int64(r%1000))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("waterspatial-%d", tid))
+			lo, hi := splitRange(mols, threads, tid)
+			it, i, p, v, box := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			b.ForN(it, iters, func() {
+				b.For(i, lo, dvm.Const(hi), func() {
+					b.Load(p, func(t *dvm.Thread) int64 { return mpos + t.R(i) })
+					b.DoCost(4, func(t *dvm.Thread) {
+						t.SetR(box, t.R(p)%boxes)
+						t.SetR(p, (t.R(p)*31+7)%1000)
+					})
+					b.Lock(func(t *dvm.Thread) int64 { return boxLock + t.R(box) })
+					b.Load(v, func(t *dvm.Thread) int64 { return boxAcc + t.R(box) })
+					b.Store(func(t *dvm.Thread) int64 { return boxAcc + t.R(box) },
+						func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Unlock(func(t *dvm.Thread) int64 { return boxLock + t.R(box) })
+					b.Store(func(t *dvm.Thread) int64 { return mpos + t.R(i) }, dvm.FromReg(p))
+				})
+				b.Barrier(dvm.Const(0))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		var total int64
+		for bx := int64(0); bx < boxes; bx++ {
+			total += read(boxAcc + bx)
+		}
+		if want := mols * iters; total != want {
+			return fmt.Errorf("box updates = %d, want %d", total, want)
+		}
+		return nil
+	}
+	return w
+}
+
+// Radix is the parallel radix sort: a short burst of highly contended
+// histogram-lock acquisitions per pass, too few per thread for adaptive
+// speculation to learn — the workload where LazyDet regresses (§5.3).
+func Radix(scale int) *harness.Workload {
+	keys := int64(4096 * scale)
+	const radix = 16
+	const passes = 4
+	var l layout
+	src := l.alloc(keys)
+	dst := l.alloc(keys)
+	hist := l.alloc(radix)          // global per-pass histogram
+	rankBase := l.alloc(radix * 64) // per (bucket, thread) counts
+	prefix := l.alloc(radix)        // prefix sums
+
+	var lk lockAlloc
+	bucketLock := int64(lk.alloc(radix))
+
+	w := &harness.Workload{Name: "radix", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		r := uint64(5)
+		for i := int64(0); i < keys; i++ {
+			r = lcg(r)
+			// Skewed 16-bit keys: low buckets hot, matching the
+			// skewed per-lock distribution of Table 1.
+			set(src+i, zipfPick(int64(r>>16&0xffff), 65536))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("radix-%d", tid))
+			lo, hi := splitRange(keys, threads, tid)
+			pass, i, v, d, c, off := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			localHist := b.Scratch(radix)
+			offsets := b.Scratch(radix)
+
+			srcOf := func(t *dvm.Thread) int64 {
+				if t.R(pass)%2 == 0 {
+					return src
+				}
+				return dst
+			}
+			dstOf := func(t *dvm.Thread) int64 {
+				if t.R(pass)%2 == 0 {
+					return dst
+				}
+				return src
+			}
+			digit := func(t *dvm.Thread, key int64) int64 {
+				return key >> (uint(t.R(pass)) * 4) & (radix - 1)
+			}
+
+			b.ForN(pass, passes, func() {
+				// Local histogram over the thread's slice.
+				b.Do(func(t *dvm.Thread) {
+					for k := int64(0); k < radix; k++ {
+						t.Scratch[localHist+k] = 0
+					}
+				})
+				b.For(i, lo, dvm.Const(hi), func() {
+					b.Load(v, func(t *dvm.Thread) int64 { return srcOf(t) + t.R(i) })
+					b.Do(func(t *dvm.Thread) { t.Scratch[localHist+digit(t, t.R(v))]++ })
+				})
+				// Publish per-(bucket, thread) counts (disjoint) and
+				// merge non-zero buckets into the global histogram
+				// under the bucket locks: the contended burst.
+				b.ForN(d, radix, func() {
+					b.Store(func(t *dvm.Thread) int64 { return rankBase + t.R(d)*64 + int64(t.ID) },
+						func(t *dvm.Thread) int64 { return t.Scratch[localHist+t.R(d)] })
+					b.If(func(t *dvm.Thread) bool { return t.Scratch[localHist+t.R(d)] > 0 }, func() {
+						b.Lock(func(t *dvm.Thread) int64 { return bucketLock + t.R(d) })
+						b.Load(c, func(t *dvm.Thread) int64 { return hist + t.R(d) })
+						b.Store(func(t *dvm.Thread) int64 { return hist + t.R(d) },
+							func(t *dvm.Thread) int64 { return t.R(c) + t.Scratch[localHist+t.R(d)] })
+						b.Unlock(func(t *dvm.Thread) int64 { return bucketLock + t.R(d) })
+					})
+				})
+				b.Barrier(dvm.Const(0))
+				// Thread 0 computes prefix sums and clears the histogram.
+				if tid == 0 {
+					b.Set(off, 0)
+					b.ForN(d, radix, func() {
+						b.Load(c, func(t *dvm.Thread) int64 { return hist + t.R(d) })
+						b.Store(func(t *dvm.Thread) int64 { return prefix + t.R(d) }, dvm.FromReg(off))
+						b.Do(func(t *dvm.Thread) { t.AddR(off, t.R(c)) })
+						b.Store(func(t *dvm.Thread) int64 { return hist + t.R(d) }, dvm.Const(0))
+					})
+				}
+				b.Barrier(dvm.Const(0))
+				// Compute private write offsets: prefix[d] + counts of
+				// lower-numbered threads.
+				b.ForN(d, radix, func() {
+					b.Load(off, func(t *dvm.Thread) int64 { return prefix + t.R(d) })
+					b.Do(func(t *dvm.Thread) { t.Scratch[offsets+t.R(d)] = t.R(off) })
+					for t2 := 0; t2 < tid; t2++ {
+						t2 := t2
+						b.Load(c, func(t *dvm.Thread) int64 { return rankBase + t.R(d)*64 + int64(t2) })
+						b.Do(func(t *dvm.Thread) { t.Scratch[offsets+t.R(d)] += t.R(c) })
+					}
+				})
+				// Permute into the destination (disjoint writes).
+				b.For(i, lo, dvm.Const(hi), func() {
+					b.Load(v, func(t *dvm.Thread) int64 { return srcOf(t) + t.R(i) })
+					b.Store(func(t *dvm.Thread) int64 {
+						dd := digit(t, t.R(v))
+						o := t.Scratch[offsets+dd]
+						t.Scratch[offsets+dd]++
+						return dstOf(t) + o
+					}, dvm.FromReg(v))
+				})
+				b.Barrier(dvm.Const(0))
+			})
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// After an even number of passes the sorted data is back in src.
+		prev := int64(-1)
+		for i := int64(0); i < keys; i++ {
+			v := read(src + i)
+			if v < prev {
+				return fmt.Errorf("not sorted at %d: %d < %d", i, v, prev)
+			}
+			prev = v
+		}
+		return nil
+	}
+	return w
+}
+
+// FFT is the radix-2 transform: barrier-per-stage with three lightly used
+// locks, matching Table 1's fft row.
+func FFT(scale int) *harness.Workload {
+	logN := 9 + scale - 1
+	if logN > 11 {
+		logN = 11
+	}
+	n := int64(1) << uint(logN)
+	var l layout
+	re := l.alloc(n)
+	im := l.alloc(n)
+	stageAcc := l.alloc(3)
+
+	var lk lockAlloc
+	stageLock := int64(lk.alloc(3))
+
+	w := &harness.Workload{Name: "fft", HeapWords: l.next, Locks: lk.next, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		for i := int64(0); i < n; i++ {
+			set(re+i, ftoi(math.Sin(float64(i)*0.1)+math.Cos(float64(i)*0.03)))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("fft-%d", tid))
+			i, ar, ai, br, bi, v := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			half := int64(1)
+			for s := 0; s < logN; s++ {
+				lo, hi := splitRange(n/2, threads, tid)
+				// A thread occasionally touches a stage lock (twiddle
+				// table bookkeeping in the original).
+				if (s+tid)%4 == 0 {
+					sl := int64((s + tid) % 3)
+					b.Lock(dvm.Const(stageLock + sl))
+					b.Load(v, dvm.Const(stageAcc+sl))
+					b.Store(dvm.Const(stageAcc+sl), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Unlock(dvm.Const(stageLock + sl))
+				}
+				halfS := half
+				b.For(i, lo, dvm.Const(hi), func() {
+					idx := func(t *dvm.Thread) (int64, int64) {
+						blk := t.R(i) / halfS
+						off := t.R(i) % halfS
+						a := blk*halfS*2 + off
+						return a, a + halfS
+					}
+					b.Load(ar, func(t *dvm.Thread) int64 { a, _ := idx(t); return re + a })
+					b.Load(ai, func(t *dvm.Thread) int64 { a, _ := idx(t); return im + a })
+					b.Load(br, func(t *dvm.Thread) int64 { _, c := idx(t); return re + c })
+					b.Load(bi, func(t *dvm.Thread) int64 { _, c := idx(t); return im + c })
+					b.Do(func(t *dvm.Thread) {
+						off := t.R(i) % halfS
+						ang := -math.Pi * float64(off) / float64(halfS)
+						wr, wi := math.Cos(ang), math.Sin(ang)
+						xr, xi := itof(t.R(br)), itof(t.R(bi))
+						tr := wr*xr - wi*xi
+						ti := wr*xi + wi*xr
+						t.SetR(br, ftoi(itof(t.R(ar))-tr))
+						t.SetR(bi, ftoi(itof(t.R(ai))-ti))
+						t.SetR(ar, ftoi(itof(t.R(ar))+tr))
+						t.SetR(ai, ftoi(itof(t.R(ai))+ti))
+					})
+					b.Store(func(t *dvm.Thread) int64 { a, _ := idx(t); return re + a }, dvm.FromReg(ar))
+					b.Store(func(t *dvm.Thread) int64 { a, _ := idx(t); return im + a }, dvm.FromReg(ai))
+					b.Store(func(t *dvm.Thread) int64 { _, c := idx(t); return re + c }, dvm.FromReg(br))
+					b.Store(func(t *dvm.Thread) int64 { _, c := idx(t); return im + c }, dvm.FromReg(bi))
+				})
+				b.Barrier(dvm.Const(0))
+				half *= 2
+			}
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// Parseval's check: input and output energies must agree.
+		var inE, outE float64
+		for i := int64(0); i < n; i++ {
+			x := math.Sin(float64(i)*0.1) + math.Cos(float64(i)*0.03)
+			inE += x * x
+			xr, xi := itof(read(re+i)), itof(read(im+i))
+			outE += xr*xr + xi*xi
+		}
+		if math.Abs(outE/float64(n)-inE) > 1e-6*inE {
+			return fmt.Errorf("Parseval mismatch: in %v, out/n %v", inE, outE/float64(n))
+		}
+		return nil
+	}
+	return w
+}
+
+// luWorkload factors a diagonally dominant matrix with per-step barriers
+// and zero locks (Table 1's lu rows). Contiguous vs non-contiguous block
+// assignment distinguishes lu_cb from lu_ncb.
+func luWorkload(name string, contiguous bool, scale int) *harness.Workload {
+	n := int64(24)
+	if scale > 1 {
+		n = 32
+	}
+	var l layout
+	a := l.alloc(n * n)
+
+	initVal := func(i int64) float64 {
+		r, c := i/n, i%n
+		v := float64((r*7+c*13)%10) + 1
+		if r == c {
+			v += float64(n) * 10
+		}
+		return v
+	}
+
+	w := &harness.Workload{Name: name, HeapWords: l.next, Locks: 0, Barriers: 1}
+	w.Init = func(set func(addr, val int64), threads int) {
+		for i := int64(0); i < n*n; i++ {
+			set(a+i, ftoi(initVal(i)))
+		}
+	}
+	w.Programs = func(threads int) []*dvm.Program {
+		progs := make([]*dvm.Program, threads)
+		for tid := 0; tid < threads; tid++ {
+			b := dvm.NewBuilder(fmt.Sprintf("%s-%d", name, tid))
+			col, mul, v, pv := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+			mine := func(r int64) bool {
+				if contiguous {
+					lo, hi := splitRange(n, threads, tid)
+					return r >= lo && r < hi
+				}
+				return r%int64(threads) == int64(tid)
+			}
+			for k := int64(0); k < n-1; k++ {
+				k := k
+				for r := k + 1; r < n; r++ {
+					if !mine(r) {
+						continue
+					}
+					r := r
+					b.Load(pv, dvm.Const(a+k*n+k))
+					b.Load(mul, dvm.Const(a+r*n+k))
+					b.Do(func(t *dvm.Thread) { t.SetR(mul, ftoi(itof(t.R(mul))/itof(t.R(pv)))) })
+					b.Store(dvm.Const(a+r*n+k), dvm.FromReg(mul))
+					b.For(col, k+1, dvm.Const(n), func() {
+						b.Load(v, func(t *dvm.Thread) int64 { return a + r*n + t.R(col) })
+						b.Load(pv, func(t *dvm.Thread) int64 { return a + k*n + t.R(col) })
+						b.Do(func(t *dvm.Thread) {
+							t.SetR(v, ftoi(itof(t.R(v))-itof(t.R(mul))*itof(t.R(pv))))
+						})
+						b.Store(func(t *dvm.Thread) int64 { return a + r*n + t.R(col) }, dvm.FromReg(v))
+					})
+				}
+				b.Barrier(dvm.Const(0))
+			}
+			progs[tid] = b.Build()
+		}
+		return progs
+	}
+	w.Validate = func(read func(int64) int64, threads int) error {
+		// Reproduce the elimination on the host and compare.
+		m := make([]float64, n*n)
+		for i := int64(0); i < n*n; i++ {
+			m[i] = initVal(i)
+		}
+		for k := int64(0); k < n-1; k++ {
+			for r := k + 1; r < n; r++ {
+				mul := m[r*n+k] / m[k*n+k]
+				m[r*n+k] = mul
+				for c := k + 1; c < n; c++ {
+					m[r*n+c] -= mul * m[k*n+c]
+				}
+			}
+		}
+		for i := int64(0); i < n*n; i++ {
+			got := itof(read(a + i))
+			if math.Abs(got-m[i]) > 1e-9*(math.Abs(m[i])+1) {
+				return fmt.Errorf("A[%d,%d] = %v, want %v", i/n, i%n, got, m[i])
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// LUContig is lu_cb: contiguous row blocks per thread.
+func LUContig(scale int) *harness.Workload { return luWorkload("lu_cb", true, scale) }
+
+// LUNonContig is lu_ncb: rows interleaved across threads.
+func LUNonContig(scale int) *harness.Workload { return luWorkload("lu_ncb", false, scale) }

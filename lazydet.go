@@ -1,0 +1,133 @@
+// Package lazydet is a deterministic multithreading (DMT) runtime for Go,
+// reproducing "Lazy Determinism for Faster Deterministic Multithreading"
+// (Merrifield, Roghanchi, Devietti, Eriksson — ASPLOS 2019).
+//
+// The library executes multithreaded programs — written for its
+// deterministic thread VM — under five interchangeable engines:
+//
+//   - Pthreads: plain locks over shared memory, nondeterministic (the
+//     baseline every result is normalized to);
+//   - Consequence: eager strong determinism — a deterministic logical
+//     clock totally orders all synchronization, and versioned memory
+//     isolates threads between synchronization points;
+//   - TotalOrderWeak: the same total order without isolation
+//     (Kendo-style weak determinism);
+//   - TotalOrderWeakNondet: total ordering through a global mutex,
+//     nondeterministically;
+//   - LazyDet: the paper's contribution — lazy determinism. Lock
+//     acquisitions run speculatively with no global coordination;
+//     determinism is enforced after the fact by validating, at a
+//     deterministic commit point, that no lock in the run's log was
+//     acquired by another thread since the run began. Failed runs roll
+//     back (thread state snapshot + versioned-memory revert) and re-run.
+//
+// Programs are built with the structured Builder API:
+//
+//	b := lazydet.NewProgram("counter")
+//	i, v := b.Reg(), b.Reg()
+//	b.ForN(i, 1000, func() {
+//		b.Lock(lazydet.Const(0))
+//		b.Load(v, lazydet.Const(0))
+//		b.Store(lazydet.Const(0), func(t *lazydet.Thread) int64 { return t.R(v) + 1 })
+//		b.Unlock(lazydet.Const(0))
+//	})
+//	prog := b.Build()
+//
+// and run through a Workload:
+//
+//	w := &lazydet.Workload{
+//		Name: "counter", HeapWords: 8, Locks: 1,
+//		Programs: func(threads int) []*lazydet.Program { ... },
+//	}
+//	res, err := lazydet.Run(w, lazydet.Options{Engine: lazydet.LazyDet, Threads: 8})
+//
+// Two runs of a deterministic engine on the same workload produce
+// identical synchronization traces and final memory; Verify checks this.
+package lazydet
+
+import (
+	"fmt"
+
+	"lazydet/internal/core"
+	"lazydet/internal/dvm"
+	"lazydet/internal/harness"
+)
+
+// Core program-building types, re-exported from the deterministic VM.
+type (
+	// Builder assembles a Program with structured control flow.
+	Builder = dvm.Builder
+	// Program is an immutable instruction sequence for one thread.
+	Program = dvm.Program
+	// Thread is the per-thread VM state passed to instruction closures.
+	Thread = dvm.Thread
+	// Reg names a VM register.
+	Reg = dvm.Reg
+	// Syscall describes an irrevocable external operation.
+	Syscall = dvm.Syscall
+)
+
+// Experiment-running types, re-exported from the harness.
+type (
+	// Workload describes a benchmark: memory and lock footprint,
+	// per-thread programs, initial data and a final check.
+	Workload = harness.Workload
+	// Options selects the engine, thread count and instrumentation.
+	Options = harness.Options
+	// Result carries one run's measurements.
+	Result = harness.Result
+	// EngineKind names one of the five systems.
+	EngineKind = harness.EngineKind
+	// SpecConfig tunes LazyDet's speculation (paper §3.4).
+	SpecConfig = core.SpecConfig
+)
+
+// The five engines of the paper's evaluation.
+const (
+	Pthreads             = harness.Pthreads
+	Consequence          = harness.Consequence
+	TotalOrderWeak       = harness.TotalOrderWeak
+	TotalOrderWeakNondet = harness.TotalOrderWeakNondet
+	LazyDet              = harness.LazyDet
+)
+
+// NewProgram starts building a thread program.
+func NewProgram(name string) *Builder { return dvm.NewBuilder(name) }
+
+// Const returns an address/value closure for a constant.
+func Const(v int64) func(*Thread) int64 { return dvm.Const(v) }
+
+// FromReg returns an address/value closure reading register r.
+func FromReg(r Reg) func(*Thread) int64 { return dvm.FromReg(r) }
+
+// DefaultSpecConfig returns the speculation parameters used by the paper's
+// experiments (85 % success threshold, probe every 20 attempts, per-lock
+// statistics, coarsening, irrevocable upgrade).
+func DefaultSpecConfig() SpecConfig { return core.DefaultSpecConfig() }
+
+// Run executes the workload once under the configured engine.
+func Run(w *Workload, opt Options) (*Result, error) { return harness.Run(w, opt) }
+
+// Verify runs the workload twice under the given options (forcing trace
+// recording) and returns an error if the two executions differ in final
+// memory or synchronization order — the determinism check.
+func Verify(w *Workload, opt Options) error {
+	opt.Trace = true
+	r1, err := Run(w, opt)
+	if err != nil {
+		return err
+	}
+	r2, err := Run(w, opt)
+	if err != nil {
+		return err
+	}
+	if r1.HeapHash != r2.HeapHash {
+		return fmt.Errorf("lazydet: %s under %s is not deterministic: final memory %x vs %x",
+			w.Name, opt.Engine, r1.HeapHash, r2.HeapHash)
+	}
+	if r1.TraceSig != r2.TraceSig {
+		return fmt.Errorf("lazydet: %s under %s is not deterministic: sync order %x vs %x",
+			w.Name, opt.Engine, r1.TraceSig, r2.TraceSig)
+	}
+	return nil
+}

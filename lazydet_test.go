@@ -1,0 +1,134 @@
+package lazydet_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lazydet"
+)
+
+// counter builds a one-lock counter workload through the public API.
+func counter(iters int64) *lazydet.Workload {
+	return &lazydet.Workload{
+		Name:      "api-counter",
+		HeapWords: 8,
+		Locks:     1,
+		Programs: func(threads int) []*lazydet.Program {
+			b := lazydet.NewProgram("counter")
+			i, v := b.Reg(), b.Reg()
+			b.ForN(i, iters, func() {
+				b.Lock(lazydet.Const(0))
+				b.Load(v, lazydet.Const(0))
+				b.Store(lazydet.Const(0), func(t *lazydet.Thread) int64 { return t.R(v) + 1 })
+				b.Unlock(lazydet.Const(0))
+			})
+			p := b.Build()
+			progs := make([]*lazydet.Program, threads)
+			for t := range progs {
+				progs[t] = p
+			}
+			return progs
+		},
+		Validate: func(read func(int64) int64, threads int) error {
+			if got, want := read(0), int64(threads)*iters; got != want {
+				return fmt.Errorf("counter = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+func TestPublicAPIRunAllEngines(t *testing.T) {
+	w := counter(100)
+	for _, eng := range []lazydet.EngineKind{
+		lazydet.Pthreads, lazydet.Consequence, lazydet.TotalOrderWeak,
+		lazydet.TotalOrderWeakNondet, lazydet.LazyDet,
+	} {
+		res, err := lazydet.Run(w, lazydet.Options{Engine: eng, Threads: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if res.Wall <= 0 {
+			t.Fatalf("%s: no wall time measured", eng)
+		}
+	}
+}
+
+func TestPublicAPIVerify(t *testing.T) {
+	w := counter(150)
+	for _, eng := range []lazydet.EngineKind{lazydet.Consequence, lazydet.LazyDet} {
+		if err := lazydet.Verify(w, lazydet.Options{Engine: eng, Threads: 4}); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+	}
+}
+
+func TestPublicAPISpecConfig(t *testing.T) {
+	sc := lazydet.DefaultSpecConfig()
+	if !sc.Coarsening || !sc.Irrevocable || !sc.PerLockStats {
+		t.Fatalf("default speculation config lost the paper's features: %+v", sc)
+	}
+	if sc.ThresholdPermille != 850 || sc.RetryEvery != 20 {
+		t.Fatalf("default thresholds are not the paper's 85%%/20: %+v", sc)
+	}
+	sc.Coarsening = false
+	w := counter(100)
+	res, err := lazydet.Run(w, lazydet.Options{Engine: lazydet.LazyDet, Threads: 2, Spec: sc, CollectSpec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Spec.MeanRunCS(); m > 1.01 {
+		t.Fatalf("NoCoarsening via public API not applied: %.2f CS/run", m)
+	}
+}
+
+func TestPublicAPIEngineNames(t *testing.T) {
+	names := []string{
+		lazydet.Pthreads.String(), lazydet.Consequence.String(),
+		lazydet.TotalOrderWeak.String(), lazydet.TotalOrderWeakNondet.String(),
+		lazydet.LazyDet.String(),
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"pthreads", "Consequence", "TotalOrder-Weak", "LazyDet"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("engine names %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestPublicAPISyscallAndAtomic(t *testing.T) {
+	ran := 0
+	w := &lazydet.Workload{
+		Name: "api-sys", HeapWords: 8, Locks: 1,
+		Programs: func(threads int) []*lazydet.Program {
+			progs := make([]*lazydet.Program, threads)
+			for tid := 0; tid < threads; tid++ {
+				b := lazydet.NewProgram("sys")
+				r := b.Reg()
+				b.Lock(lazydet.Const(0))
+				b.Syscall(&lazydet.Syscall{Name: "probe", Work: 5, Effect: func(*lazydet.Thread) { ran++ }})
+				b.Unlock(lazydet.Const(0))
+				b.AtomicAdd(r, lazydet.Const(1), lazydet.Const(1))
+				progs[tid] = b.Build()
+			}
+			return progs
+		},
+		Validate: func(read func(int64) int64, threads int) error {
+			if got := read(1); got != int64(threads) {
+				return fmt.Errorf("atomic counter = %d, want %d", got, threads)
+			}
+			return nil
+		},
+	}
+	res, err := lazydet.Run(w, lazydet.Options{Engine: lazydet.LazyDet, Threads: 3, CollectSpec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("syscall effects ran %d times, want 3", ran)
+	}
+	if res.Spec.Upgrades.Load() == 0 {
+		t.Fatal("syscalls under locks should upgrade speculation runs")
+	}
+}
