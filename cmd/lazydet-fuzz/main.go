@@ -1,18 +1,24 @@
 // Command lazydet-fuzz differentially stress-tests the engines: it
 // generates random data-race-free commutative programs (whose final memory
 // is schedule-independent and predicted on the host), runs each under every
-// engine, and verifies three properties per seed:
+// engine, and verifies four properties per seed:
 //
 //  1. correctness — every engine's final memory matches the model exactly;
 //
 //  2. determinism — Consequence, TotalOrder-Weak and LazyDet reproduce
-//     identical trace signatures and memory across repeated runs;
+//     identical trace signatures and memory across repeated runs, and so
+//     does LazyDet with write-aware conflict detection;
 //
 //  3. speculation accounting — LazyDet's commits + reverts equal its run
-//     count.
+//     count;
+//
+//  4. (with -invariants) runtime invariants — turn-holder uniqueness, heap
+//     commit monotonicity, lock-table consistency and snapshot round-trip
+//     exactness hold at every turn grant and commit/revert.
 //
 //     lazydet-fuzz -seeds 100 -threads 4
 //     lazydet-fuzz -seeds 1000 -ops 120 -start 42
+//     lazydet-fuzz -seeds 50 -invariants
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"fmt"
 	"os"
 
+	"lazydet/internal/core"
 	"lazydet/internal/harness"
+	"lazydet/internal/invariant"
 	"lazydet/internal/randprog"
 )
 
@@ -29,6 +37,7 @@ func main() {
 	start := flag.Uint64("start", 1, "first seed")
 	threads := flag.Int("threads", 4, "simulated thread count")
 	ops := flag.Int("ops", 60, "operations per thread")
+	invariants := flag.Bool("invariants", false, "audit runtime invariants at every turn and commit/revert")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -38,39 +47,76 @@ func main() {
 	failures := 0
 	for s := uint64(0); s < uint64(*seeds); s++ {
 		seed := *start + s
-		w, _ := randprog.Generate(seed, cfg)
+		w, _, err := randprog.Generate(seed, cfg)
+		if err != nil {
+			fmt.Printf("seed %d: generator failed: %v\n", seed, err)
+			failures++
+			continue
+		}
 		ok := true
+		var violations []*invariant.Violation
+		baseOpt := harness.Options{Threads: *threads}
+		if *invariants {
+			baseOpt.CheckInvariants = true
+			baseOpt.OnViolation = func(v *invariant.Violation) { violations = append(violations, v) }
+		}
 
 		// Property 1: model equivalence under every engine.
 		for _, eng := range harness.AllEngines {
-			if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: *threads}); err != nil {
+			opt := baseOpt
+			opt.Engine = eng
+			if _, err := harness.Run(w, opt); err != nil {
 				fmt.Printf("seed %d: %s: %v\n", seed, eng, err)
 				ok = false
 			}
 		}
-		// Properties 2 and 3: determinism + speculation accounting.
-		for _, eng := range []harness.EngineKind{harness.Consequence, harness.TotalOrderWeak, harness.LazyDet} {
-			opt := harness.Options{Engine: eng, Threads: *threads, Trace: true, CollectSpec: eng == harness.LazyDet}
+		// Properties 2 and 3: determinism + speculation accounting, for
+		// the deterministic engines plus LazyDet's write-aware variant.
+		type variant struct {
+			name       string
+			engine     harness.EngineKind
+			writeAware bool
+		}
+		variants := []variant{
+			{"Consequence", harness.Consequence, false},
+			{"TotalOrder-Weak", harness.TotalOrderWeak, false},
+			{"LazyDet", harness.LazyDet, false},
+			{"LazyDet-WriteAware", harness.LazyDet, true},
+		}
+		for _, va := range variants {
+			opt := baseOpt
+			opt.Engine = va.engine
+			opt.Trace = true
+			opt.CollectSpec = va.engine == harness.LazyDet
+			if va.writeAware {
+				opt.Spec = core.DefaultSpecConfig()
+				opt.Spec.WriteAware = true
+			}
 			r1, err1 := harness.Run(w, opt)
 			r2, err2 := harness.Run(w, opt)
 			if err1 != nil || err2 != nil {
-				fmt.Printf("seed %d: %s: %v %v\n", seed, eng, err1, err2)
+				fmt.Printf("seed %d: %s: %v %v\n", seed, va.name, err1, err2)
 				ok = false
 				continue
 			}
 			if r1.TraceSig != r2.TraceSig || r1.HeapHash != r2.HeapHash {
 				fmt.Printf("seed %d: %s NOT DETERMINISTIC (trace %x/%x heap %x/%x)\n",
-					seed, eng, r1.TraceSig, r2.TraceSig, r1.HeapHash, r2.HeapHash)
+					seed, va.name, r1.TraceSig, r2.TraceSig, r1.HeapHash, r2.HeapHash)
 				ok = false
 			}
 			if r1.Spec != nil {
 				runs, commits, reverts := r1.Spec.Runs.Load(), r1.Spec.Commits.Load(), r1.Spec.Reverts.Load()
 				if commits+reverts != runs {
-					fmt.Printf("seed %d: speculation accounting broken: %d commits + %d reverts != %d runs\n",
-						seed, commits, reverts, runs)
+					fmt.Printf("seed %d: %s speculation accounting broken: %d commits + %d reverts != %d runs\n",
+						seed, va.name, commits, reverts, runs)
 					ok = false
 				}
 			}
+		}
+		// Property 4: zero invariant violations across all of the above.
+		for _, v := range violations {
+			fmt.Printf("seed %d: %v\n", seed, v)
+			ok = false
 		}
 		if !ok {
 			failures++
@@ -82,5 +128,9 @@ func main() {
 		fmt.Printf("FAIL: %d of %d seeds\n", failures, *seeds)
 		os.Exit(1)
 	}
-	fmt.Printf("ok: %d seeds × %d engines, all equivalent and deterministic\n", *seeds, len(harness.AllEngines))
+	suffix := ""
+	if *invariants {
+		suffix = ", zero invariant violations"
+	}
+	fmt.Printf("ok: %d seeds × %d engines, all equivalent and deterministic%s\n", *seeds, len(harness.AllEngines), suffix)
 }

@@ -28,6 +28,7 @@ import (
 	"lazydet/internal/detsync"
 	"lazydet/internal/dlc"
 	"lazydet/internal/dvm"
+	"lazydet/internal/invariant"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
 	"lazydet/internal/trace"
@@ -140,6 +141,13 @@ type Config struct {
 	// SyncCost is the DLC increment charged for a completed
 	// synchronization operation.
 	SyncCost int64
+	// CheckInvariants enables the runtime audit layer
+	// (internal/invariant): at every turn grant and every commit/revert
+	// the engine asserts turn-holder uniqueness, heap commit monotonicity
+	// and chain integrity, lock-table consistency, and snapshot
+	// round-trip exactness. Off by default; when off the only cost is a
+	// nil pointer compare at each audit point.
+	CheckInvariants bool
 }
 
 // withDefaults fills zero fields.
@@ -179,6 +187,10 @@ type Deps struct {
 	Rec   *trace.Recorder
 	Times *stats.Times
 	Spec  *stats.Spec
+	// OnViolation receives invariant violations when
+	// Config.CheckInvariants is set. Nil means panic on violation — a
+	// repeatable panic, since the engines are deterministic.
+	OnViolation func(*invariant.Violation)
 }
 
 // Engine is the deterministic runtime. It implements dvm.Engine.
@@ -191,6 +203,9 @@ type Engine struct {
 	rec   *trace.Recorder
 	times *stats.Times
 	spec  *stats.Spec
+
+	// audit is the invariant checker, nil unless Config.CheckInvariants.
+	audit *invariant.Checker
 
 	// irrevocableOwner is the thread ID holding irrevocable status, or
 	// -1. Read and written only at deterministic turn points.
@@ -213,7 +228,7 @@ func New(cfg Config, d Deps) *Engine {
 	if (cfg.Mode == ModeWeakNondet) != d.Arb.Nondet() {
 		panic("core: arbiter determinism does not match mode")
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:              cfg,
 		arb:              d.Arb,
 		tbl:              d.Tbl,
@@ -224,6 +239,10 @@ func New(cfg Config, d Deps) *Engine {
 		spec:             d.Spec,
 		irrevocableOwner: -1,
 	}
+	if cfg.CheckInvariants {
+		e.audit = invariant.New(d.Arb, d.Tbl, d.Heap, d.OnViolation)
+	}
+	return e
 }
 
 // Name implements dvm.Engine, using the evaluation's system names.
@@ -393,6 +412,9 @@ func (e *Engine) waitCommitTurn(t *dvm.Thread) {
 	backoff := e.cfg.Quantum
 	for {
 		e.waitTurn(t)
+		if e.audit != nil {
+			e.audit.AtTurn(t.ID)
+		}
 		if e.irrevocableOwner == -1 || e.irrevocableOwner == t.ID {
 			return
 		}
@@ -411,6 +433,9 @@ func (e *Engine) commitIfDirty(t *dvm.Thread, ts *tstate) {
 	}
 	seq, _ := ts.view.Commit()
 	e.rec.Commit(t.ID, e.arb.DLC(t.ID), seq)
+	if e.audit != nil {
+		e.audit.AtCommit(t.ID, seq)
+	}
 }
 
 // blockedWake waits for a Wake, charging blocked time.

@@ -251,6 +251,11 @@ func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
 	discarded := ts.view.RevertTo(ts.dirtySnap)
 	t.Restore(ts.snap)
 	cost := time.Since(start).Nanoseconds()
+	if e.audit != nil {
+		// The thread must be exactly its BEGIN snapshot again, and the
+		// dirty set exactly the pre-run dirty set.
+		e.audit.AtRevert(t, ts.snap, ts.view.DirtyWords(), ts.dirtySnap.Words())
+	}
 	e.recordOutcome(ts, t.ID, false)
 	if e.spec != nil {
 		e.spec.Reverts.Add(1)

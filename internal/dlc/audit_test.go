@@ -1,0 +1,66 @@
+package dlc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditTurnHolder: a thread that legitimately holds the turn audits
+// clean; a thread that does not is rejected with its actual status.
+func TestAuditTurnHolder(t *testing.T) {
+	a := New(2)
+	a.WaitTurn(0)
+	if err := a.AuditTurn(0); err != nil {
+		t.Fatalf("legitimate turn holder flagged: %v", err)
+	}
+	if err := a.AuditTurn(1); err == nil {
+		t.Fatal("thread 1 audited the turn without holding it, no error")
+	} else if !strings.Contains(err.Error(), "status") {
+		t.Fatalf("error %q does not mention the bogus status", err)
+	}
+	a.ReleaseTurn(0, 1)
+}
+
+// TestAuditTurnNotMinimum: a turn holder whose clock was pushed above a
+// runnable peer's is no longer the (DLC, tid) minimum and must be flagged.
+func TestAuditTurnNotMinimum(t *testing.T) {
+	a := New(2)
+	a.WaitTurn(0)
+	// Corrupt the discipline: advance the holder's clock past thread 1's
+	// while it still holds the turn.
+	a.slots[0].dlc.Add(100)
+	err := a.AuditTurn(0)
+	if err == nil {
+		t.Fatal("turn holder above the minimum audited clean")
+	}
+	if !strings.Contains(err.Error(), "minimum") {
+		t.Fatalf("error %q does not describe the minimum breach", err)
+	}
+	a.slots[0].dlc.Add(-100)
+	a.ReleaseTurn(0, 1)
+}
+
+// TestAuditTurnIgnoresParked: parked and exited threads are outside turn
+// arbitration, so a holder with a higher clock than a parked thread is fine.
+func TestAuditTurnIgnoresParked(t *testing.T) {
+	a := New(2)
+	a.WaitTurn(0)
+	a.Park(0) // thread 0 parks at DLC 0; thread 1 now the minimum
+	a.WaitTurn(1)
+	a.Tick(1, 50)
+	// Thread 1 holds the turn at DLC 50; parked thread 0 at DLC 0 with a
+	// lower tid and clock must not trip the audit.
+	if err := a.AuditTurn(1); err != nil {
+		t.Fatalf("holder flagged against a parked thread: %v", err)
+	}
+	a.ReleaseTurn(1, 1)
+}
+
+// TestAuditTurnNondet: the nondeterministic arbiter has no clock discipline;
+// AuditTurn is a no-op there.
+func TestAuditTurnNondet(t *testing.T) {
+	a := NewNondet(2)
+	if err := a.AuditTurn(0); err != nil {
+		t.Fatalf("nondet arbiter audited: %v", err)
+	}
+}

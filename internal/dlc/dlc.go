@@ -23,6 +23,7 @@
 package dlc
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,23 @@ const (
 	// StatusExited threads have finished their program.
 	StatusExited
 )
+
+// String names the status for diagnostics.
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusWaiting:
+		return "waiting"
+	case StatusTurn:
+		return "turn"
+	case StatusParked:
+		return "parked"
+	case StatusExited:
+		return "exited"
+	}
+	return fmt.Sprintf("status(%d)", int32(s))
+}
 
 // noWaiter is the sentinel stored in minWaiter when no thread is waiting.
 const noWaiter = math.MaxInt64
@@ -324,4 +342,42 @@ func (a *Arbiter) SetParked(tid int) {
 // Status returns the current status of thread tid.
 func (a *Arbiter) Status(tid int) Status {
 	return Status(a.slots[tid].status.Load())
+}
+
+// AuditTurn verifies the turn-discipline invariant from the perspective of
+// thread tid, which must currently hold the turn: no other thread is in
+// StatusTurn, and tid's (DLC, tid) pair is the minimum over all threads that
+// are neither parked nor exited. It must be called by tid itself between
+// WaitTurn and ReleaseTurn — while tid holds the turn, other threads' clocks
+// only advance and park/exit transitions cannot happen, so any violation
+// observed under the arbiter mutex is genuine, not transient. Returns a
+// descriptive error on breach, nil otherwise. In nondeterministic mode there
+// is no clock discipline to audit.
+func (a *Arbiter) AuditTurn(tid int) error {
+	if a.nondet {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := Status(a.slots[tid].status.Load()); st != StatusTurn {
+		return fmt.Errorf("dlc: thread %d audits the turn with status %v, want turn", tid, st)
+	}
+	my := a.slots[tid].dlc.Load()
+	for i := range a.slots {
+		if i == tid {
+			continue
+		}
+		st := Status(a.slots[i].status.Load())
+		if st == StatusTurn {
+			return fmt.Errorf("dlc: threads %d and %d hold the turn simultaneously", tid, i)
+		}
+		if st == StatusParked || st == StatusExited {
+			continue
+		}
+		if d := a.slots[i].dlc.Load(); d < my || (d == my && i < tid) {
+			return fmt.Errorf("dlc: turn holder %d @ DLC %d is not the (DLC, tid) minimum: thread %d (%v) is at DLC %d",
+				tid, my, i, st, d)
+		}
+	}
+	return nil
 }

@@ -323,6 +323,30 @@ func (t *Thread) Restore(s *Snapshot) {
 	t.halted = false
 }
 
+// MatchesSnapshot verifies that the thread's restartable state — PC,
+// registers, scratch and PRNG — equals the snapshot, returning a description
+// of the first mismatch or nil. The invariant checker uses it to prove that
+// a speculation revert restored the thread exactly to its BEGIN state.
+func (t *Thread) MatchesSnapshot(s *Snapshot) error {
+	if t.PC != s.PC {
+		return fmt.Errorf("dvm: PC %d differs from snapshot PC %d", t.PC, s.PC)
+	}
+	if t.rng != s.RNG {
+		return fmt.Errorf("dvm: PRNG state %#x differs from snapshot %#x", t.rng, s.RNG)
+	}
+	for i, r := range s.Regs {
+		if t.Regs[i] != r {
+			return fmt.Errorf("dvm: register %d = %d differs from snapshot %d", i, t.Regs[i], r)
+		}
+	}
+	for i, w := range s.Scratch {
+		if t.Scratch[i] != w {
+			return fmt.Errorf("dvm: scratch word %d = %d differs from snapshot %d", i, t.Scratch[i], w)
+		}
+	}
+	return nil
+}
+
 // run interprets the thread's program to completion.
 func (t *Thread) run() {
 	code := t.prog.Code

@@ -15,6 +15,7 @@ import (
 	"lazydet/internal/dlc"
 	"lazydet/internal/dvm"
 	"lazydet/internal/engine/direct"
+	"lazydet/internal/invariant"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
 	"lazydet/internal/trace"
@@ -111,6 +112,18 @@ type Options struct {
 	// FullVersionChains retains every page version (DLRC-style
 	// accounting) instead of trimming to live bases (§4.2 experiment).
 	FullVersionChains bool
+	// CheckInvariants enables the runtime invariant audit layer
+	// (internal/invariant) on the deterministic engines: turn-holder
+	// uniqueness, heap commit monotonicity and chain integrity,
+	// lock-table consistency, and snapshot round-trip exactness are
+	// asserted at every turn grant and commit/revert. Off by default;
+	// enabling it costs roughly the lock-table size per synchronization
+	// operation.
+	CheckInvariants bool
+	// OnViolation receives structured invariant violations when
+	// CheckInvariants is set; nil means a violation panics (repeatably,
+	// since the engines are deterministic).
+	OnViolation func(*invariant.Violation)
 }
 
 // Result is one run's measurements.
@@ -211,14 +224,20 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		if w.Init != nil {
 			w.Init(heap.SetInitial, opt.Threads)
 		}
-		cfg := core.Config{Mode: core.ModeStrong, Speculation: opt.Engine == LazyDet, Spec: opt.Spec}
+		cfg := core.Config{
+			Mode:            core.ModeStrong,
+			Speculation:     opt.Engine == LazyDet,
+			Spec:            opt.Spec,
+			CheckInvariants: opt.CheckInvariants,
+		}
 		eng = core.New(cfg, core.Deps{
-			Arb:   dlc.New(opt.Threads),
-			Tbl:   detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, opt.Engine == LazyDet),
-			Heap:  heap,
-			Rec:   rec,
-			Times: times,
-			Spec:  spec,
+			Arb:         dlc.New(opt.Threads),
+			Tbl:         detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, opt.Engine == LazyDet),
+			Heap:        heap,
+			Rec:         rec,
+			Times:       times,
+			Spec:        spec,
+			OnViolation: opt.OnViolation,
 		})
 		readFinal = heap.ReadCommitted
 		defer func() {
@@ -238,12 +257,13 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			mode = core.ModeWeakNondet
 			arb = dlc.NewNondet(opt.Threads)
 		}
-		eng = core.New(core.Config{Mode: mode}, core.Deps{
-			Arb:   arb,
-			Tbl:   detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, false),
-			Mem:   mem,
-			Rec:   rec,
-			Times: times,
+		eng = core.New(core.Config{Mode: mode, CheckInvariants: opt.CheckInvariants}, core.Deps{
+			Arb:         arb,
+			Tbl:         detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, false),
+			Mem:         mem,
+			Rec:         rec,
+			Times:       times,
+			OnViolation: opt.OnViolation,
 		})
 		readFinal = mem.ReadCommitted
 		defer func() { res.HeapHash = mem.Hash() }()

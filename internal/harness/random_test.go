@@ -14,7 +14,10 @@ import (
 func TestQuickCrossEngineEquivalence(t *testing.T) {
 	const threads = 3
 	f := func(seed uint64) bool {
-		w, _ := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		w, _, err := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
 		for _, eng := range harness.AllEngines {
 			if _, err := harness.Run(w, harness.Options{Engine: eng, Threads: threads}); err != nil {
 				t.Logf("seed %x engine %v: %v", seed, eng, err)
@@ -34,7 +37,10 @@ func TestQuickCrossEngineEquivalence(t *testing.T) {
 func TestQuickDeterministicEnginesReproduceRandomPrograms(t *testing.T) {
 	const threads = 3
 	f := func(seed uint64) bool {
-		w, _ := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		w, _, err := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
 		for _, eng := range []harness.EngineKind{harness.Consequence, harness.TotalOrderWeak, harness.LazyDet} {
 			opt := harness.Options{Engine: eng, Threads: threads, Trace: true}
 			r1, err := harness.Run(w, opt)
@@ -62,7 +68,10 @@ func TestQuickDeterministicEnginesReproduceRandomPrograms(t *testing.T) {
 func TestQuickSpeculationAccounting(t *testing.T) {
 	const threads = 4
 	f := func(seed uint64) bool {
-		w, _ := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		w, _, err := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
 		res, err := harness.Run(w, harness.Options{Engine: harness.LazyDet, Threads: threads, CollectSpec: true})
 		if err != nil {
 			t.Log(err)

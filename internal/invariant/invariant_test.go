@@ -1,0 +1,175 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"lazydet/internal/core"
+	"lazydet/internal/detsync"
+	"lazydet/internal/dlc"
+	"lazydet/internal/dvm"
+	"lazydet/internal/invariant"
+	"lazydet/internal/vheap"
+)
+
+// rig is a single engine wired for auditing, with violations captured
+// instead of panicking.
+type rig struct {
+	eng        *core.Engine
+	arb        *dlc.Arbiter
+	tbl        *detsync.Table
+	heap       *vheap.Heap
+	violations []*invariant.Violation
+}
+
+func newAuditRig(threads, locks int, speculation bool) *rig {
+	r := &rig{
+		arb:  dlc.New(threads),
+		tbl:  detsync.NewTable(threads, locks, 1, 1, speculation),
+		heap: vheap.New(256),
+	}
+	r.eng = core.New(
+		core.Config{Mode: core.ModeStrong, Speculation: speculation, CheckInvariants: true},
+		core.Deps{
+			Arb:  r.arb,
+			Tbl:  r.tbl,
+			Heap: r.heap,
+			// Violations are reported by the turn holder; consecutive
+			// turn holders synchronize through the arbiter, so the
+			// append is safe without extra locking.
+			OnViolation: func(v *invariant.Violation) { r.violations = append(r.violations, v) },
+		})
+	return r
+}
+
+// TestMutationSkewedGl: deliberately moving a lock's G_l (LastAcquireDLC)
+// backwards between two turns must be caught at the very next turn grant as
+// a structured lock-gl-monotone violation naming the lock — not as a distant
+// trace-hash mismatch. The program is single-threaded, so the skew mutation
+// is not a data race.
+func TestMutationSkewedGl(t *testing.T) {
+	r := newAuditRig(1, 2, false)
+	b := dvm.NewBuilder("skew-gl")
+	v := b.Reg()
+	b.Lock(dvm.Const(0))
+	b.Load(v, dvm.Const(0))
+	b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+	b.Unlock(dvm.Const(0))
+	b.Do(func(*dvm.Thread) { r.tbl.Locks[0].LastAcquireDLC -= 1000 })
+	b.Lock(dvm.Const(0)) // the violating turn: audit fires here
+	b.Unlock(dvm.Const(0))
+	dvm.Run(r.eng, []*dvm.Program{b.Build()})
+
+	if len(r.violations) == 0 {
+		t.Fatal("skewed G_l produced no invariant violation")
+	}
+	got := r.violations[0]
+	if got.Rule != "lock-gl-monotone" {
+		t.Fatalf("violation rule = %q, want lock-gl-monotone (%v)", got.Rule, got)
+	}
+	if got.Lock != 0 {
+		t.Fatalf("violation names lock %d, want 0 (%v)", got.Lock, got)
+	}
+	if got.Thread != 0 {
+		t.Fatalf("violation names thread %d, want 0 (%v)", got.Thread, got)
+	}
+	if got.Status != dlc.StatusTurn {
+		t.Fatalf("violation observed with status %v, want turn — the breach must be caught at the violating turn (%v)", got.Status, got)
+	}
+	if !strings.Contains(got.Detail, "moved backwards") {
+		t.Fatalf("violation detail %q does not describe the backwards move", got.Detail)
+	}
+	if !strings.Contains(got.Error(), "lock 0") {
+		t.Fatalf("violation error %q does not name the lock", got.Error())
+	}
+}
+
+// TestMutationOwnerAndReaders: a lock recorded as simultaneously owned
+// exclusively and held by readers is caught at the next turn grant.
+func TestMutationOwnerAndReaders(t *testing.T) {
+	r := newAuditRig(1, 2, false)
+	b := dvm.NewBuilder("owner-readers")
+	b.Do(func(*dvm.Thread) {
+		r.tbl.Locks[0].Owner = 1
+		r.tbl.Locks[0].Readers = 2
+	})
+	b.Lock(dvm.Const(1))
+	b.Unlock(dvm.Const(1))
+	dvm.Run(r.eng, []*dvm.Program{b.Build()})
+
+	if len(r.violations) == 0 {
+		t.Fatal("corrupt owner/readers state produced no invariant violation")
+	}
+	got := r.violations[0]
+	if got.Rule != "lock-owner-readers" || got.Lock != 0 {
+		t.Fatalf("first violation = %v, want lock-owner-readers on lock 0", got)
+	}
+}
+
+// TestMutationCommitSeqAheadOfHeap: a lock whose LastCommitSeq claims a
+// commit the heap has never performed is caught.
+func TestMutationCommitSeqAheadOfHeap(t *testing.T) {
+	r := newAuditRig(1, 2, false)
+	b := dvm.NewBuilder("commitseq-future")
+	b.Do(func(*dvm.Thread) { r.tbl.Locks[1].LastCommitSeq = 999 })
+	b.Lock(dvm.Const(0))
+	b.Unlock(dvm.Const(0))
+	dvm.Run(r.eng, []*dvm.Program{b.Build()})
+
+	if len(r.violations) == 0 {
+		t.Fatal("future LastCommitSeq produced no invariant violation")
+	}
+	if got := r.violations[0]; got.Rule != "lock-commitseq-future" || got.Lock != 1 {
+		t.Fatalf("first violation = %v, want lock-commitseq-future on lock 1", got)
+	}
+}
+
+// TestCheckerCommitMonotonicity: the checker rejects a commit sequence that
+// fails to advance.
+func TestCheckerCommitMonotonicity(t *testing.T) {
+	arb := dlc.New(1)
+	tbl := detsync.NewTable(1, 1, 0, 0, false)
+	heap := vheap.New(64)
+	var got []*invariant.Violation
+	c := invariant.New(arb, tbl, heap, func(v *invariant.Violation) { got = append(got, v) })
+	c.AtCommit(0, 1)
+	c.AtCommit(0, 2)
+	if len(got) != 0 {
+		t.Fatalf("advancing commits flagged: %v", got[0])
+	}
+	c.AtCommit(0, 2)
+	if len(got) != 1 || got[0].Rule != "heap-commit-monotone" {
+		t.Fatalf("repeated commit sequence not flagged as heap-commit-monotone: %v", got)
+	}
+}
+
+// TestCleanRunNoViolations: an unmutated multi-threaded speculative run —
+// contended locks, commits and reverts — audits clean under both LazyDet and
+// Consequence.
+func TestCleanRunNoViolations(t *testing.T) {
+	for _, speculation := range []bool{false, true} {
+		r := newAuditRig(4, 4, speculation)
+		progs := make([]*dvm.Program, 4)
+		for tid := range progs {
+			b := dvm.NewBuilder("clean")
+			i, v := b.Reg(), b.Reg()
+			b.ForN(i, 60, func() {
+				b.Lock(dvm.Const(0))
+				b.Load(v, dvm.Const(0))
+				b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+				b.Unlock(dvm.Const(0))
+				b.Lock(func(th *dvm.Thread) int64 { return 1 + th.R(i)%3 })
+				b.Unlock(func(th *dvm.Thread) int64 { return 1 + th.R(i)%3 })
+			})
+			progs[tid] = b.Build()
+		}
+		dvm.Run(r.eng, progs)
+		if len(r.violations) != 0 {
+			t.Fatalf("speculation=%v: clean run reported %d violations, first: %v",
+				speculation, len(r.violations), r.violations[0])
+		}
+		if got := r.heap.ReadCommitted(0); got != 4*60 {
+			t.Fatalf("speculation=%v: cell 0 = %d, want %d", speculation, got, 4*60)
+		}
+	}
+}

@@ -6,6 +6,14 @@
 // deterministic engines must additionally reproduce their synchronization
 // traces run over run.
 //
+// The operation mix deliberately covers every engine code path that has
+// distinct speculation behavior: exclusive locks (plain and nested),
+// shared-mode rwlock reads (reader conflict detection, read logging),
+// atomics (the speculative-atomics extension), barriers (run termination at
+// a rendezvous), system calls both inside a critical section (irrevocable
+// upgrade, paper §3.5) and outside one (run termination), and a final
+// condition-variable rendezvous (park/unpark, FIFO wake order).
+//
 // The generator is used by the property tests in internal/harness and by
 // the cmd/lazydet-fuzz stress tool.
 package randprog
@@ -24,11 +32,22 @@ type Config struct {
 	AtomicCells  int // cells updated only with atomics
 	OpsPerThread int
 	MaxBarriers  int
-	// WithCondvars adds a final condvar rendezvous phase.
+	// WithCondvars adds a final condvar rendezvous phase: every non-leader
+	// thread increments a counter under a dedicated lock and signals;
+	// thread 0 cond-waits until all have checked in.
 	WithCondvars bool
+	// WithRWLocks mixes in shared-mode (RLock/RUnlock) critical sections,
+	// exercising reader admission and read-logged speculation.
+	WithRWLocks bool
+	// WithSyscalls mixes in irrevocable Syscall operations, both inside
+	// critical sections (irrevocable upgrade) and between them (run
+	// termination).
+	WithSyscalls bool
 }
 
-// DefaultConfig returns moderate bounds.
+// DefaultConfig returns moderate bounds with every operation class enabled,
+// so differential runs exercise the condvar, rwlock and irrevocable paths by
+// default.
 func DefaultConfig(threads int) Config {
 	return Config{
 		Threads:      threads,
@@ -36,6 +55,9 @@ func DefaultConfig(threads int) Config {
 		AtomicCells:  8,
 		OpsPerThread: 60,
 		MaxBarriers:  3,
+		WithCondvars: true,
+		WithRWLocks:  true,
+		WithSyscalls: true,
 	}
 }
 
@@ -45,7 +67,10 @@ const (
 	opLockedAdd opKind = iota
 	opAtomicAdd
 	opBarrier
-	opNestedAdd // two cells under ordered nested locks
+	opNestedAdd   // two cells under ordered nested locks
+	opSharedRead  // RLock + load, no write: never conflicts with readers
+	opLockedSysc  // locked add with a Syscall inside the critical section
+	opBareSyscall // Syscall outside any critical section
 )
 
 type op struct {
@@ -54,11 +79,37 @@ type op struct {
 	cell2  int64
 	delta  int64
 	delta2 int64
+	work   int // syscall cost
+}
+
+// validate rejects configurations the generator cannot honor.
+func (cfg Config) validate() error {
+	switch {
+	case cfg.Threads < 1:
+		return fmt.Errorf("randprog: thread count %d, want >= 1", cfg.Threads)
+	case cfg.Cells < 2:
+		return fmt.Errorf("randprog: %d lock-protected cells, want >= 2 (nested sections need two distinct cells)", cfg.Cells)
+	case cfg.AtomicCells < 1:
+		return fmt.Errorf("randprog: %d atomic cells, want >= 1", cfg.AtomicCells)
+	case cfg.OpsPerThread < 0:
+		return fmt.Errorf("randprog: %d ops per thread, want >= 0", cfg.OpsPerThread)
+	case cfg.MaxBarriers < 0:
+		return fmt.Errorf("randprog: %d max barriers, want >= 0", cfg.MaxBarriers)
+	}
+	return nil
 }
 
 // Generate builds a workload from the seed and returns it with the
-// host-side model of the expected final memory.
-func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
+// host-side model of the expected final memory. It fails on configurations
+// it cannot generate a well-formed program for.
+//
+// Heap layout: cells [0, Cells) are lock-protected (lock i guards cell i),
+// [Cells, Cells+AtomicCells) are atomic-only, and cell Cells+AtomicCells is
+// the condvar rendezvous counter, guarded by lock Cells.
+func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
 	plans := make([][]op, cfg.Threads)
 	expected := map[int64]int64{}
 	r := seed
@@ -69,7 +120,7 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
 	barriers := 0
 	for tid := 0; tid < cfg.Threads; tid++ {
 		for i := 0; i < cfg.OpsPerThread; i++ {
-			switch next(12) {
+			switch next(16) {
 			case 0:
 				if tid == 0 && barriers < cfg.MaxBarriers {
 					barriers++
@@ -99,6 +150,30 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
 				plans[tid] = append(plans[tid], op{kind: opNestedAdd, cell: a, cell2: b, delta: da, delta2: db})
 				expected[a] += da
 				expected[b] += db
+			case 8, 9:
+				c := int64(next(uint64(cfg.Cells)))
+				if cfg.WithRWLocks {
+					plans[tid] = append(plans[tid], op{kind: opSharedRead, cell: c})
+					continue
+				}
+				d := int64(next(7)) + 1
+				plans[tid] = append(plans[tid], op{kind: opLockedAdd, cell: c, delta: d})
+				expected[c] += d
+			case 10:
+				c := int64(next(uint64(cfg.Cells)))
+				d := int64(next(5)) + 1
+				if cfg.WithSyscalls {
+					plans[tid] = append(plans[tid], op{kind: opLockedSysc, cell: c, delta: d, work: int(next(4)) + 1})
+				} else {
+					plans[tid] = append(plans[tid], op{kind: opLockedAdd, cell: c, delta: d})
+				}
+				expected[c] += d
+			case 11:
+				if cfg.WithSyscalls {
+					plans[tid] = append(plans[tid], op{kind: opBareSyscall, work: int(next(4)) + 1})
+					continue
+				}
+				fallthrough
 			default:
 				c := int64(cfg.Cells) + int64(next(uint64(cfg.AtomicCells)))
 				d := int64(next(5)) + 1
@@ -108,10 +183,19 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
 		}
 	}
 
+	// Condvar rendezvous: non-leaders check in under the door lock and
+	// signal; the leader waits until everyone has. The counter's final
+	// value is schedule-independent.
+	rvCell := int64(cfg.Cells + cfg.AtomicCells)
+	doorLock := int64(cfg.Cells)
+	if cfg.WithCondvars && cfg.Threads > 1 {
+		expected[rvCell] = int64(cfg.Threads - 1)
+	}
+
 	w := &harness.Workload{
 		Name:      fmt.Sprintf("randprog-%x", seed),
-		HeapWords: int64(cfg.Cells + cfg.AtomicCells),
-		Locks:     cfg.Cells,
+		HeapWords: int64(cfg.Cells + cfg.AtomicCells + 1),
+		Locks:     cfg.Cells + 1,
 		Barriers:  1,
 		Conds:     1,
 		Programs: func(n int) []*dvm.Program {
@@ -136,10 +220,41 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
 						b.Store(dvm.Const(o.cell2), func(t *dvm.Thread) int64 { return t.R(v) + o.delta2 })
 						b.Unlock(dvm.Const(o.cell2))
 						b.Unlock(dvm.Const(o.cell))
+					case opSharedRead:
+						b.RLock(dvm.Const(o.cell))
+						b.Load(v, dvm.Const(o.cell))
+						b.RUnlock(dvm.Const(o.cell))
+					case opLockedSysc:
+						b.Lock(dvm.Const(o.cell))
+						b.Load(v, dvm.Const(o.cell))
+						b.Store(dvm.Const(o.cell), func(t *dvm.Thread) int64 { return t.R(v) + o.delta })
+						b.Syscall(&dvm.Syscall{Name: "fuzz-cs", Work: o.work})
+						b.Unlock(dvm.Const(o.cell))
+					case opBareSyscall:
+						b.Syscall(&dvm.Syscall{Name: "fuzz", Work: o.work})
 					case opAtomicAdd:
 						b.AtomicAdd(v, dvm.Const(o.cell), dvm.Const(o.delta))
 					case opBarrier:
 						b.Barrier(dvm.Const(0))
+					}
+				}
+				if cfg.WithCondvars && n > 1 {
+					if tid == 0 {
+						// Leader: wait (rechecking under the lock, so no
+						// lost wakeup) until all others checked in.
+						b.Lock(dvm.Const(doorLock))
+						b.Load(v, dvm.Const(rvCell))
+						b.While(func(t *dvm.Thread) bool { return t.R(v) < int64(n-1) }, func() {
+							b.CondWait(dvm.Const(0), dvm.Const(doorLock))
+							b.Load(v, dvm.Const(rvCell))
+						})
+						b.Unlock(dvm.Const(doorLock))
+					} else {
+						b.Lock(dvm.Const(doorLock))
+						b.Load(v, dvm.Const(rvCell))
+						b.Store(dvm.Const(rvCell), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+						b.CondSignal(dvm.Const(0))
+						b.Unlock(dvm.Const(doorLock))
 					}
 				}
 				progs[tid] = b.Build()
@@ -155,5 +270,5 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64) {
 		}
 		return nil
 	}
-	return w, expected
+	return w, expected, nil
 }

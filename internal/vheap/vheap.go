@@ -222,6 +222,43 @@ func (h *Heap) LiveVersions() int {
 	return n
 }
 
+// Audit verifies the heap's structural invariants: every page version chain
+// is strictly decreasing in commit sequence, no version is newer than the
+// heap's committed sequence, and — with trimming enabled — the oldest
+// retained version of every chain is at or below the trim floor (the minimum
+// base of the live views), so no live view's base has been trimmed out from
+// under it. Returns a descriptive error on the first breach. Used by the
+// invariant checker (internal/invariant).
+func (h *Heap) Audit() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	top := h.seq.Load()
+	floor := h.trimFloorLocked()
+	for v := range h.views {
+		if b := v.base.Load(); b > top {
+			return fmt.Errorf("vheap: live view base %d is ahead of the newest commit %d", b, top)
+		}
+	}
+	for pi := range h.slots {
+		p := h.slots[pi].Load()
+		if p.seq > top {
+			return fmt.Errorf("vheap: page %d head version %d is ahead of the newest commit %d", pi, p.seq, top)
+		}
+		oldest := p.seq
+		for q := p.prev.Load(); q != nil; q = q.prev.Load() {
+			if q.seq >= oldest {
+				return fmt.Errorf("vheap: page %d version chain is not strictly decreasing (%d then %d)", pi, oldest, q.seq)
+			}
+			oldest = q.seq
+		}
+		if h.trim && len(h.views) > 0 && oldest > floor {
+			return fmt.Errorf("vheap: page %d oldest retained version %d is above the trim floor %d — a live view's base was trimmed",
+				pi, oldest, floor)
+		}
+	}
+	return nil
+}
+
 // dirtyPage is a view's private working copy of one page.
 type dirtyPage struct {
 	words []int64

@@ -42,7 +42,14 @@
 //	res, err := lazydet.Run(w, lazydet.Options{Engine: lazydet.LazyDet, Threads: 8})
 //
 // Two runs of a deterministic engine on the same workload produce
-// identical synchronization traces and final memory; Verify checks this.
+// identical synchronization traces and final memory; Verify checks this,
+// and names the first diverging synchronization event when it fails.
+//
+// Setting Options.CheckInvariants additionally audits the runtime's own
+// safety invariants (turn-holder uniqueness, heap commit monotonicity,
+// lock-table consistency, speculation-revert exactness) at every turn grant
+// and commit/revert, reporting any breach as a structured
+// InvariantViolation at the violating operation.
 package lazydet
 
 import (
@@ -51,6 +58,8 @@ import (
 	"lazydet/internal/core"
 	"lazydet/internal/dvm"
 	"lazydet/internal/harness"
+	"lazydet/internal/invariant"
+	"lazydet/internal/trace"
 )
 
 // Core program-building types, re-exported from the deterministic VM.
@@ -80,6 +89,12 @@ type (
 	EngineKind = harness.EngineKind
 	// SpecConfig tunes LazyDet's speculation (paper §3.4).
 	SpecConfig = core.SpecConfig
+	// InvariantViolation is the structured diagnostic delivered to
+	// Options.OnViolation when Options.CheckInvariants is set: the broken
+	// rule, the observing thread, its logical clock and turn status, and
+	// the offending lock. With no OnViolation handler a violation panics
+	// (repeatably — the engines are deterministic).
+	InvariantViolation = invariant.Violation
 )
 
 // The five engines of the paper's evaluation.
@@ -108,11 +123,15 @@ func DefaultSpecConfig() SpecConfig { return core.DefaultSpecConfig() }
 // Run executes the workload once under the configured engine.
 func Run(w *Workload, opt Options) (*Result, error) { return harness.Run(w, opt) }
 
-// Verify runs the workload twice under the given options (forcing trace
-// recording) and returns an error if the two executions differ in final
-// memory or synchronization order — the determinism check.
+// Verify runs the workload twice under the given options (forcing full
+// event-log trace recording) and returns an error if the two executions
+// differ in final memory or synchronization order — the determinism check.
+// On divergence the error names the first diverging synchronization event of
+// each affected thread (via internal/trace's log diffing), not just the
+// mismatched hashes, so the failure points at a cause rather than a symptom.
 func Verify(w *Workload, opt Options) error {
 	opt.Trace = true
+	opt.LogEvents = true
 	r1, err := Run(w, opt)
 	if err != nil {
 		return err
@@ -121,13 +140,22 @@ func Verify(w *Workload, opt Options) error {
 	if err != nil {
 		return err
 	}
+	if r1.HeapHash == r2.HeapHash && r1.TraceSig == r2.TraceSig {
+		return nil
+	}
+	what := "sync order"
 	if r1.HeapHash != r2.HeapHash {
-		return fmt.Errorf("lazydet: %s under %s is not deterministic: final memory %x vs %x",
-			w.Name, opt.Engine, r1.HeapHash, r2.HeapHash)
+		what = "final memory"
+		if r1.TraceSig != r2.TraceSig {
+			what = "final memory and sync order"
+		}
 	}
-	if r1.TraceSig != r2.TraceSig {
-		return fmt.Errorf("lazydet: %s under %s is not deterministic: sync order %x vs %x",
-			w.Name, opt.Engine, r1.TraceSig, r2.TraceSig)
+	if divs := trace.DiffLogs(r1.Recorder, r2.Recorder); len(divs) > 0 {
+		return fmt.Errorf("lazydet: %s under %s is not deterministic (%s differ): first divergence at %s",
+			w.Name, opt.Engine, what, divs[0])
 	}
-	return nil
+	// Memory diverged with identical sync streams: a value (not order)
+	// difference, e.g. a nondeterministic instruction closure.
+	return fmt.Errorf("lazydet: %s under %s is not deterministic: %s differ (memory %x vs %x, sync streams identical)",
+		w.Name, opt.Engine, what, r1.HeapHash, r2.HeapHash)
 }

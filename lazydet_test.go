@@ -64,6 +64,99 @@ func TestPublicAPIVerify(t *testing.T) {
 	}
 }
 
+// flaky builds a workload whose Programs closure changes between calls —
+// the run1 thread locks lock 0 and writes cell 0, the run2 thread locks
+// lock 1 and writes cell 1 — so Verify's two runs must diverge in sync order.
+func flaky() *lazydet.Workload {
+	calls := 0
+	return &lazydet.Workload{
+		Name: "api-flaky", HeapWords: 8, Locks: 2,
+		Programs: func(threads int) []*lazydet.Program {
+			calls++
+			lock := int64(0)
+			if calls > 1 {
+				lock = 1
+			}
+			progs := make([]*lazydet.Program, threads)
+			for tid := range progs {
+				b := lazydet.NewProgram("flaky")
+				b.Lock(lazydet.Const(lock))
+				b.Store(lazydet.Const(lock), lazydet.Const(7))
+				b.Unlock(lazydet.Const(lock))
+				progs[tid] = b.Build()
+			}
+			return progs
+		},
+	}
+}
+
+// TestPublicAPIVerifyNamesDivergence: when the two runs disagree, Verify's
+// error names the first diverging synchronization event — thread, event
+// index and the mismatched operations — not just hash values.
+func TestPublicAPIVerifyNamesDivergence(t *testing.T) {
+	err := lazydet.Verify(flaky(), lazydet.Options{Engine: lazydet.Consequence, Threads: 2})
+	if err == nil {
+		t.Fatal("Verify accepted a workload whose runs diverge")
+	}
+	for _, want := range []string{"not deterministic", "first divergence", "thread 0, event 0", "acquire(0)", "acquire(1)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Verify error %q does not contain %q", err, want)
+		}
+	}
+}
+
+// TestPublicAPIVerifyValueDivergence: when only the written values differ —
+// identical sync streams — Verify reports a memory divergence and says the
+// sync streams matched, pointing at a value rather than an order bug.
+func TestPublicAPIVerifyValueDivergence(t *testing.T) {
+	calls := 0
+	w := &lazydet.Workload{
+		Name: "api-value-flaky", HeapWords: 8, Locks: 1,
+		Programs: func(threads int) []*lazydet.Program {
+			calls++
+			val := int64(calls) // differs between Verify's two runs
+			progs := make([]*lazydet.Program, threads)
+			for tid := range progs {
+				b := lazydet.NewProgram("value-flaky")
+				b.Lock(lazydet.Const(0))
+				b.Store(lazydet.Const(0), lazydet.Const(val))
+				b.Unlock(lazydet.Const(0))
+				progs[tid] = b.Build()
+			}
+			return progs
+		},
+	}
+	err := lazydet.Verify(w, lazydet.Options{Engine: lazydet.Consequence, Threads: 2})
+	if err == nil {
+		t.Fatal("Verify accepted a workload whose final memory diverges")
+	}
+	for _, want := range []string{"final memory", "sync streams identical"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Verify error %q does not contain %q", err, want)
+		}
+	}
+}
+
+// TestPublicAPIInvariantOptions: the invariant audit layer is reachable
+// through the public Options, and a clean run reports nothing.
+func TestPublicAPIInvariantOptions(t *testing.T) {
+	var got []*lazydet.InvariantViolation
+	w := counter(100)
+	for _, eng := range []lazydet.EngineKind{lazydet.Consequence, lazydet.LazyDet} {
+		_, err := lazydet.Run(w, lazydet.Options{
+			Engine: eng, Threads: 4,
+			CheckInvariants: true,
+			OnViolation:     func(v *lazydet.InvariantViolation) { got = append(got, v) },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatalf("clean runs reported %d invariant violations, first: %v", len(got), got[0])
+	}
+}
+
 func TestPublicAPISpecConfig(t *testing.T) {
 	sc := lazydet.DefaultSpecConfig()
 	if !sc.Coarsening || !sc.Irrevocable || !sc.PerLockStats {
