@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lazydet/internal/experiments"
 )
@@ -25,7 +27,39 @@ func main() {
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := experiments.Config{
 		Out:     os.Stdout,

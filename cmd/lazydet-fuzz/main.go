@@ -16,9 +16,13 @@
 //     commit monotonicity, lock-table consistency and snapshot round-trip
 //     exactness hold at every turn grant and commit/revert.
 //
-//     lazydet-fuzz -seeds 100 -threads 4
-//     lazydet-fuzz -seeds 1000 -ops 120 -start 42
-//     lazydet-fuzz -seeds 50 -invariants
+// With -legacydiff, the strong engines commit via the legacy full-page twin
+// scan instead of the dirty-word bitmaps — running the suite both ways
+// differentially checks the two commit paths against each other.
+//
+//	lazydet-fuzz -seeds 100 -threads 4
+//	lazydet-fuzz -seeds 1000 -ops 120 -start 42
+//	lazydet-fuzz -seeds 50 -invariants -legacydiff
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	threads := flag.Int("threads", 4, "simulated thread count")
 	ops := flag.Int("ops", 60, "operations per thread")
 	invariants := flag.Bool("invariants", false, "audit runtime invariants at every turn and commit/revert")
+	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -55,7 +60,7 @@ func main() {
 		}
 		ok := true
 		var violations []*invariant.Violation
-		baseOpt := harness.Options{Threads: *threads}
+		baseOpt := harness.Options{Threads: *threads, LegacyDiffCommit: *legacyDiff}
 		if *invariants {
 			baseOpt.CheckInvariants = true
 			baseOpt.OnViolation = func(v *invariant.Violation) { violations = append(violations, v) }

@@ -11,11 +11,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lazydet/internal/harness"
 	"lazydet/internal/workloads"
 )
+
+// startCPUProfile begins CPU profiling into path; the returned func stops it.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile writes an allocation profile of the run to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // up-to-date allocation statistics
+	return pprof.WriteHeapProfile(f)
+}
 
 func engineByName(name string) (harness.EngineKind, error) {
 	switch strings.ToLower(name) {
@@ -51,7 +80,10 @@ func main() {
 	threads := flag.Int("threads", 8, "simulated thread count")
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	trace := flag.Bool("trace", false, "record and print determinism fingerprints")
+	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
 	list := flag.Bool("list", false, "list workloads and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -76,12 +108,27 @@ func main() {
 	opt := harness.Options{
 		Engine: ek, Threads: *threads, Trace: *trace,
 		MeasureTimes: true, CollectSpec: ek == harness.LazyDet,
-		CountLocks: ek == harness.Pthreads,
+		CountLocks:       ek == harness.Pthreads,
+		LegacyDiffCommit: *legacyDiff,
+	}
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
 	}
 	res, err := harness.Run(w, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload:    %s (scale %d)\n", w.Name, *scale)
@@ -89,8 +136,8 @@ func main() {
 	fmt.Printf("wall time:   %v\n", res.Wall)
 	fmt.Printf("utilization: %.1f%%\n", res.UtilizationPct)
 	if res.Commits > 0 {
-		fmt.Printf("heap:        %d commits, %d pages, %d words\n",
-			res.Commits, res.PagesCommitted, res.WordsCommitted)
+		fmt.Printf("heap:        %d commits, %d pages, %d words (%d scanned)\n",
+			res.Commits, res.PagesCommitted, res.WordsCommitted, res.WordsScanned)
 	}
 	if res.Spec != nil && res.Spec.Runs.Load() > 0 {
 		fmt.Printf("speculation: %.1f%% of %d acquisitions; %d runs, %.1f%% committed, mean %.1f CS/run\n",

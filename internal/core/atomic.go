@@ -62,43 +62,37 @@ func (e *Engine) Atomic(t *dvm.Thread, a *dvm.Atomic) int64 {
 func (e *Engine) irrevocableAtomic(t *dvm.Thread, ts *tstate, a *dvm.Atomic) int64 {
 	addr := a.Addr(t)
 	if ts.atomCount[addr] > 0 {
-		cur := ts.view.Load(addr)
+		cur := ts.mem.Load(addr)
 		store, result := a.Apply(t, cur)
-		ts.view.Store(addr, store)
+		ts.mem.Store(addr, store)
 		ts.atomTouch(addr)
 		e.rec.Sync(t.ID, trace.OpAtomic, addr, e.arb.DLC(t.ID))
 		return result
 	}
-	cur := e.heap.ReadCommitted(addr)
+	cur := e.pipe.ReadCommitted(addr)
 	store, result := a.Apply(t, cur)
 	// The value was computed against state newer than the view's base, so
 	// the store must win the commit merge even if it looks silent.
-	ts.view.StoreDirty(addr, store)
+	ts.mem.StoreDirty(addr, store)
 	ts.atomTouch(addr)
 	e.rec.Sync(t.ID, trace.OpAtomic, addr, e.arb.DLC(t.ID))
 	return result
 }
 
-// eagerAtomic totally orders the read-modify-write at the turn.
+// eagerAtomic totally orders the read-modify-write at the turn. The same
+// sequence serves both memory pipelines: on flat memory the publish and
+// refresh halves are no-ops, leaving exactly the load/apply/store the weak
+// engines need.
 func (e *Engine) eagerAtomic(t *dvm.Thread, ts *tstate, a *dvm.Atomic) int64 {
 	e.waitCommitTurn(t)
 	addr := a.Addr(t)
-	var result int64
+	e.publishAndRefresh(t, ts)
+	cur := ts.mem.Load(addr)
+	store, result := a.Apply(t, cur)
+	ts.mem.Store(addr, store)
+	e.publishAndRefresh(t, ts)
 	if e.strong() {
-		e.commitIfDirty(t, ts)
-		ts.view.Update()
-		cur := ts.view.Load(addr)
-		var store int64
-		store, result = a.Apply(t, cur)
-		ts.view.Store(addr, store)
-		e.commitIfDirty(t, ts)
-		ts.view.Update()
-		e.tbl.Atomics[addr] = e.heap.Seq()
-	} else {
-		cur := e.mem.Load(addr)
-		store, res := a.Apply(t, cur)
-		e.mem.Store(addr, store)
-		result = res
+		e.tbl.Atomics[addr] = e.pipe.Seq()
 	}
 	e.rec.Sync(t.ID, trace.OpAtomic, addr, e.arb.DLC(t.ID))
 	e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
@@ -109,9 +103,9 @@ func (e *Engine) eagerAtomic(t *dvm.Thread, ts *tstate, a *dvm.Atomic) int64 {
 // the location for commit-time conflict detection.
 func (e *Engine) specAtomic(t *dvm.Thread, ts *tstate, a *dvm.Atomic) int64 {
 	addr := a.Addr(t)
-	cur := ts.view.Load(addr)
+	cur := ts.mem.Load(addr)
 	store, result := a.Apply(t, cur)
-	ts.view.Store(addr, store)
+	ts.mem.Store(addr, store)
 	ts.atomTouch(addr)
 	e.rec.Sync(t.ID, trace.OpAtomic, addr, e.arb.DLC(t.ID))
 	return result
@@ -146,7 +140,7 @@ func (e *Engine) commitAtomicsLocked(ts *tstate) {
 	if len(ts.atomLog) == 0 {
 		return
 	}
-	seq := e.heap.Seq()
+	seq := e.pipe.Seq()
 	for _, addr := range ts.atomLog {
 		e.tbl.Atomics[addr] = seq
 	}

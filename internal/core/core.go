@@ -29,6 +29,7 @@ import (
 	"lazydet/internal/dlc"
 	"lazydet/internal/dvm"
 	"lazydet/internal/invariant"
+	"lazydet/internal/mempipe"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
 	"lazydet/internal/trace"
@@ -198,8 +199,7 @@ type Engine struct {
 	cfg   Config
 	arb   *dlc.Arbiter
 	tbl   *detsync.Table
-	heap  *vheap.Heap
-	mem   *shmem.Mem
+	pipe  mempipe.Pipeline
 	rec   *trace.Recorder
 	times *stats.Times
 	spec  *stats.Spec
@@ -232,12 +232,15 @@ func New(cfg Config, d Deps) *Engine {
 		cfg:              cfg,
 		arb:              d.Arb,
 		tbl:              d.Tbl,
-		heap:             d.Heap,
-		mem:              d.Mem,
 		rec:              d.Rec,
 		times:            d.Times,
 		spec:             d.Spec,
 		irrevocableOwner: -1,
+	}
+	if cfg.Mode == ModeStrong {
+		e.pipe = mempipe.NewVersioned(d.Heap)
+	} else {
+		e.pipe = mempipe.NewFlat(d.Mem)
 	}
 	if cfg.CheckInvariants {
 		e.audit = invariant.New(d.Arb, d.Tbl, d.Heap, d.OnViolation)
@@ -269,7 +272,10 @@ func (e *Engine) strong() bool { return e.cfg.Mode == ModeStrong }
 
 // tstate is the engine's per-thread state, stored in Thread.EngineData.
 type tstate struct {
-	view *vheap.View // strong mode only
+	// mem is the thread's window onto the engine's memory pipeline:
+	// versioned (isolated) in strong mode, flat otherwise. The same window
+	// backs the VM's Thread.Mem.
+	mem mempipe.Thread
 
 	// depth is the current lock nesting, speculative or conventional,
 	// exclusive or shared.
@@ -307,8 +313,10 @@ func (e *Engine) ts(t *dvm.Thread) *tstate { return t.EngineData.(*tstate) }
 // are spawned.
 func (e *Engine) ThreadStart(t *dvm.Thread) {
 	ts := &tstate{threadHist: ^uint64(0)}
-	if e.strong() {
-		ts.view = e.heap.NewView()
+	ts.mem = e.pipe.NewThread(t.ID)
+	t.Mem = ts.mem
+	if e.strong() && e.cfg.Spec.WriteAware {
+		t.Mem = writeAwareWindow{ts.mem, ts}
 	}
 	if e.cfg.Speculation {
 		ts.logCount = make(map[int64]int)
@@ -339,13 +347,9 @@ func (e *Engine) ThreadExit(t *dvm.Thread) bool {
 	// Exited status visible exactly at this deterministic boundary, which
 	// keeps joiners' retry counts deterministic.
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts)
-	}
+	e.publish(t, ts)
 	e.arb.Exit(t.ID)
-	if e.strong() {
-		ts.view.Close()
-	}
+	ts.mem.Close()
 	return true
 }
 
@@ -354,25 +358,21 @@ func (e *Engine) Tick(t *dvm.Thread, cost int64) {
 	e.arb.Tick(t.ID, cost)
 }
 
-// Load implements dvm.Engine.
-func (e *Engine) Load(t *dvm.Thread, addr int64) int64 {
-	if e.strong() {
-		return e.ts(t).view.Load(addr)
-	}
-	return e.mem.Load(addr)
+// writeAwareWindow is the memory window installed when write-aware conflict
+// detection is on: it intercepts the VM's stores to tag the locks held at
+// the store, and passes everything else through to the pipeline window.
+// Only the VM's plain stores go through it — speculation-internal stores
+// (atomics) use ts.mem directly and are tracked by the atomic log instead.
+type writeAwareWindow struct {
+	mempipe.Thread
+	ts *tstate
 }
 
-// Store implements dvm.Engine.
-func (e *Engine) Store(t *dvm.Thread, addr, val int64) {
-	if e.strong() {
-		ts := e.ts(t)
-		ts.view.Store(addr, val)
-		if e.cfg.Spec.WriteAware && ts.depth > 0 {
-			ts.markWrite()
-		}
-		return
+func (w writeAwareWindow) Store(addr, val int64) {
+	w.Thread.Store(addr, val)
+	if w.ts.depth > 0 {
+		w.ts.markWrite()
 	}
-	e.mem.Store(addr, val)
 }
 
 // markWrite tags every currently held lock as having guarded a write.
@@ -425,17 +425,35 @@ func (e *Engine) waitCommitTurn(t *dvm.Thread) {
 	}
 }
 
-// commitIfDirty publishes the view's dirty pages if any, recording the
-// commit in the trace. Caller holds the turn.
-func (e *Engine) commitIfDirty(t *dvm.Thread, ts *tstate) {
-	if ts.view.DirtyPages() == 0 {
+// publish makes the thread's unpublished writes globally visible through the
+// memory pipeline, recording the commit in the trace and auditing commit
+// integrity. On flat (weak-mode) memory the window is never dirty and this
+// is a no-op — which is what lets the synchronization paths drive one
+// publication choreography for every engine. Caller holds the turn.
+func (e *Engine) publish(t *dvm.Thread, ts *tstate) {
+	if !ts.mem.Dirty() {
 		return
 	}
-	seq, _ := ts.view.Commit()
+	if e.audit != nil {
+		e.audit.AtPublish(t.ID, ts.mem)
+	}
+	seq, committed := ts.mem.Publish()
+	if !committed {
+		return
+	}
 	e.rec.Commit(t.ID, e.arb.DLC(t.ID), seq)
 	if e.audit != nil {
 		e.audit.AtCommit(t.ID, seq)
 	}
+}
+
+// publishAndRefresh publishes the thread's writes and re-bases its window on
+// the newest published state — the memory half of every eager
+// synchronization operation (paper §2: writes become visible "only as a
+// result of synchronization operations").
+func (e *Engine) publishAndRefresh(t *dvm.Thread, ts *tstate) {
+	e.publish(t, ts)
+	ts.mem.Refresh()
 }
 
 // blockedWake waits for a Wake, charging blocked time.

@@ -11,9 +11,14 @@ import (
 // This file implements the eager, totally ordered synchronization protocol
 // shared by Consequence, TotalOrder-Weak and TotalOrder-Weak-Nondet, and
 // used by LazyDet for its non-speculative ("conventional") path. Every
-// operation waits for the deterministic turn; in strong mode it commits the
-// thread's dirty pages and updates its view, which is what makes writes
-// visible "only as a result of synchronization operations" (paper §2).
+// operation waits for the deterministic turn, then publishes and refreshes
+// the thread's memory window through the shared pipeline (internal/mempipe)
+// — in strong mode that commits the thread's dirty pages and re-bases its
+// view, which is what makes writes visible "only as a result of
+// synchronization operations" (paper §2); on flat memory both halves are
+// no-ops and the pipeline's sequence number is constant 0, so the
+// lock-table sequence updates below are inert. One choreography, every
+// engine.
 
 // Lock implements dvm.Engine. With speculation enabled it dispatches to the
 // lazy path in spec.go; otherwise it acquires conventionally.
@@ -46,20 +51,17 @@ func (e *Engine) convLock(t *dvm.Thread, ts *tstate, l int64) {
 	backoff := e.cfg.Quantum
 	for {
 		e.waitCommitTurn(t)
-		if e.strong() {
-			e.commitIfDirty(t, ts)
-			ts.view.Update()
-		}
+		e.publishAndRefresh(t, ts)
 		my := e.arb.DLC(t.ID)
 		if st.Owner == 0 && st.Readers == 0 && (e.arb.Nondet() || st.ReleaseDLC <= my) {
 			st.Owner = int32(t.ID) + 1
 			st.LastAcquireDLC = my
-			if e.strong() && !e.cfg.Spec.WriteAware {
+			if !e.cfg.Spec.WriteAware {
 				// The acquisition itself invalidates concurrent runs
 				// under the paper's G_l discipline; in write-aware
 				// mode only the release of a writing critical section
 				// does.
-				st.LastCommitSeq = e.heap.Seq()
+				st.LastCommitSeq = e.pipe.Seq()
 			}
 			st.Acquires++
 			ts.depth++
@@ -88,20 +90,17 @@ func (e *Engine) convLock(t *dvm.Thread, ts *tstate, l int64) {
 // release time for deterministic future acquires.
 func (e *Engine) convUnlock(t *dvm.Thread, ts *tstate, l int64) {
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts)
-		ts.view.Update()
-	}
+	e.publishAndRefresh(t, ts)
 	st := &e.tbl.Locks[l]
 	if st.Owner != int32(t.ID)+1 {
 		panic(fmt.Sprintf("core: thread %d unlocks lock %d owned by %d", t.ID, l, st.Owner-1))
 	}
 	st.Owner = 0
 	st.ReleaseDLC = e.arb.DLC(t.ID)
-	if e.strong() && (!e.cfg.Spec.WriteAware || ts.wroteUnder[l]) {
+	if !e.cfg.Spec.WriteAware || ts.wroteUnder[l] {
 		// The critical section's writes became visible with this
 		// commit; speculation runs based on older heap states conflict.
-		st.LastCommitSeq = e.heap.Seq()
+		st.LastCommitSeq = e.pipe.Seq()
 	}
 	delete(ts.wroteUnder, l)
 	ts.depth--
@@ -132,15 +131,15 @@ func (e *Engine) CondWait(t *dvm.Thread, cv, l int64) {
 		}
 	}
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts)
-	}
+	// Publish without refreshing: the view is re-based by the deterministic
+	// re-acquisition after the wake, never at the wall-clock wake moment.
+	e.publish(t, ts)
 	my := e.arb.DLC(t.ID)
 	st := &e.tbl.Locks[l]
 	st.Owner = 0
 	st.ReleaseDLC = my
-	if e.strong() && (!e.cfg.Spec.WriteAware || ts.wroteUnder[l]) {
-		st.LastCommitSeq = e.heap.Seq()
+	if !e.cfg.Spec.WriteAware || ts.wroteUnder[l] {
+		st.LastCommitSeq = e.pipe.Seq()
 	}
 	delete(ts.wroteUnder, l)
 	ts.depth--
@@ -168,10 +167,7 @@ func (e *Engine) CondSignal(t *dvm.Thread, cv int64) {
 		}
 	}
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts)
-		ts.view.Update()
-	}
+	e.publishAndRefresh(t, ts)
 	my := e.arb.DLC(t.ID)
 	c := &e.tbl.Conds[cv]
 	if len(c.Waiters) > 0 {
@@ -193,10 +189,7 @@ func (e *Engine) CondBroadcast(t *dvm.Thread, cv int64) {
 		}
 	}
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts)
-		ts.view.Update()
-	}
+	e.publishAndRefresh(t, ts)
 	my := e.arb.DLC(t.ID)
 	c := &e.tbl.Conds[cv]
 	for k, w := range c.Waiters {
@@ -218,37 +211,29 @@ func (e *Engine) BarrierWait(t *dvm.Thread, bid int64) {
 		}
 	}
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts)
-	}
+	e.publish(t, ts)
 	my := e.arb.DLC(t.ID)
 	b := &e.tbl.Barriers[bid]
 	e.rec.Sync(t.ID, trace.OpBarrier, bid, my)
 	if len(b.Waiting)+1 == e.tbl.NThreads {
-		if e.strong() {
-			// Record the state every released thread adopts: the
-			// commits of all arrivals, published by their turns.
-			b.ReleaseSeq = e.heap.Seq()
-		}
+		// Record the state every released thread adopts: the commits of
+		// all arrivals, published by their turns.
+		b.ReleaseSeq = e.pipe.Seq()
 		for k, w := range b.Waiting {
 			e.arb.Unpark(w, my+1+int64(k))
 			e.tbl.Wake(w)
 		}
 		b.Waiting = b.Waiting[:0]
-		if e.strong() {
-			ts.view.Update()
-		}
+		ts.mem.Refresh()
 		e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
 		return
 	}
 	b.Waiting = append(b.Waiting, t.ID)
 	e.arb.Park(t.ID)
 	e.blockedWake(t)
-	if e.strong() {
-		// Re-base on exactly the releasing turn's state, not on whatever
-		// has been committed by the wall-clock moment we woke.
-		ts.view.UpdateTo(b.ReleaseSeq)
-	}
+	// Re-base on exactly the releasing turn's state, not on whatever has
+	// been committed by the wall-clock moment we woke.
+	ts.mem.RefreshTo(b.ReleaseSeq)
 }
 
 // Syscall implements dvm.Engine. Outside speculation the call runs

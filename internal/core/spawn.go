@@ -26,9 +26,7 @@ import (
 // happens-before edge, pinned to the spawn turn's sequence so the resume is
 // deterministic.
 func (e *Engine) ThreadResume(t *dvm.Thread) {
-	if e.strong() {
-		e.ts(t).view.UpdateTo(e.tbl.SpawnSeq[t.ID])
-	}
+	e.ts(t).mem.RefreshTo(e.tbl.SpawnSeq[t.ID])
 }
 
 // Spawn implements dvm.Engine.
@@ -42,11 +40,8 @@ func (e *Engine) Spawn(t *dvm.Thread, target int) {
 		}
 	}
 	e.waitCommitTurn(t)
-	if e.strong() {
-		e.commitIfDirty(t, ts) // release semantics: child sees our writes
-		ts.view.Update()
-		e.tbl.SpawnSeq[target] = e.heap.Seq()
-	}
+	e.publishAndRefresh(t, ts) // release semantics: child sees our writes
+	e.tbl.SpawnSeq[target] = e.pipe.Seq()
 	my := e.arb.DLC(t.ID)
 	e.arb.Unpark(target, my+1)
 	t.Group().StartThread(target)
@@ -66,12 +61,9 @@ func (e *Engine) Join(t *dvm.Thread, target int) {
 	for {
 		e.waitCommitTurn(t)
 		if e.arb.Status(target) == dlc.StatusExited {
-			if e.strong() {
-				// Acquire semantics: the target's final commit is
-				// already published; refresh our view to include it.
-				e.commitIfDirty(t, ts)
-				ts.view.Update()
-			}
+			// Acquire semantics: the target's final commit is already
+			// published; refresh our window to include it.
+			e.publishAndRefresh(t, ts)
 			e.rec.Sync(t.ID, trace.OpJoin, int64(target), e.arb.DLC(t.ID))
 			e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
 			return

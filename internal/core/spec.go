@@ -58,9 +58,9 @@ func (e *Engine) lazyLock(t *dvm.Thread, ts *tstate, l int64) {
 // sequence the run's reads are based on (§3.1).
 func (e *Engine) beginRun(t *dvm.Thread, ts *tstate) {
 	ts.snap = t.Snapshot()
-	ts.dirtySnap = ts.view.SnapshotDirty()
+	ts.dirtySnap = ts.mem.SnapshotDirty()
 	ts.begin = e.arb.DLC(t.ID)
-	ts.baseAtBegin = ts.view.BaseSeq()
+	ts.baseAtBegin = ts.mem.BaseSeq()
 	ts.spec = true
 	ts.runCS = 0
 }
@@ -198,10 +198,9 @@ func (e *Engine) terminateRun(t *dvm.Thread, ts *tstate) bool {
 // condition-variable operation hold their critical-section lock), and
 // record success in the adaptive histories. Caller holds the turn.
 func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
-	e.commitIfDirty(t, ts)
-	ts.view.Update()
+	e.publishAndRefresh(t, ts)
 	my := e.arb.DLC(t.ID)
-	seq := e.heap.Seq()
+	seq := e.pipe.Seq()
 	stillHeld := make(map[int64]bool, len(ts.heldSpec))
 	for _, l := range ts.heldSpec {
 		stillHeld[l] = true
@@ -248,13 +247,13 @@ func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
 // deliberately left unchanged (§3.3). Caller holds the turn.
 func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
 	start := time.Now()
-	discarded := ts.view.RevertTo(ts.dirtySnap)
+	discarded := ts.mem.RevertTo(ts.dirtySnap)
 	t.Restore(ts.snap)
 	cost := time.Since(start).Nanoseconds()
 	if e.audit != nil {
 		// The thread must be exactly its BEGIN snapshot again, and the
 		// dirty set exactly the pre-run dirty set.
-		e.audit.AtRevert(t, ts.snap, ts.view.DirtyWords(), ts.dirtySnap.Words())
+		e.audit.AtRevert(t, ts.snap, ts.mem.DirtyWords(), ts.dirtySnap.Words())
 	}
 	e.recordOutcome(ts, t.ID, false)
 	if e.spec != nil {

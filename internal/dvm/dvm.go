@@ -19,10 +19,12 @@
 //   - The deterministic logical clock is the weighted count of retired
 //     instructions: exactly the paper's DLC, made exact.
 //
-// The VM itself is engine-agnostic: every memory access and synchronization
-// operation is delegated to an Engine, and the five engines evaluated in the
-// paper (pthreads, Consequence, TotalOrder-Weak, TotalOrder-Weak-Nondet,
-// LazyDet) are interchangeable behind that interface.
+// The VM itself is engine-agnostic: every memory access goes through the
+// per-thread MemWindow the engine installs at thread start, every
+// synchronization operation is delegated to an Engine, and the five engines
+// evaluated in the paper (pthreads, Consequence, TotalOrder-Weak,
+// TotalOrder-Weak-Nondet, LazyDet) are interchangeable behind those
+// interfaces.
 package dvm
 
 import (
@@ -159,7 +161,21 @@ type Program struct {
 	StartSuspended bool
 }
 
-// Engine mediates every memory access and synchronization operation.
+// MemWindow is a thread's window onto shared memory: the VM's load and
+// store instructions dispatch straight to it, with no per-access engine
+// hook in between. The engine installs it in ThreadStart (Thread.Mem) and
+// drives its publication lifecycle — commit, refresh, revert — from the
+// synchronization hooks; the window itself only needs to answer reads and
+// accept writes. internal/mempipe provides the implementations.
+type MemWindow interface {
+	// Load reads a shared-heap word through the window.
+	Load(addr int64) int64
+	// Store writes a shared-heap word through the window.
+	Store(addr, val int64)
+}
+
+// Engine mediates every synchronization operation; plain memory accesses go
+// through the Thread.Mem window the engine installs at thread start.
 // Hooks run on the calling thread's goroutine. A hook may block (waiting for
 // the deterministic turn) and, in the speculation engine, may restore the
 // thread's snapshot — the interpreter simply continues from whatever PC the
@@ -170,7 +186,8 @@ type Engine interface {
 	// Deterministic reports whether two runs must produce identical
 	// sync-order traces and heaps.
 	Deterministic() bool
-	// ThreadStart runs before the thread's first instruction.
+	// ThreadStart runs before the thread's first instruction. The engine
+	// must set t.Mem here.
 	ThreadStart(t *Thread)
 	// ThreadExit runs after the thread halts; engines commit outstanding
 	// speculation and leave turn arbitration here. It returns false if it
@@ -179,10 +196,6 @@ type Engine interface {
 	ThreadExit(t *Thread) bool
 	// Tick charges cost to the thread's logical clock.
 	Tick(t *Thread, cost int64)
-	// Load reads a shared-heap word.
-	Load(t *Thread, addr int64) int64
-	// Store writes a shared-heap word.
-	Store(t *Thread, addr int64, val int64)
 	// Lock acquires lock l exclusively.
 	Lock(t *Thread, l int64)
 	// Unlock releases an exclusive acquisition of l.
@@ -222,6 +235,9 @@ type Thread struct {
 	Regs []int64
 	// Scratch is thread-private memory (never shared, never isolated).
 	Scratch []int64
+	// Mem is the thread's window onto shared memory, installed by the
+	// engine in ThreadStart. OpLoad and OpStore dispatch to it directly.
+	Mem MemWindow
 
 	rng    uint64 // deterministic per-thread PRNG state; part of snapshots
 	halted bool
@@ -358,9 +374,9 @@ func (t *Thread) run() {
 		case OpDo:
 			in.Do(t)
 		case OpLoad:
-			t.Regs[in.Dst] = eng.Load(t, in.Addr(t))
+			t.Regs[in.Dst] = t.Mem.Load(in.Addr(t))
 		case OpStore:
-			eng.Store(t, in.Addr(t), in.Val(t))
+			t.Mem.Store(in.Addr(t), in.Val(t))
 		case OpJump:
 			t.PC = in.Target
 		case OpBranchUnless:

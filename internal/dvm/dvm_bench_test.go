@@ -14,7 +14,7 @@ func BenchmarkDispatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		t := &Thread{ID: 0, Regs: make([]int64, p.NumRegs), prog: p, eng: e}
+		t := &Thread{ID: 0, Regs: make([]int64, p.NumRegs), Mem: e, prog: p, eng: e}
 		t.run()
 	}
 }
@@ -30,17 +30,18 @@ func BenchmarkSnapshot(b *testing.B) {
 	}
 }
 
-// benchEngine is a no-op engine for interpreter benchmarks.
+// benchEngine is a no-op engine (and no-op MemWindow) for interpreter
+// benchmarks.
 type benchEngine struct{}
 
 func newNullEngineB() *benchEngine                       { return &benchEngine{} }
 func (e *benchEngine) Name() string                      { return "bench" }
 func (e *benchEngine) Deterministic() bool               { return false }
-func (e *benchEngine) ThreadStart(*Thread)               {}
+func (e *benchEngine) ThreadStart(t *Thread)             { t.Mem = e }
 func (e *benchEngine) ThreadExit(*Thread) bool           { return true }
 func (e *benchEngine) Tick(*Thread, int64)               {}
-func (e *benchEngine) Load(*Thread, int64) int64         { return 0 }
-func (e *benchEngine) Store(*Thread, int64, int64)       {}
+func (e *benchEngine) Load(int64) int64                  { return 0 }
+func (e *benchEngine) Store(int64, int64)                {}
 func (e *benchEngine) Lock(*Thread, int64)               {}
 func (e *benchEngine) Unlock(*Thread, int64)             {}
 func (e *benchEngine) RLock(*Thread, int64)              {}

@@ -22,19 +22,19 @@ func newNullEngine(words, locks int) *nullEngine {
 
 func (e *nullEngine) Name() string            { return "null" }
 func (e *nullEngine) Deterministic() bool     { return false }
-func (e *nullEngine) ThreadStart(*Thread)     {}
+func (e *nullEngine) ThreadStart(t *Thread)   { t.Mem = e } // the engine is its own MemWindow
 func (e *nullEngine) ThreadExit(*Thread) bool { return true }
 func (e *nullEngine) Tick(t *Thread, cost int64) {
 	e.tickM.Lock()
 	e.ticks[t.ID] += cost
 	e.tickM.Unlock()
 }
-func (e *nullEngine) Load(_ *Thread, a int64) int64 {
+func (e *nullEngine) Load(a int64) int64 {
 	e.memMu.Lock()
 	defer e.memMu.Unlock()
 	return e.mem[a]
 }
-func (e *nullEngine) Store(_ *Thread, a, v int64) {
+func (e *nullEngine) Store(a, v int64) {
 	e.memMu.Lock()
 	e.mem[a] = v
 	e.memMu.Unlock()

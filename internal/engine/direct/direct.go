@@ -9,13 +9,15 @@ import (
 	"time"
 
 	"lazydet/internal/dvm"
+	"lazydet/internal/mempipe"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
 )
 
 // Engine is the pthreads-equivalent runtime.
 type Engine struct {
-	mem      *shmem.Mem
+	mem      *shmem.Mem // kept for hardware atomics
+	pipe     mempipe.Pipeline
 	locks    []sync.RWMutex
 	conds    []cond
 	barriers []barrier
@@ -43,6 +45,7 @@ type barrier struct {
 func New(mem *shmem.Mem, nthreads, nlocks, nconds, nbarriers int) *Engine {
 	e := &Engine{
 		mem:      mem,
+		pipe:     mempipe.NewFlat(mem),
 		locks:    make([]sync.RWMutex, nlocks),
 		conds:    make([]cond, nconds),
 		barriers: make([]barrier, nbarriers),
@@ -60,20 +63,16 @@ func (e *Engine) Name() string { return "pthreads" }
 // guarantee.
 func (e *Engine) Deterministic() bool { return false }
 
-// ThreadStart implements dvm.Engine.
-func (e *Engine) ThreadStart(*dvm.Thread) {}
+// ThreadStart implements dvm.Engine: install the thread's flat memory
+// window. The baseline shares the same pipeline layer as the deterministic
+// engines; its windows just write straight through.
+func (e *Engine) ThreadStart(t *dvm.Thread) { t.Mem = e.pipe.NewThread(t.ID) }
 
 // ThreadExit implements dvm.Engine.
 func (e *Engine) ThreadExit(*dvm.Thread) bool { return true }
 
 // Tick implements dvm.Engine; the baseline keeps no logical clock.
 func (e *Engine) Tick(*dvm.Thread, int64) {}
-
-// Load implements dvm.Engine.
-func (e *Engine) Load(_ *dvm.Thread, addr int64) int64 { return e.mem.Load(addr) }
-
-// Store implements dvm.Engine.
-func (e *Engine) Store(_ *dvm.Thread, addr, val int64) { e.mem.Store(addr, val) }
 
 // Lock implements dvm.Engine.
 func (e *Engine) Lock(t *dvm.Thread, l int64) {

@@ -1,0 +1,81 @@
+package harness_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lazydet/internal/core"
+	"lazydet/internal/harness"
+	"lazydet/internal/randprog"
+)
+
+// TestQuickBitmapCommitMatchesLegacyDiff is the end-to-end differential
+// oracle for the dirty-word commit path: random corpus programs run under
+// each strong deterministic engine must publish a byte-identical final heap
+// and an identical synchronization trace whether commits find modified words
+// by walking the dirty bitmaps (default) or by the legacy full-page twin
+// scan. Runs bitmap → legacy → bitmap so an order-dependent divergence in
+// either path is caught from both sides.
+func TestQuickBitmapCommitMatchesLegacyDiff(t *testing.T) {
+	const threads = 3
+	configs := []struct {
+		name string
+		opt  harness.Options
+	}{
+		{"Consequence", harness.Options{Engine: harness.Consequence, Threads: threads, Trace: true}},
+		{"LazyDet", harness.Options{Engine: harness.LazyDet, Threads: threads, Trace: true}},
+		{"LazyDet-WriteAware", harness.Options{
+			Engine: harness.LazyDet, Threads: threads, Trace: true,
+			Spec: core.SpecConfig{WriteAware: true},
+		}},
+	}
+	f := func(seed uint64) bool {
+		w, _, err := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		for _, c := range configs {
+			bitmapOpt := c.opt
+			legacyOpt := c.opt
+			legacyOpt.LegacyDiffCommit = true
+			b1, err := harness.Run(w, bitmapOpt)
+			if err != nil {
+				t.Logf("seed %x %s bitmap: %v", seed, c.name, err)
+				return false
+			}
+			lg, err := harness.Run(w, legacyOpt)
+			if err != nil {
+				t.Logf("seed %x %s legacy: %v", seed, c.name, err)
+				return false
+			}
+			b2, err := harness.Run(w, bitmapOpt)
+			if err != nil {
+				t.Logf("seed %x %s bitmap rerun: %v", seed, c.name, err)
+				return false
+			}
+			if b1.HeapHash != lg.HeapHash || b1.TraceSig != lg.TraceSig ||
+				b1.HeapHash != b2.HeapHash || b1.TraceSig != b2.TraceSig {
+				t.Logf("seed %x %s: heap %x/%x/%x trace %x/%x/%x (bitmap/legacy/bitmap)",
+					seed, c.name, b1.HeapHash, lg.HeapHash, b2.HeapHash,
+					b1.TraceSig, lg.TraceSig, b2.TraceSig)
+				return false
+			}
+			// Same committed words found, different amounts of work to find
+			// them: the legacy scan must never examine fewer words.
+			if b1.WordsCommitted != lg.WordsCommitted {
+				t.Logf("seed %x %s: bitmap committed %d words, legacy %d",
+					seed, c.name, b1.WordsCommitted, lg.WordsCommitted)
+				return false
+			}
+			if b1.WordsScanned > lg.WordsScanned {
+				t.Logf("seed %x %s: bitmap scanned %d words, legacy only %d",
+					seed, c.name, b1.WordsScanned, lg.WordsScanned)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -112,6 +112,11 @@ type Options struct {
 	// FullVersionChains retains every page version (DLRC-style
 	// accounting) instead of trimming to live bases (§4.2 experiment).
 	FullVersionChains bool
+	// LegacyDiffCommit makes the versioned heap find modified words by a
+	// full twin scan of every dirty page, instead of walking the
+	// dirty-word bitmaps. The differential oracle for the bitmap commit
+	// path: both must publish byte-identical heaps and traces.
+	LegacyDiffCommit bool
 	// CheckInvariants enables the runtime invariant audit layer
 	// (internal/invariant) on the deterministic engines: turn-holder
 	// uniqueness, heap commit monotonicity and chain integrity,
@@ -144,6 +149,10 @@ type Result struct {
 	// Commits/PagesCommitted/WordsCommitted are versioned-heap totals
 	// (strong engines only).
 	Commits, PagesCommitted, WordsCommitted int64
+	// WordsScanned counts the words commits examined to find the committed
+	// ones (strong engines only): page size × dirty pages under the legacy
+	// full diff, dirty-bitmap population under dirty tracking.
+	WordsScanned int64
 	// LiveVersions counts page versions still reachable after the run
 	// (strong engines only).
 	LiveVersions int
@@ -220,6 +229,9 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		if opt.FullVersionChains {
 			hopts = append(hopts, vheap.WithFullVersionChains())
 		}
+		if opt.LegacyDiffCommit {
+			hopts = append(hopts, vheap.WithLegacyDiffCommit())
+		}
 		heap = vheap.New(w.HeapWords, hopts...)
 		if w.Init != nil {
 			w.Init(heap.SetInitial, opt.Threads)
@@ -242,7 +254,9 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		readFinal = heap.ReadCommitted
 		defer func() {
 			res.HeapHash = heap.Hash()
-			res.Commits, res.PagesCommitted, res.WordsCommitted = heap.Stats()
+			st := heap.Stats()
+			res.Commits, res.PagesCommitted, res.WordsCommitted = st.Commits, st.Pages, st.Words
+			res.WordsScanned = st.WordsScanned
 			res.LiveVersions = heap.LiveVersions()
 		}()
 

@@ -11,8 +11,10 @@
 //     are neither parked nor exited.
 //  2. Versioned-heap integrity (internal/vheap): commit sequences are
 //     strictly monotone, page version chains are strictly decreasing in
-//     sequence, and trimming never cuts a version a live view's base still
-//     needs.
+//     sequence, trimming never cuts a version a live view's base still
+//     needs, and — checked at each publication, before the commit consumes
+//     the dirty set — the dirty-word bitmaps agree with the twin diffs, so
+//     the bitmap commit path publishes exactly what the full scan would.
 //  3. Lock-table consistency (internal/detsync): a lock is never held
 //     exclusively and shared at the same time, reader counts are
 //     non-negative, and the per-lock logical timestamps — ReleaseDLC,
@@ -184,6 +186,30 @@ func (c *Checker) auditLocks(tid int) {
 		c.releaseDLC[l] = st.ReleaseDLC
 		c.acquireDLC[l] = st.LastAcquireDLC
 		c.commitSeq[l] = st.LastCommitSeq
+	}
+}
+
+// DirtyAuditor is the slice of a thread's memory window the checker needs
+// at a publication: a self-check of the window's dirty-word tracking.
+// vheap.View implements it; flat windows report nil (nothing is tracked).
+type DirtyAuditor interface {
+	// AuditDirty returns a descriptive error if any word differing from
+	// its twin is missing from the dirty bitmap (see vheap.View.AuditDirty).
+	AuditDirty() error
+}
+
+// AtPublish audits the publishing thread's dirty tracking immediately
+// before its writes commit: every word the full twin diff would publish
+// must be marked in the dirty bitmap, or the bitmap commit path is about to
+// drop a write. It must run before the commit (which clears the dirty set),
+// on the publishing thread (the dirty set is thread-private and mutated
+// off-turn by stores), while that thread holds the turn.
+func (c *Checker) AtPublish(tid int, m DirtyAuditor) {
+	if c == nil || c.heap == nil {
+		return
+	}
+	if err := m.AuditDirty(); err != nil {
+		c.violate(tid, -1, "commit-dirty-tracking", err.Error())
 	}
 }
 

@@ -1,6 +1,7 @@
 package invariant_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -171,5 +172,67 @@ func TestCleanRunNoViolations(t *testing.T) {
 		if got := r.heap.ReadCommitted(0); got != 4*60 {
 			t.Fatalf("speculation=%v: cell 0 = %d, want %d", speculation, got, 4*60)
 		}
+	}
+}
+
+// faultyAuditor is a DirtyAuditor stub reporting a fixed bitmap breach.
+type faultyAuditor struct{ err error }
+
+func (f faultyAuditor) AuditDirty() error { return f.err }
+
+// TestCheckerAtPublish: a dirty-set audit failure surfaces as a structured
+// commit-dirty-tracking violation naming the publishing thread, and a clean
+// audit reports nothing.
+func TestCheckerAtPublish(t *testing.T) {
+	arb := dlc.New(1)
+	tbl := detsync.NewTable(1, 1, 0, 0, false)
+	heap := vheap.New(64)
+	var got []*invariant.Violation
+	c := invariant.New(arb, tbl, heap, func(v *invariant.Violation) { got = append(got, v) })
+	c.AtPublish(0, faultyAuditor{})
+	if len(got) != 0 {
+		t.Fatalf("clean dirty audit flagged: %v", got[0])
+	}
+	c.AtPublish(0, faultyAuditor{err: errors.New("page 3 word 7 differs from its twin but is not marked dirty")})
+	if len(got) != 1 {
+		t.Fatalf("failed dirty audit reported %d violations, want 1", len(got))
+	}
+	v := got[0]
+	if v.Rule != "commit-dirty-tracking" {
+		t.Fatalf("violation rule = %q, want commit-dirty-tracking (%v)", v.Rule, v)
+	}
+	if v.Thread != 0 {
+		t.Fatalf("violation names thread %d, want 0 (%v)", v.Thread, v)
+	}
+	if !strings.Contains(v.Detail, "not marked dirty") {
+		t.Fatalf("violation detail %q does not carry the audit error", v.Detail)
+	}
+}
+
+// TestEndToEndDirtyAuditClean: with invariants on, a real speculative run
+// exercises AtPublish at every publication and stays clean — the store path
+// marks exactly what commits merge.
+func TestEndToEndDirtyAuditClean(t *testing.T) {
+	r := newAuditRig(3, 2, true)
+	progs := make([]*dvm.Program, 3)
+	for tid := range progs {
+		b := dvm.NewBuilder("dirty-audit")
+		i, v := b.Reg(), b.Reg()
+		b.ForN(i, 40, func() {
+			b.Lock(dvm.Const(0))
+			b.Load(v, dvm.Const(0))
+			b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+			// A silent store: marked in the bitmap, equal to the twin.
+			b.Store(dvm.Const(1), dvm.Const(0))
+			b.Unlock(dvm.Const(0))
+		})
+		progs[tid] = b.Build()
+	}
+	dvm.Run(r.eng, progs)
+	if len(r.violations) != 0 {
+		t.Fatalf("clean run reported %d violations, first: %v", len(r.violations), r.violations[0])
+	}
+	if got := r.heap.ReadCommitted(0); got != 3*40 {
+		t.Fatalf("cell 0 = %d, want %d", got, 3*40)
 	}
 }

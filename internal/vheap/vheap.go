@@ -11,9 +11,13 @@
 //   - A thread reads and writes through a View. Reads resolve against the
 //     newest page version no newer than the view's base sequence; the first
 //     write to a page makes a private working copy plus a "twin" (a snapshot
-//     of the base contents used for diffing).
-//   - Commit publishes, for every dirty page, the words that differ from the
-//     twin, merged word-by-word onto the current head version. Commits are
+//     of the base contents used for diffing) and a dirty-word bitmap. Every
+//     store marks its word in the bitmap.
+//   - Commit publishes, for every dirty page, the marked words that differ
+//     from the twin, merged word-by-word onto the current head version.
+//     Commit work is therefore proportional to the number of words written,
+//     not the page size. WithLegacyDiffCommit restores the original
+//     full-page twin scan as a differential-test oracle. Commits are
 //     serialized (in this repository, by the deterministic turn), so the
 //     merge order — and therefore the heap contents — is deterministic.
 //   - Update re-bases a view on the newest committed state; Revert discards
@@ -29,13 +33,16 @@
 // Word-level twin diffing gives the same write-isolation semantics as the
 // paper's system, including its documented limitation: a "silent store" (a
 // store that writes the value already present) produces no diff and is lost
-// if another thread commits a different value for the same word.
+// if another thread commits a different value for the same word. The bitmap
+// commit path preserves this exactly — a marked word still merges only when
+// it differs from the twin — so both commit paths are byte-identical.
 package vheap
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -63,11 +70,23 @@ type Heap struct {
 
 	views map[*View]struct{} // live views, for trim floor computation
 
+	// Trim-floor cache: recomputing the floor is an O(views) map scan under
+	// mu on every commit, so Commit reuses the last computed value until it
+	// is invalidated — by view registration/unregistration, or by a re-base
+	// of a view that sat at (or below) the cached floor. View bases only
+	// move forward, and NewView bases at the newest commit (>= every floor),
+	// so a cached floor is always a lower bound of the true floor: stale
+	// only ever means trimming less, never over-trimming.
+	floorCache atomic.Int64
+	floorValid atomic.Bool
+
 	commits      atomic.Int64 // total commits (stats)
 	pagesWritten atomic.Int64 // total page versions published (stats)
-	wordsDiffed  atomic.Int64 // total words found dirty across commits (stats)
+	wordsMerged  atomic.Int64 // total words merged across commits (stats)
+	wordsScanned atomic.Int64 // total words examined by commits to find them
 
-	trim bool // trim chains below the oldest live base (DDRF coalescing)
+	trim       bool // trim chains below the oldest live base (DDRF coalescing)
+	legacyDiff bool // commit by full twin scan instead of the dirty bitmap
 }
 
 // Option configures a Heap.
@@ -76,6 +95,7 @@ type Option func(*heapConfig)
 type heapConfig struct {
 	pageWords  int
 	keepChains bool
+	legacyDiff bool
 }
 
 // WithPageWords sets the page size in words; it must be a power of two.
@@ -85,6 +105,14 @@ func WithPageWords(n int) Option { return func(c *heapConfig) { c.pageWords = n 
 // chains to the versions still reachable by a live view. Used by the
 // DLRC-vs-DDRF version accounting experiment.
 func WithFullVersionChains() Option { return func(c *heapConfig) { c.keepChains = true } }
+
+// WithLegacyDiffCommit makes Commit find modified words by scanning every
+// word of every dirty page against its twin, as the original CONVERSION
+// reimplementation did, instead of walking the dirty-word bitmap. The two
+// paths publish byte-identical heaps; this one exists as the differential
+// oracle the bitmap path is tested against, and to measure what the bitmap
+// saves (see Stats().WordsScanned).
+func WithLegacyDiffCommit() Option { return func(c *heapConfig) { c.legacyDiff = true } }
 
 // New creates a heap of the given size in words. The initial contents are
 // all zero at sequence 0.
@@ -105,13 +133,14 @@ func New(words int64, opts ...Option) *Heap {
 		np = 1
 	}
 	h := &Heap{
-		pageWords: cfg.pageWords,
-		pageShift: shift,
-		pageMask:  int64(cfg.pageWords - 1),
-		npages:    np,
-		slots:     make([]atomic.Pointer[page], np),
-		views:     make(map[*View]struct{}),
-		trim:      !cfg.keepChains,
+		pageWords:  cfg.pageWords,
+		pageShift:  shift,
+		pageMask:   int64(cfg.pageWords - 1),
+		npages:     np,
+		slots:      make([]atomic.Pointer[page], np),
+		views:      make(map[*View]struct{}),
+		trim:       !cfg.keepChains,
+		legacyDiff: cfg.legacyDiff,
 	}
 	zero := make([]int64, cfg.pageWords)
 	for i := range h.slots {
@@ -177,6 +206,16 @@ func (h *Heap) trimFloorLocked() int64 {
 	return floor
 }
 
+// noteRebase invalidates the cached trim floor when a view moves its base
+// forward from oldBase: if that view sat at (or below) the cached floor it
+// may have been the floor holder, so the next commit must recompute. Views
+// strictly above the cached floor cannot lower it by moving forward.
+func (h *Heap) noteRebase(oldBase int64) {
+	if h.floorValid.Load() && oldBase <= h.floorCache.Load() {
+		h.floorValid.Store(false)
+	}
+}
+
 // Hash returns an FNV-1a hash of the newest committed heap contents. Two
 // deterministic runs of the same program must produce equal hashes.
 func (h *Heap) Hash() uint64 {
@@ -201,10 +240,30 @@ func (h *Heap) Hash() uint64 {
 	return f.Sum64()
 }
 
-// Stats returns cumulative commit statistics: commits, page versions
-// published, and words diffed.
-func (h *Heap) Stats() (commits, pages, words int64) {
-	return h.commits.Load(), h.pagesWritten.Load(), h.wordsDiffed.Load()
+// CommitStats are cumulative counters over a heap's commit path.
+type CommitStats struct {
+	// Commits is the number of Commit calls.
+	Commits int64
+	// Pages is the number of page versions published.
+	Pages int64
+	// Words is the number of words merged onto head versions — the change
+	// set size the paper's Figure 12 plots.
+	Words int64
+	// WordsScanned is the number of words commits examined to find the
+	// merged ones: per dirty page, the page size under the legacy full
+	// twin diff, or the bitmap's population count under dirty tracking.
+	// The ratio WordsScanned/Words is the overhead of locating a change.
+	WordsScanned int64
+}
+
+// Stats returns cumulative commit statistics.
+func (h *Heap) Stats() CommitStats {
+	return CommitStats{
+		Commits:      h.commits.Load(),
+		Pages:        h.pagesWritten.Load(),
+		Words:        h.wordsMerged.Load(),
+		WordsScanned: h.wordsScanned.Load(),
+	}
 }
 
 // LiveVersions counts page versions currently reachable from the version
@@ -234,6 +293,10 @@ func (h *Heap) Audit() error {
 	defer h.mu.Unlock()
 	top := h.seq.Load()
 	floor := h.trimFloorLocked()
+	if h.floorValid.Load() && h.floorCache.Load() > floor {
+		return fmt.Errorf("vheap: cached trim floor %d is above the true floor %d — trimming could cut a live view's base",
+			h.floorCache.Load(), floor)
+	}
 	for v := range h.views {
 		if b := v.base.Load(); b > top {
 			return fmt.Errorf("vheap: live view base %d is ahead of the newest commit %d", b, top)
@@ -259,11 +322,20 @@ func (h *Heap) Audit() error {
 	return nil
 }
 
-// dirtyPage is a view's private working copy of one page.
+// dirtyPage is a view's private working copy of one page. dirty has one bit
+// per word, set by every store; commit walks the set bits instead of
+// re-diffing the whole page against the twin.
 type dirtyPage struct {
 	words []int64
 	twin  []int64 // snapshot of the base contents at first write
+	dirty []uint64
 }
+
+// mark records a write to word off.
+func (d *dirtyPage) mark(off int64) { d.dirty[off>>6] |= 1 << (uint(off) & 63) }
+
+// marked reports whether word i has been written.
+func (d *dirtyPage) marked(i int) bool { return d.dirty[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // View is one thread's isolated window onto the heap.
 type View struct {
@@ -284,6 +356,7 @@ func (h *Heap) NewView() *View {
 	h.mu.Lock()
 	v.base.Store(h.seq.Load())
 	h.views[v] = struct{}{}
+	h.floorValid.Store(false)
 	h.mu.Unlock()
 	return v
 }
@@ -292,6 +365,7 @@ func (h *Heap) NewView() *View {
 func (v *View) Close() {
 	v.h.mu.Lock()
 	delete(v.h.views, v)
+	v.h.floorValid.Store(false)
 	v.h.mu.Unlock()
 }
 
@@ -302,17 +376,48 @@ func (v *View) BaseSeq() int64 { return v.base.Load() }
 func (v *View) DirtyPages() int { return len(v.dirty) }
 
 // DirtyWords returns the number of words that differ from the twins — the
-// "change set size" reported in the paper's Figure 12.
+// "change set size" reported in the paper's Figure 12. Silent stores (marked
+// but equal to the twin) do not count, under either commit path.
 func (v *View) DirtyWords() int {
 	n := 0
 	for _, d := range v.dirty {
-		for i, w := range d.words {
-			if w != d.twin[i] {
+		n += diffWords(d)
+	}
+	return n
+}
+
+// diffWords counts words differing from the twin, walking only marked words
+// (an unmarked word was never stored to, so it cannot differ).
+func diffWords(d *dirtyPage) int {
+	n := 0
+	for bi, mask := range d.dirty {
+		for mask != 0 {
+			i := bi<<6 + bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if d.words[i] != d.twin[i] {
 				n++
 			}
 		}
 	}
 	return n
+}
+
+// AuditDirty verifies the view's dirty tracking: every word of every dirty
+// page that differs from its twin must be marked in the bitmap — otherwise
+// the bitmap commit would silently drop that write. (The converse, a marked
+// word equal to its twin, is a legal silent store.) Must be called by the
+// view's owning thread, before Commit clears the dirty set. Used by the
+// invariant checker.
+func (v *View) AuditDirty() error {
+	for pi, d := range v.dirty {
+		for i := range d.words {
+			if d.words[i] != d.twin[i] && !d.marked(i) {
+				return fmt.Errorf("vheap: page %d word %d differs from its twin (%d vs %d) but is not marked dirty — the bitmap commit would drop this write",
+					pi, i, d.words[i], d.twin[i])
+			}
+		}
+	}
+	return nil
 }
 
 // resolve returns the committed page for pi at the view's base, caching the
@@ -336,8 +441,8 @@ func (v *View) Load(addr int64) int64 {
 	return v.resolve(pi).words[addr&v.h.pageMask]
 }
 
-// Store writes addr privately, creating a working copy and twin on the first
-// write to a page.
+// Store writes addr privately, creating a working copy, twin and dirty
+// bitmap on the first write to a page, and marking the written word.
 func (v *View) Store(addr, val int64) {
 	pi := int(addr >> v.h.pageShift)
 	d, ok := v.dirty[pi]
@@ -347,10 +452,12 @@ func (v *View) Store(addr, val int64) {
 		copy(w, base.words)
 		t := make([]int64, v.h.pageWords)
 		copy(t, base.words)
-		d = &dirtyPage{words: w, twin: t}
+		d = &dirtyPage{words: w, twin: t, dirty: make([]uint64, (v.h.pageWords+63)/64)}
 		v.dirty[pi] = d
 	}
-	d.words[addr&v.h.pageMask] = val
+	off := addr & v.h.pageMask
+	d.words[off] = val
+	d.mark(off)
 }
 
 // StoreDirty writes addr like Store, but guarantees the word is treated as
@@ -369,32 +476,61 @@ func (v *View) StoreDirty(addr, val int64) {
 
 // Commit publishes the view's modifications: for every dirty page, the words
 // that differ from the twin are merged onto the current head version, and a
-// new page version is linked in. The view is re-based on the new committed
-// state and its dirty set cleared. Returns the new sequence number and the
-// number of words merged.
+// new page version is linked in. Under dirty tracking (the default) only the
+// bitmap's marked words are examined; under WithLegacyDiffCommit every word
+// of the page is. The view is re-based on the new committed state and its
+// dirty set cleared. Returns the new sequence number and the number of words
+// merged.
 //
 // Callers must serialize commits deterministically (all engines here commit
 // while holding the turn); the heap mutex only protects the data structures.
 func (v *View) Commit() (seq int64, changed int) {
 	h := v.h
+	oldBase := v.base.Load()
 	h.mu.Lock()
 	newSeq := h.seq.Load() + 1
 	var floor int64 = -1
 	if h.trim {
-		floor = h.trimFloorLocked()
+		if h.floorValid.Load() {
+			floor = h.floorCache.Load()
+		} else {
+			floor = h.trimFloorLocked()
+			h.floorCache.Store(floor)
+			h.floorValid.Store(true)
+		}
 	}
+	scanned := int64(0)
 	for pi, d := range v.dirty {
 		head := h.slots[pi].Load()
 		var merged []int64
 		n := 0
-		for i, w := range d.words {
-			if w != d.twin[i] {
-				if merged == nil {
-					merged = make([]int64, h.pageWords)
-					copy(merged, head.words)
+		if h.legacyDiff {
+			scanned += int64(len(d.words))
+			for i, w := range d.words {
+				if w != d.twin[i] {
+					if merged == nil {
+						merged = make([]int64, h.pageWords)
+						copy(merged, head.words)
+					}
+					merged[i] = w
+					n++
 				}
-				merged[i] = w
-				n++
+			}
+		} else {
+			for bi, mask := range d.dirty {
+				for mask != 0 {
+					i := bi<<6 + bits.TrailingZeros64(mask)
+					mask &= mask - 1
+					scanned++
+					if d.words[i] != d.twin[i] {
+						if merged == nil {
+							merged = make([]int64, h.pageWords)
+							copy(merged, head.words)
+						}
+						merged[i] = d.words[i]
+						n++
+					}
+				}
 			}
 		}
 		if merged == nil {
@@ -404,7 +540,7 @@ func (v *View) Commit() (seq int64, changed int) {
 		np.prev.Store(head)
 		h.slots[pi].Store(np)
 		h.pagesWritten.Add(1)
-		h.wordsDiffed.Add(int64(n))
+		h.wordsMerged.Add(int64(n))
 		changed += n
 		if h.trim {
 			trimChain(np, floor)
@@ -412,8 +548,10 @@ func (v *View) Commit() (seq int64, changed int) {
 	}
 	h.seq.Store(newSeq)
 	h.commits.Add(1)
+	h.wordsScanned.Add(scanned)
 	h.mu.Unlock()
 	v.base.Store(newSeq)
+	h.noteRebase(oldBase)
 	clear(v.dirty)
 	clear(v.clean)
 	return newSeq, changed
@@ -442,7 +580,9 @@ func (v *View) Update() {
 	if len(v.dirty) != 0 {
 		panic("vheap: Update with non-empty dirty set")
 	}
+	oldBase := v.base.Load()
 	v.base.Store(v.h.seq.Load())
+	v.h.noteRebase(oldBase)
 	clear(v.clean)
 }
 
@@ -454,10 +594,12 @@ func (v *View) UpdateTo(seq int64) {
 	if len(v.dirty) != 0 {
 		panic("vheap: UpdateTo with non-empty dirty set")
 	}
-	if cur := v.base.Load(); seq < cur {
+	cur := v.base.Load()
+	if seq < cur {
 		panic(fmt.Sprintf("vheap: UpdateTo(%d) would move the base backwards from %d", seq, cur))
 	}
 	v.base.Store(seq)
+	v.h.noteRebase(cur)
 	clear(v.clean)
 }
 
@@ -467,7 +609,9 @@ func (v *View) UpdateTo(seq int64) {
 func (v *View) Revert() (discarded int) {
 	discarded = v.DirtyWords()
 	clear(v.dirty)
+	oldBase := v.base.Load()
 	v.base.Store(v.h.seq.Load())
+	v.h.noteRebase(oldBase)
 	clear(v.clean)
 	return discarded
 }
@@ -484,20 +628,23 @@ type DirtySnapshot struct {
 // Words returns the number of non-silent dirty words in the snapshot.
 func (s *DirtySnapshot) Words() int { return s.words }
 
+// copyDirtyPage deep-copies one dirty page, bitmap included.
+func copyDirtyPage(d *dirtyPage) *dirtyPage {
+	w := make([]int64, len(d.words))
+	copy(w, d.words)
+	tw := make([]int64, len(d.twin))
+	copy(tw, d.twin)
+	db := make([]uint64, len(d.dirty))
+	copy(db, d.dirty)
+	return &dirtyPage{words: w, twin: tw, dirty: db}
+}
+
 // SnapshotDirty deep-copies the view's dirty set.
 func (v *View) SnapshotDirty() *DirtySnapshot {
 	s := &DirtySnapshot{pages: make(map[int]*dirtyPage, len(v.dirty))}
 	for pi, d := range v.dirty {
-		w := make([]int64, len(d.words))
-		copy(w, d.words)
-		tw := make([]int64, len(d.twin))
-		copy(tw, d.twin)
-		s.pages[pi] = &dirtyPage{words: w, twin: tw}
-		for i := range w {
-			if w[i] != tw[i] {
-				s.words++
-			}
-		}
+		s.pages[pi] = copyDirtyPage(d)
+		s.words += diffWords(d)
 	}
 	return s
 }
@@ -514,11 +661,7 @@ func (v *View) RevertTo(s *DirtySnapshot) (discarded int) {
 	}
 	v.dirty = make(map[int]*dirtyPage, len(s.pages))
 	for pi, d := range s.pages {
-		w := make([]int64, len(d.words))
-		copy(w, d.words)
-		tw := make([]int64, len(d.twin))
-		copy(tw, d.twin)
-		v.dirty[pi] = &dirtyPage{words: w, twin: tw}
+		v.dirty[pi] = copyDirtyPage(d)
 	}
 	return discarded
 }

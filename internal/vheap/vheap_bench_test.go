@@ -1,6 +1,9 @@
 package vheap
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkViewLoadClean(b *testing.B) {
 	h := New(1 << 16)
@@ -54,6 +57,54 @@ func BenchmarkCommitWide(b *testing.B) {
 			v.Store(p*256+int64(i)&0xff, int64(i)|1)
 		}
 		v.Commit()
+	}
+}
+
+// BenchmarkCommitDirtyFraction sweeps the fraction of a page modified
+// between commits, for the dirty-bitmap walk and the legacy full-page scan.
+// The words-scanned/commit metric is the structural difference the tentpole
+// claims: constant-in-page-size for the bitmap, pageWords for the scan.
+func BenchmarkCommitDirtyFraction(b *testing.B) {
+	for _, pageWords := range []int{256, 1024} {
+		for _, frac := range []struct {
+			name  string
+			dirty func(pw int) int
+		}{
+			{"1word", func(int) int { return 1 }},
+			{"1pct", func(pw int) int { return (pw + 99) / 100 }},
+			{"50pct", func(pw int) int { return pw / 2 }},
+			{"100pct", func(pw int) int { return pw }},
+		} {
+			for _, path := range []struct {
+				name string
+				opts []Option
+			}{
+				{"bitmap", nil},
+				{"legacy", []Option{WithLegacyDiffCommit()}},
+			} {
+				name := fmt.Sprintf("page%d/%s/%s", pageWords, frac.name, path.name)
+				b.Run(name, func(b *testing.B) {
+					h := New(int64(pageWords), append([]Option{WithPageWords(pageWords)}, path.opts...)...)
+					v := h.NewView()
+					nd := frac.dirty(pageWords)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for w := 0; w < nd; w++ {
+							// Spread writes across the page; fresh value each
+							// iteration keeps every store non-silent.
+							v.Store(int64(w*(pageWords/nd)), int64(i*nd+w)|1)
+						}
+						v.Commit()
+					}
+					b.StopTimer()
+					st := h.Stats()
+					if st.Commits > 0 {
+						b.ReportMetric(float64(st.WordsScanned)/float64(st.Commits), "words-scanned/commit")
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -1,0 +1,209 @@
+package vheap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// This file tests the dirty-word bitmap commit path against the legacy
+// full-scan diff it replaced: the two must publish byte-identical heaps and
+// identical commit statistics (other than words scanned), the bitmap must
+// never miss a modified word (AuditDirty), and the whole point — commit
+// work proportional to dirty words, not page size — must hold by a wide,
+// measured margin.
+
+// mirrorOp applies one deterministic pseudo-random operation to both views.
+func mirrorOp(r *uint64, h1, h2 *Heap, v1, v2 *View, words int64) {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	op := *r >> 60
+	*r = *r*6364136223846793005 + 1442695040888963407
+	addr := int64(*r>>32) % words
+	*r = *r*6364136223846793005 + 1442695040888963407
+	val := int64(*r >> 40)
+	switch {
+	case op < 9: // store, sometimes silent (val repeats across draws rarely)
+		v1.Store(addr, val)
+		v2.Store(addr, val)
+	case op < 11:
+		v1.StoreDirty(addr, val)
+		v2.StoreDirty(addr, val)
+	case op < 13:
+		v1.Commit()
+		v2.Commit()
+	case op < 14:
+		v1.Revert()
+		v2.Revert()
+	default:
+		s1 := v1.SnapshotDirty()
+		s2 := v2.SnapshotDirty()
+		v1.Store((addr+1)%words, val+1)
+		v2.Store((addr+1)%words, val+1)
+		v1.RevertTo(s1)
+		v2.RevertTo(s2)
+	}
+}
+
+// TestQuickBitmapMatchesLegacyDiff drives a bitmap-committing heap and a
+// legacy full-scan heap through identical operation sequences: final
+// contents, committed words and published pages must be identical — the
+// bitmap path may only change how modified words are found, never which.
+func TestQuickBitmapMatchesLegacyDiff(t *testing.T) {
+	f := func(seed uint64) bool {
+		const words = 256
+		h1 := New(words, WithPageWords(32))
+		h2 := New(words, WithPageWords(32), WithLegacyDiffCommit())
+		v1 := h1.NewView()
+		v2 := h2.NewView()
+		r := seed
+		for i := 0; i < 200; i++ {
+			mirrorOp(&r, h1, h2, v1, v2, words)
+		}
+		v1.Commit()
+		v2.Commit()
+		if h1.Hash() != h2.Hash() {
+			t.Logf("seed %d: bitmap heap hash %x != legacy heap hash %x", seed, h1.Hash(), h2.Hash())
+			return false
+		}
+		s1, s2 := h1.Stats(), h2.Stats()
+		if s1.Commits != s2.Commits || s1.Pages != s2.Pages || s1.Words != s2.Words {
+			t.Logf("seed %d: stats diverge: bitmap (%d,%d,%d) vs legacy (%d,%d,%d)",
+				seed, s1.Commits, s1.Pages, s1.Words, s2.Commits, s2.Pages, s2.Words)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitmapPreservesSilentStoreSemantics: a marked word equal to its twin
+// must still merge as silent (lost to a concurrent commit), identically
+// under both paths.
+func TestBitmapPreservesSilentStoreSemantics(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		opts := []Option{WithPageWords(16)}
+		if legacy {
+			opts = append(opts, WithLegacyDiffCommit())
+		}
+		h := New(64, opts...)
+		h.SetInitial(3, 7)
+		a := h.NewView()
+		b := h.NewView()
+		a.Store(3, 7) // silent: marked in the bitmap, equal to the twin
+		b.Store(3, 9)
+		b.Commit()
+		a.Commit()
+		if got := h.ReadCommitted(3); got != 9 {
+			t.Fatalf("legacy=%v: word 3 = %d, want 9 (silent store must lose under both paths)", legacy, got)
+		}
+		// The all-silent page must publish no version under either path.
+		if st := h.Stats(); st.Pages != 1 {
+			t.Fatalf("legacy=%v: %d pages published, want 1 (a's silent page must publish nothing)", legacy, st.Pages)
+		}
+	}
+}
+
+// TestAuditDirtyCatchesUnmarkedWord corrupts a page's bitmap and checks the
+// audit reports the word the bitmap commit would drop.
+func TestAuditDirtyCatchesUnmarkedWord(t *testing.T) {
+	h := New(64, WithPageWords(16))
+	v := h.NewView()
+	v.Store(3, 9)
+	if err := v.AuditDirty(); err != nil {
+		t.Fatalf("clean dirty set audited dirty: %v", err)
+	}
+	d := v.dirty[0]
+	d.dirty[0] = 0 // word 3 differs from its twin but is no longer marked
+	if err := v.AuditDirty(); err == nil {
+		t.Fatal("unmarked modified word not caught by AuditDirty")
+	}
+	d.mark(3)
+	v.Store(4, 0) // silent store: marked, equal to twin — legal
+	if err := v.AuditDirty(); err != nil {
+		t.Fatalf("marked silent store flagged: %v", err)
+	}
+}
+
+// TestCommitScanProportionalToDirtyWords is the tentpole's acceptance
+// criterion as a test: at 1%-dirty pages, the bitmap path must examine at
+// least 10× fewer words than the legacy full scan (it examines exactly the
+// dirty words, so the real ratio here is 100×).
+func TestCommitScanProportionalToDirtyWords(t *testing.T) {
+	const pageWords = 1024
+	const dirtyPerPage = 10 // ~1% of a page
+	scanned := func(opts ...Option) int64 {
+		h := New(pageWords, append([]Option{WithPageWords(pageWords)}, opts...)...)
+		v := h.NewView()
+		for c := 0; c < 20; c++ {
+			for i := int64(0); i < dirtyPerPage; i++ {
+				v.Store(i*97%pageWords, int64(c*100)+i+1)
+			}
+			v.Commit()
+		}
+		return h.Stats().WordsScanned
+	}
+	bitmap := scanned()
+	legacy := scanned(WithLegacyDiffCommit())
+	if bitmap*10 > legacy {
+		t.Fatalf("bitmap commit scanned %d words vs legacy %d — want >=10x reduction at 1%%-dirty pages", bitmap, legacy)
+	}
+	if want := int64(20 * dirtyPerPage); bitmap != want {
+		t.Fatalf("bitmap commit scanned %d words, want exactly %d (the dirty words)", bitmap, want)
+	}
+	if want := int64(20 * pageWords); legacy != want {
+		t.Fatalf("legacy commit scanned %d words, want exactly %d (full pages)", legacy, want)
+	}
+}
+
+// TestTrimFloorCacheInvalidation: closing the view that pins the trim floor
+// must invalidate the cached floor, so the next commit trims the chain tail
+// the closed view was holding alive.
+func TestTrimFloorCacheInvalidation(t *testing.T) {
+	h := New(32, WithPageWords(32))
+	pinned := h.NewView() // base 0 pins every version
+	w := h.NewView()
+	for i := 0; i < 8; i++ {
+		w.Store(0, int64(i+1))
+		w.Commit() // caches floor 0 — nothing trims
+	}
+	grown := h.LiveVersions()
+	if grown < 8 {
+		t.Fatalf("pinned view retained %d versions, want >= 8", grown)
+	}
+	if err := h.Audit(); err != nil {
+		t.Fatalf("audit with cached floor: %v", err)
+	}
+	pinned.Close() // must invalidate the cached floor
+	w.Store(0, 99)
+	w.Commit()
+	// The commit trims to w's pre-commit base: the new head plus the floor
+	// version survive, everything the closed view pinned is gone.
+	if got := h.LiveVersions(); got > 2 {
+		t.Fatalf("after closing the pinning view, %d versions survive the next commit, want <= 2 (stale floor cache?)", got)
+	}
+	if err := h.Audit(); err != nil {
+		t.Fatalf("audit after invalidation: %v", err)
+	}
+}
+
+// TestTrimFloorCacheRebase: a view sitting at the floor that re-bases via
+// Update must also invalidate the cache.
+func TestTrimFloorCacheRebase(t *testing.T) {
+	h := New(32, WithPageWords(32))
+	lagging := h.NewView()
+	w := h.NewView()
+	for i := 0; i < 6; i++ {
+		w.Store(0, int64(i+1))
+		w.Commit()
+	}
+	lagging.Update() // the floor holder moves forward: cache must drop
+	w.Store(0, 77)
+	w.Commit()
+	if got := h.LiveVersions(); got > 2 {
+		t.Fatalf("after the floor holder re-based, %d versions survive, want <= 2", got)
+	}
+	if err := h.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

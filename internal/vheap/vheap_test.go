@@ -258,9 +258,14 @@ func TestStatsCountCommits(t *testing.T) {
 	v.Store(0, 1)
 	v.Store(300, 2) // second page
 	v.Commit()
-	commits, pages, words := h.Stats()
-	if commits != 1 || pages != 2 || words != 2 {
-		t.Fatalf("Stats = (%d,%d,%d), want (1,2,2)", commits, pages, words)
+	st := h.Stats()
+	if st.Commits != 1 || st.Pages != 2 || st.Words != 2 {
+		t.Fatalf("Stats = (%d,%d,%d), want (1,2,2)", st.Commits, st.Pages, st.Words)
+	}
+	// Under dirty tracking, finding 2 changed words costs examining exactly
+	// the 2 marked words.
+	if st.WordsScanned != 2 {
+		t.Fatalf("WordsScanned = %d, want 2 (commit work must be proportional to dirty words)", st.WordsScanned)
 	}
 }
 
