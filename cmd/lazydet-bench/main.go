@@ -5,6 +5,16 @@
 //	lazydet-bench -table 1          # lock statistics
 //	lazydet-bench -all -quick       # everything, shrunk sweeps
 //	lazydet-bench -fig 8 -reps 5    # the paper's repetition count
+//
+// It is also the perf-gate front end: -report runs the report suite and
+// writes a structured JSON run report; -baseline diffs it against a previous
+// report, failing (exit 1) when a gated deterministic metric regresses more
+// than -gate percent; -compare diffs two existing report files without
+// running anything.
+//
+//	lazydet-bench -report new.json
+//	lazydet-bench -report new.json -baseline bench/baseline.json -gate 25
+//	lazydet-bench -compare new.json -baseline old.json -gate 15
 package main
 
 import (
@@ -15,7 +25,32 @@ import (
 	"runtime/pprof"
 
 	"lazydet/internal/experiments"
+	"lazydet/internal/telemetry"
 )
+
+// diffReports loads both reports, prints the comparison, and returns the
+// process exit code: 0 when the gate passes, 1 when it fails.
+func diffReports(basePath, curPath string, gatePct float64) int {
+	base, err := telemetry.ReadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cur, err := telemetry.ReadReport(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	c := telemetry.Compare(base, cur, gatePct)
+	c.Format(os.Stdout)
+	if !c.Ok() {
+		fmt.Printf("perf gate FAILED: %d regression(s), %d missing run(s) (gate %.1f%%)\n",
+			len(c.Regressions), len(c.MissingRuns), gatePct)
+		return 1
+	}
+	fmt.Printf("perf gate passed (gate %.1f%%)\n", gatePct)
+	return 0
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate figure N (1, 7, 8, 9, 10, 11, 12)")
@@ -27,6 +62,10 @@ func main() {
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
+	report := flag.String("report", "", "run the report suite and write a structured JSON run report to this file")
+	baseline := flag.String("baseline", "", "baseline report to diff against (with -report or -compare)")
+	gate := flag.Float64("gate", 0, "fail when a gated deterministic metric regresses more than this percent against -baseline; 0 reports without failing")
+	compare := flag.String("compare", "", "diff this existing report file against -baseline without running anything")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the selected experiments to this file")
 	flag.Parse()
@@ -68,6 +107,30 @@ func main() {
 		Scale:   *scale,
 		Quick:   *quick,
 		CSVDir:  *csvDir,
+	}
+
+	if *compare != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "-compare requires -baseline")
+			os.Exit(2)
+		}
+		os.Exit(diffReports(*baseline, *compare, *gate))
+	}
+	if *report != "" {
+		suite, err := experiments.ReportSuite(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := suite.WriteFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d runs to %s\n", len(suite.Runs), *report)
+		if *baseline != "" {
+			os.Exit(diffReports(*baseline, *report, *gate))
+		}
+		return
 	}
 
 	type job struct {

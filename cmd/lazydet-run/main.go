@@ -4,6 +4,7 @@
 //
 //	lazydet-run -workload ht -engine lazydet -threads 8
 //	lazydet-run -workload barnes -engine consequence -threads 16 -trace
+//	lazydet-run -workload ht -engine lazydet -report run.json
 //	lazydet-run -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"lazydet/internal/harness"
+	"lazydet/internal/telemetry"
 	"lazydet/internal/workloads"
 )
 
@@ -81,6 +83,7 @@ func main() {
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	trace := flag.Bool("trace", false, "record and print determinism fingerprints")
 	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
+	reportPath := flag.String("report", "", "write a single-run structured JSON run report to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
@@ -110,6 +113,7 @@ func main() {
 		MeasureTimes: true, CollectSpec: ek == harness.LazyDet,
 		CountLocks:       ek == harness.Pthreads,
 		LegacyDiffCommit: *legacyDiff,
+		Telemetry:        *reportPath != "",
 	}
 	if *cpuprofile != "" {
 		stop, err := startCPUProfile(*cpuprofile)
@@ -154,5 +158,17 @@ func main() {
 	if *trace {
 		fmt.Printf("trace:       sig %016x over %d sync events; heap %016x\n",
 			res.TraceSig, res.SyncEvents, res.HeapHash)
+	}
+	if *reportPath != "" {
+		suite := &telemetry.SuiteReport{
+			Schema: telemetry.ReportSchema,
+			Suite:  "single",
+			Runs:   []telemetry.RunReport{harness.BuildReport(res)},
+		}
+		if err := suite.WriteFile(*reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report:      %s\n", *reportPath)
 	}
 }

@@ -7,9 +7,17 @@
 // nondeterministic engines show where executions actually diverge, which is
 // exactly the reproducibility problem DMT systems eliminate.
 //
+// With -chrometrace, run A's per-thread timeline — turn waits, speculation
+// runs, commits and reverts, stamped in deterministic logical clock (DLC)
+// time rather than wall time — is exported as a Chrome-tracing/Perfetto JSON
+// file (load it at chrome://tracing or ui.perfetto.dev). Because the
+// timestamps are DLC ticks, a deterministic engine exports a byte-identical
+// trace on every run of the same spec.
+//
 //	lazydet-trace -workload ht -engine lazydet -threads 8
 //	lazydet-trace -workload ht -engine weak-nondet -threads 8
 //	lazydet-trace -workload ferret -engine lazydet -dump 20
+//	lazydet-trace -workload ht -engine lazydet -chrometrace trace.json
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"lazydet/internal/harness"
+	"lazydet/internal/telemetry"
 	"lazydet/internal/trace"
 	"lazydet/internal/workloads"
 )
@@ -29,6 +38,7 @@ func main() {
 	threads := flag.Int("threads", 8, "simulated thread count")
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	dump := flag.Int("dump", 0, "print the first N events of each thread of run A")
+	chrome := flag.String("chrometrace", "", "export run A's per-thread DLC-time spans as Chrome-tracing JSON to this file")
 	flag.Parse()
 
 	var ek harness.EngineKind
@@ -61,7 +71,7 @@ func main() {
 		w = g.New(*scale)
 	}
 
-	opt := harness.Options{Engine: ek, Threads: *threads, LogEvents: true}
+	opt := harness.Options{Engine: ek, Threads: *threads, LogEvents: true, TelemetrySpans: *chrome != ""}
 	runA, err := harness.Run(w, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -74,6 +84,24 @@ func main() {
 	}
 
 	fmt.Printf("workload %s under %s, %d threads\n", w.Name, ek, *threads)
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		proc := fmt.Sprintf("%s/%s/t%d", w.Name, ek, *threads)
+		if err := telemetry.WriteChromeTrace(f, runA.Telemetry, proc); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace (run A, DLC timebase): %s\n", *chrome)
+	}
 	fmt.Printf("run A: %d sync events, trace %016x, memory %016x\n", runA.SyncEvents, runA.TraceSig, runA.HeapHash)
 	fmt.Printf("run B: %d sync events, trace %016x, memory %016x\n", runB.SyncEvents, runB.TraceSig, runB.HeapHash)
 

@@ -32,6 +32,7 @@ import (
 	"lazydet/internal/mempipe"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
+	"lazydet/internal/telemetry"
 	"lazydet/internal/trace"
 	"lazydet/internal/vheap"
 )
@@ -188,6 +189,11 @@ type Deps struct {
 	Rec   *trace.Recorder
 	Times *stats.Times
 	Spec  *stats.Spec
+	// Tel, if non-nil, receives the engine's telemetry: turn-wait counters
+	// and, when the recorder keeps spans, per-thread DLC-stamped timelines
+	// of turn waits, speculation runs, commits and reverts. Disabled (nil)
+	// costs one pointer compare per audit point, like OnViolation.
+	Tel *telemetry.Recorder
 	// OnViolation receives invariant violations when
 	// Config.CheckInvariants is set. Nil means panic on violation — a
 	// repeatable panic, since the engines are deterministic.
@@ -203,6 +209,7 @@ type Engine struct {
 	rec   *trace.Recorder
 	times *stats.Times
 	spec  *stats.Spec
+	tel   *telemetry.Recorder
 
 	// audit is the invariant checker, nil unless Config.CheckInvariants.
 	audit *invariant.Checker
@@ -235,10 +242,11 @@ func New(cfg Config, d Deps) *Engine {
 		rec:              d.Rec,
 		times:            d.Times,
 		spec:             d.Spec,
+		tel:              d.Tel,
 		irrevocableOwner: -1,
 	}
 	if cfg.Mode == ModeStrong {
-		e.pipe = mempipe.NewVersioned(d.Heap)
+		e.pipe = mempipe.NewVersioned(d.Heap, d.Tel)
 	} else {
 		e.pipe = mempipe.NewFlat(d.Mem)
 	}
@@ -348,6 +356,11 @@ func (e *Engine) ThreadExit(t *dvm.Thread) bool {
 	// keeps joiners' retry counts deterministic.
 	e.waitCommitTurn(t)
 	e.publish(t, ts)
+	if e.tel != nil {
+		// The thread's final clock: summed over threads this is the run's
+		// total deterministic logical work, the report's "dlc.total".
+		e.tel.Count("dlc.total", e.arb.DLC(t.ID))
+	}
 	e.arb.Exit(t.ID)
 	ts.mem.Close()
 	return true
@@ -408,7 +421,17 @@ const maxBackoff = 512
 // waitCommitTurn blocks for a turn at which the thread is allowed to commit:
 // while another thread holds irrevocable status, everyone else's commits are
 // blocked (paper §3.5), implemented as deterministic quantum bumps.
+//
+// With telemetry enabled the whole wait is one turn-wait span in DLC time:
+// from the clock at which the thread first requested the turn to the clock
+// at which a commit-capable turn was granted. Both stamps, and the retry
+// count, are deterministic — retries depend only on the deterministic
+// irrevocability schedule.
 func (e *Engine) waitCommitTurn(t *dvm.Thread) {
+	var d0, retries int64
+	if e.tel != nil {
+		d0 = e.arb.DLC(t.ID)
+	}
 	backoff := e.cfg.Quantum
 	for {
 		e.waitTurn(t)
@@ -416,8 +439,16 @@ func (e *Engine) waitCommitTurn(t *dvm.Thread) {
 			e.audit.AtTurn(t.ID)
 		}
 		if e.irrevocableOwner == -1 || e.irrevocableOwner == t.ID {
+			if e.tel != nil {
+				e.tel.Count("turn.waits", 1)
+				if retries > 0 {
+					e.tel.Count("turn.retries", retries)
+				}
+				e.tel.Span(t.ID, telemetry.SpanTurnWait, d0, e.arb.DLC(t.ID), retries)
+			}
 			return
 		}
+		retries++
 		e.arb.ReleaseTurn(t.ID, backoff)
 		if backoff < maxBackoff {
 			backoff *= 2
@@ -441,7 +472,11 @@ func (e *Engine) publish(t *dvm.Thread, ts *tstate) {
 	if !committed {
 		return
 	}
-	e.rec.Commit(t.ID, e.arb.DLC(t.ID), seq)
+	my := e.arb.DLC(t.ID)
+	e.rec.Commit(t.ID, my, seq)
+	if e.tel != nil {
+		e.tel.Span(t.ID, telemetry.SpanCommit, my, my, seq)
+	}
 	if e.audit != nil {
 		e.audit.AtCommit(t.ID, seq)
 	}

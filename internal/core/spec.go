@@ -5,6 +5,7 @@ import (
 
 	"lazydet/internal/detsync"
 	"lazydet/internal/dvm"
+	"lazydet/internal/telemetry"
 	"lazydet/internal/trace"
 )
 
@@ -234,6 +235,9 @@ func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
 		e.spec.Commits.Add(1)
 		e.spec.CommittedCS.Add(int64(ts.runCS))
 	}
+	if e.tel != nil {
+		e.tel.Span(t.ID, telemetry.SpanSpec, ts.begin, my, int64(ts.runCS))
+	}
 	if ts.irrevocable {
 		e.irrevocableOwner = -1
 	}
@@ -259,6 +263,13 @@ func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
 	if e.spec != nil {
 		e.spec.Reverts.Add(1)
 		e.spec.AddRevertSample(cost, discarded)
+	}
+	if e.tel != nil {
+		my := e.arb.DLC(t.ID)
+		e.tel.Count("spec.reverted_words", int64(discarded))
+		e.tel.Observe("spec.revert_words", int64(discarded))
+		e.tel.Span(t.ID, telemetry.SpanSpec, ts.begin, my, int64(ts.runCS))
+		e.tel.Span(t.ID, telemetry.SpanRevert, my, my, int64(discarded))
 	}
 	e.rec.Sync(t.ID, trace.OpSpecRevert, int64(ts.runCS), e.arb.DLC(t.ID))
 	ts.noSpecNext = true

@@ -1,0 +1,56 @@
+// The report suite: the fixed set of runs lazydet-bench -report serializes
+// and the CI perf gate diffs against bench/baseline.json.
+//
+// The suite only includes engines whose gated metrics are deterministic:
+// pthreads (timing reference only — it publishes no deterministic metrics),
+// Consequence, TotalOrder-Weak and LazyDet. TotalOrder-Weak-Nondet is
+// excluded because its turn arbitration is nondeterministic by design, so
+// its counters cannot be matched against a checked-in baseline.
+package experiments
+
+import (
+	"fmt"
+
+	"lazydet/internal/harness"
+	"lazydet/internal/telemetry"
+	"lazydet/internal/workloads"
+)
+
+// reportEngines are the suite's engines, in report order.
+var reportEngines = []harness.EngineKind{
+	harness.Pthreads, harness.Consequence, harness.TotalOrderWeak, harness.LazyDet,
+}
+
+// ReportSuite runs the report suite — the ht and htlazy microbenchmarks
+// under each reportEngines entry — with telemetry, tracing, blocked-time and
+// speculation collection on, and returns the suite report. Thread count
+// defaults to 4 (cfg.Threads overrides).
+func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
+	cfg = cfg.withDefaults()
+	threads := 4
+	if cfg.Threads > 0 {
+		threads = cfg.Threads
+	}
+	suite := &telemetry.SuiteReport{Schema: telemetry.ReportSchema, Suite: "ht-microbench"}
+	for _, variant := range []workloads.HTVariant{workloads.HT, workloads.HTLazy} {
+		w := workloads.NewHashTable(workloads.DefaultHTConfig(variant))
+		for _, e := range reportEngines {
+			opt := harness.Options{
+				Engine:       e,
+				Threads:      threads,
+				Telemetry:    true,
+				MeasureTimes: true,
+				Trace:        e != harness.Pthreads,
+				CollectSpec:  e == harness.LazyDet,
+			}
+			res, err := harness.Run(w, opt)
+			if err != nil {
+				return nil, fmt.Errorf("report suite: %s under %s: %w", w.Name, e, err)
+			}
+			r := harness.BuildReport(res)
+			suite.Runs = append(suite.Runs, r)
+			cfg.printf("%-28s wall %-12v %d deterministic metrics\n", r.Key(), res.Wall, len(r.Metrics))
+		}
+	}
+	return suite, nil
+}

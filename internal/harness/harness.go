@@ -18,6 +18,7 @@ import (
 	"lazydet/internal/invariant"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
+	"lazydet/internal/telemetry"
 	"lazydet/internal/trace"
 	"lazydet/internal/vheap"
 )
@@ -117,6 +118,17 @@ type Options struct {
 	// dirty-word bitmaps. The differential oracle for the bitmap commit
 	// path: both must publish byte-identical heaps and traces.
 	LegacyDiffCommit bool
+	// Telemetry enables the unified metrics registry
+	// (internal/telemetry): the engine, versioned heap and memory pipeline
+	// publish counters and histograms into one recorder, available as
+	// Result.Telemetry after the run and convertible to a run report with
+	// BuildReport. Off by default; when off the publishers pay one nil
+	// compare each.
+	Telemetry bool
+	// TelemetrySpans additionally records per-thread DLC-stamped span
+	// timelines (turn waits, speculation runs, commits, reverts) for the
+	// Chrome-trace exporter. Implies Telemetry.
+	TelemetrySpans bool
 	// CheckInvariants enables the runtime invariant audit layer
 	// (internal/invariant) on the deterministic engines: turn-holder
 	// uniqueness, heap commit monotonicity and chain integrity,
@@ -137,6 +149,8 @@ type Result struct {
 	Workload string
 	Threads  int
 	Wall     time.Duration
+	// CPU is the process CPU time consumed by the run.
+	CPU time.Duration
 	// HeapHash fingerprints the final shared memory.
 	HeapHash uint64
 	// TraceSig fingerprints the synchronization order (0 if untraced).
@@ -158,6 +172,11 @@ type Result struct {
 	LiveVersions int
 	// Spec carries speculation statistics when collected.
 	Spec *stats.Spec
+	// Times carries per-thread blocked-time accounting when measured.
+	Times *stats.Times
+	// Telemetry is the run's metrics registry when Options.Telemetry (or
+	// TelemetrySpans) was set.
+	Telemetry *telemetry.Recorder
 	// Counter carries per-lock acquisition counts when collected.
 	Counter *stats.LockCounter
 	// UtilizationPct is the machine-level CPU utilization of the run
@@ -200,6 +219,12 @@ func Run(w *Workload, opt Options) (*Result, error) {
 	if opt.CollectSpec {
 		spec = &stats.Spec{}
 	}
+	var tel *telemetry.Recorder
+	if opt.TelemetrySpans {
+		tel = telemetry.NewWithSpans(opt.Threads)
+	} else if opt.Telemetry {
+		tel = telemetry.New()
+	}
 
 	var eng dvm.Engine
 	var readFinal func(int64) int64
@@ -232,6 +257,9 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		if opt.LegacyDiffCommit {
 			hopts = append(hopts, vheap.WithLegacyDiffCommit())
 		}
+		if tel != nil {
+			hopts = append(hopts, vheap.WithTelemetry(tel))
+		}
 		heap = vheap.New(w.HeapWords, hopts...)
 		if w.Init != nil {
 			w.Init(heap.SetInitial, opt.Threads)
@@ -249,6 +277,7 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			Rec:         rec,
 			Times:       times,
 			Spec:        spec,
+			Tel:         tel,
 			OnViolation: opt.OnViolation,
 		})
 		readFinal = heap.ReadCommitted
@@ -277,6 +306,7 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			Mem:         mem,
 			Rec:         rec,
 			Times:       times,
+			Tel:         tel,
 			OnViolation: opt.OnViolation,
 		})
 		readFinal = mem.ReadCommitted
@@ -291,6 +321,7 @@ func Run(w *Workload, opt Options) (*Result, error) {
 	dvm.Run(eng, progs)
 	res.Wall = time.Since(start)
 	cpuAfter := stats.ProcessCPUNs()
+	res.CPU = time.Duration(cpuAfter - cpuBefore)
 
 	if rec != nil {
 		res.TraceSig = rec.Signature()
@@ -298,6 +329,7 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		res.Recorder = rec
 	}
 	res.Spec = spec
+	res.Times = times
 	if times != nil {
 		capacity := res.Wall.Nanoseconds() * int64(runtime.NumCPU())
 		if capacity > 0 {
@@ -307,6 +339,10 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			}
 		}
 		res.BlockedPct = 100 - times.UtilizationPct(res.Wall.Nanoseconds(), opt.Threads)
+	}
+	if tel != nil {
+		absorbStats(tel, res)
+		res.Telemetry = tel
 	}
 	if w.Validate != nil {
 		if err := w.Validate(readFinal, opt.Threads); err != nil {

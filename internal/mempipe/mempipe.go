@@ -21,6 +21,7 @@ package mempipe
 
 import (
 	"lazydet/internal/shmem"
+	"lazydet/internal/telemetry"
 	"lazydet/internal/vheap"
 )
 
@@ -91,17 +92,28 @@ type Thread interface {
 }
 
 // versioned is the strong-determinism pipeline over a versioned heap.
-type versioned struct{ h *vheap.Heap }
+type versioned struct {
+	h   *vheap.Heap
+	tel *telemetry.Recorder
+}
 
 // NewVersioned builds the pipeline the strong engines (Consequence, LazyDet)
 // run on: thread windows are vheap views, publication is a versioned commit.
-func NewVersioned(h *vheap.Heap) Pipeline { return versioned{h} }
+// tel, if non-nil, receives per-publication metrics ("mempipe.publishes" and
+// the "mempipe.publish_dirty_words" histogram of dirty-set sizes at
+// publication); nil disables them at the cost of a pointer compare.
+func NewVersioned(h *vheap.Heap, tel *telemetry.Recorder) Pipeline { return versioned{h, tel} }
 
-func (p versioned) NewThread(tid int) Thread       { return &versionedThread{v: p.h.NewView()} }
+func (p versioned) NewThread(tid int) Thread {
+	return &versionedThread{v: p.h.NewView(), tel: p.tel}
+}
 func (p versioned) Seq() int64                     { return p.h.Seq() }
 func (p versioned) ReadCommitted(addr int64) int64 { return p.h.ReadCommitted(addr) }
 
-type versionedThread struct{ v *vheap.View }
+type versionedThread struct {
+	v   *vheap.View
+	tel *telemetry.Recorder
+}
 
 func (t *versionedThread) Load(addr int64) int64               { return t.v.Load(addr) }
 func (t *versionedThread) Store(addr, val int64)               { t.v.Store(addr, val) }
@@ -120,6 +132,10 @@ func (t *versionedThread) Publish() (int64, bool) {
 	if t.v.DirtyPages() == 0 {
 		return 0, false
 	}
+	if t.tel != nil {
+		t.tel.Count("mempipe.publishes", 1)
+		t.tel.Observe("mempipe.publish_dirty_words", int64(t.v.DirtyWords()))
+	}
 	seq, _ := t.v.Commit()
 	return seq, true
 }
@@ -128,7 +144,8 @@ func (t *versionedThread) Publish() (int64, bool) {
 type flat struct{ m *shmem.Mem }
 
 // NewFlat builds the pipeline the weak and nondeterministic engines run on:
-// no isolation, no versions, publication is a no-op.
+// no isolation, no versions, publication is a no-op — so there is nothing to
+// measure and flat pipelines take no recorder.
 func NewFlat(m *shmem.Mem) Pipeline { return flat{m} }
 
 func (p flat) NewThread(tid int) Thread       { return flatThread{p.m} }

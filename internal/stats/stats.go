@@ -65,10 +65,17 @@ func (c *LockCounter) Summarize() Summary {
 }
 
 // Percentile returns the p-th percentile of sorted (ascending) values using
-// nearest-rank.
+// nearest-rank. Empty input yields 0; p is clamped into [0, 100], with NaN
+// treated as 0 (float→int conversion of NaN is platform-defined, so it must
+// never reach the rank computation).
 func Percentile(sorted []int64, p float64) int64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
 	}
 	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
@@ -177,6 +184,15 @@ func (t *Times) AddBlocked(tid int, ns int64) {
 	t.blockedNs[tid].Add(ns)
 }
 
+// BlockedNs returns the blocked time charged to thread tid, or 0 when tid is
+// out of range or the tracker is disabled.
+func (t *Times) BlockedNs(tid int) int64 {
+	if t == nil || tid < 0 || tid >= len(t.blockedNs) {
+		return 0
+	}
+	return t.blockedNs[tid].Load()
+}
+
 // TotalBlockedNs returns the summed blocked time across threads.
 func (t *Times) TotalBlockedNs() int64 {
 	if t == nil {
@@ -191,10 +207,13 @@ func (t *Times) TotalBlockedNs() int64 {
 
 // UtilizationPct returns the busy fraction, in percent, given the run's wall
 // time and thread count: 100 × (threads×wall − blocked) / (threads×wall).
+// Zero or negative capacity (zero wall time, or no threads) reports 100: no
+// time elapsed in which anything could have blocked, and callers derive
+// blocked time as 100 − utilization, which must then be 0.
 func (t *Times) UtilizationPct(wallNs int64, threads int) float64 {
 	total := wallNs * int64(threads)
-	if total == 0 {
-		return 0
+	if total <= 0 {
+		return 100
 	}
 	busy := total - t.TotalBlockedNs()
 	if busy < 0 {

@@ -52,6 +52,32 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
+// TestPercentileGuards: out-of-range and NaN percentiles degrade to the
+// nearest valid rank instead of indexing with garbage.
+func TestPercentileGuards(t *testing.T) {
+	vals := []int64{10, 20, 30}
+	cases := []struct {
+		name string
+		p    float64
+		want int64
+	}{
+		{"negative", -50, 10},
+		{"zero", 0, 10},
+		{"over-100", 250, 30},
+		{"nan", math.NaN(), 10},
+		{"inf", math.Inf(1), 30},
+		{"neg-inf", math.Inf(-1), 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("%s: Percentile(vals, %v) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]int64{7}, math.NaN()); got != 7 {
+		t.Errorf("single-element NaN percentile = %d, want 7", got)
+	}
+}
+
 func TestSpecPercentages(t *testing.T) {
 	s := &Spec{}
 	s.TotalAcquires.Store(200)
@@ -110,6 +136,50 @@ func TestTimesUtilization(t *testing.T) {
 	nilT.AddBlocked(0, 1) // nil-safe
 	if nilT.TotalBlockedNs() != 0 {
 		t.Fatal("nil Times must report 0")
+	}
+}
+
+// TestUtilizationZeroCapacity: degenerate wall time or thread counts report
+// full utilization, so the derived blocked fraction (100 − utilization) is 0
+// rather than a spurious 100 %.
+func TestUtilizationZeroCapacity(t *testing.T) {
+	tm := NewTimes(2)
+	tm.AddBlocked(0, 500)
+	cases := []struct {
+		name    string
+		wallNs  int64
+		threads int
+	}{
+		{"zero-wall", 0, 2},
+		{"zero-threads", 1000, 0},
+		{"negative-wall", -1000, 2},
+		{"negative-threads", 1000, -2},
+	}
+	for _, c := range cases {
+		if got := tm.UtilizationPct(c.wallNs, c.threads); got != 100 {
+			t.Errorf("%s: utilization = %v, want 100", c.name, got)
+		}
+	}
+	// Blocked time exceeding capacity (timer skew) clamps busy to 0.
+	over := NewTimes(1)
+	over.AddBlocked(0, 5000)
+	if got := over.UtilizationPct(1000, 1); got != 0 {
+		t.Errorf("over-blocked utilization = %v, want 0", got)
+	}
+}
+
+func TestTimesBlockedNs(t *testing.T) {
+	tm := NewTimes(2)
+	tm.AddBlocked(1, 42)
+	if got := tm.BlockedNs(1); got != 42 {
+		t.Errorf("BlockedNs(1) = %d, want 42", got)
+	}
+	if tm.BlockedNs(0) != 0 || tm.BlockedNs(-1) != 0 || tm.BlockedNs(2) != 0 {
+		t.Error("out-of-range BlockedNs must be 0")
+	}
+	var nilT *Times
+	if nilT.BlockedNs(0) != 0 {
+		t.Error("nil BlockedNs must be 0")
 	}
 }
 

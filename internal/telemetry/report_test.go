@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *SuiteReport {
+	return &SuiteReport{
+		Schema: ReportSchema,
+		Suite:  "unit",
+		Runs: []RunReport{
+			{
+				Workload: "ht", Engine: "LazyDet", Threads: 4,
+				HeapHash: "00000000deadbeef",
+				Metrics: map[string]float64{
+					"dlc.total":           1000,
+					"vheap.words_scanned": 500,
+					"spec.success_pct":    90,
+					"spec.reverts":        4,
+					"ungated.metric":      7,
+				},
+				Timing: map[string]float64{"wall_ns": 1e6},
+				Histograms: map[string]HistSnapshot{
+					"vheap.commit_words": {N: 3, Sum: 12, Buckets: map[string]int64{"4": 3}},
+				},
+			},
+			{
+				Workload: "ht", Engine: "Consequence", Threads: 4,
+				Metrics: map[string]float64{"dlc.total": 2000},
+			},
+		},
+	}
+}
+
+// TestReportRoundTrip: encode → decode is lossless and encoding is
+// deterministic byte-for-byte.
+func TestReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var a, b bytes.Buffer
+	if err := rep.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same report differ")
+	}
+
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 || got.Runs[0].Key() != "ht/LazyDet/t4" {
+		t.Fatalf("round trip lost runs: %+v", got)
+	}
+	if got.Runs[0].Metrics["dlc.total"] != 1000 {
+		t.Fatalf("round trip lost metrics: %v", got.Runs[0].Metrics)
+	}
+	if got.Runs[0].Histograms["vheap.commit_words"].Buckets["4"] != 3 {
+		t.Fatalf("round trip lost histograms: %v", got.Runs[0].Histograms)
+	}
+}
+
+func TestReadReportRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := ReadReport(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	wrong := filepath.Join(dir, "schema.json")
+	os.WriteFile(wrong, []byte(`{"schema": 99, "suite": "x", "runs": []}`), 0o644)
+	if _, err := ReadReport(wrong); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestCompareSelf: a report gated against itself passes with no changes —
+// the acceptance criterion for `-baseline a.json -gate 15` self-comparison.
+func TestCompareSelf(t *testing.T) {
+	rep := sampleReport()
+	c := Compare(rep, rep, 15)
+	if !c.Ok() {
+		t.Fatalf("self-comparison failed: %+v", c.Regressions)
+	}
+	if len(c.Changes) != 0 || len(c.TimingNotes) != 0 || len(c.MissingRuns) != 0 || len(c.NewRuns) != 0 {
+		t.Fatalf("self-comparison not empty: %+v", c)
+	}
+	var buf bytes.Buffer
+	c.Format(&buf)
+	if !strings.Contains(buf.String(), "no deterministic metric changed") {
+		t.Fatalf("format output: %q", buf.String())
+	}
+}
+
+// TestCompareRegressions: inflated cost metrics past the gate fail it;
+// movements within the gate, improvements and ungated metrics do not.
+func TestCompareRegressions(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	r := &cur.Runs[0]
+	r.Metrics["vheap.words_scanned"] = 700 // +40% on a gated, higher-is-worse metric
+	r.Metrics["dlc.total"] = 1100          // +10%: inside a 15% gate
+	r.Metrics["spec.reverts"] = 2          // improvement
+	r.Metrics["ungated.metric"] = 100      // ungated: never fails
+	c := Compare(base, cur, 15)
+	if c.Ok() {
+		t.Fatal("40% regression passed the gate")
+	}
+	if len(c.Regressions) != 1 || c.Regressions[0].Metric != "vheap.words_scanned" {
+		t.Fatalf("regressions = %+v", c.Regressions)
+	}
+	if math.Abs(c.Regressions[0].Pct-40) > 1e-9 {
+		t.Fatalf("pct = %v, want 40", c.Regressions[0].Pct)
+	}
+	if len(c.Changes) != 3 {
+		t.Fatalf("changes = %+v, want dlc.total, spec.reverts, ungated.metric", c.Changes)
+	}
+	var buf bytes.Buffer
+	c.Format(&buf)
+	if !strings.Contains(buf.String(), "REGRESSIONS (1)") {
+		t.Fatalf("format output: %q", buf.String())
+	}
+
+	// A success rate is gated in the other direction.
+	cur2 := sampleReport()
+	cur2.Runs[0].Metrics["spec.success_pct"] = 50 // -44%: worse
+	c2 := Compare(base, cur2, 15)
+	if len(c2.Regressions) != 1 || c2.Regressions[0].Metric != "spec.success_pct" {
+		t.Fatalf("success-rate drop not gated: %+v", c2)
+	}
+	// And rising success is an improvement, not a regression.
+	cur3 := sampleReport()
+	cur3.Runs[0].Metrics["spec.success_pct"] = 99
+	if c3 := Compare(base, cur3, 5); !c3.Ok() {
+		t.Fatalf("success-rate rise flagged as regression: %+v", c3.Regressions)
+	}
+}
+
+// TestCompareZeroBaseline: a gated metric appearing from zero is an
+// infinite-percent regression (deterministic metrics have no noise floor).
+func TestCompareZeroBaseline(t *testing.T) {
+	base := sampleReport()
+	base.Runs[0].Metrics["spec.reverts"] = 0
+	cur := sampleReport()
+	cur.Runs[0].Metrics["spec.reverts"] = 1
+	c := Compare(base, cur, 25)
+	if c.Ok() {
+		t.Fatal("0 -> 1 on a gated metric passed")
+	}
+	if !math.IsInf(c.Regressions[0].Pct, 1) {
+		t.Fatalf("pct = %v, want +Inf", c.Regressions[0].Pct)
+	}
+}
+
+// TestCompareMissingAndNewRuns: losing a baseline run fails the gate; a new
+// run is informational.
+func TestCompareMissingAndNewRuns(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Runs = cur.Runs[:1]
+	cur.Runs = append(cur.Runs, RunReport{Workload: "ll", Engine: "LazyDet", Threads: 2,
+		Metrics: map[string]float64{"dlc.total": 5}})
+	c := Compare(base, cur, 15)
+	if c.Ok() {
+		t.Fatal("missing baseline run passed the gate")
+	}
+	if len(c.MissingRuns) != 1 || c.MissingRuns[0] != "ht/Consequence/t4" {
+		t.Fatalf("missing = %v", c.MissingRuns)
+	}
+	if len(c.NewRuns) != 1 || c.NewRuns[0] != "ll/LazyDet/t2" {
+		t.Fatalf("new = %v", c.NewRuns)
+	}
+}
+
+// TestCompareTimingNeverGates: even a huge wall-time increase is a note,
+// not a regression.
+func TestCompareTimingNeverGates(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Runs[0].Timing["wall_ns"] = 1e7 // 10x slower
+	c := Compare(base, cur, 15)
+	if !c.Ok() {
+		t.Fatalf("timing movement failed the gate: %+v", c.Regressions)
+	}
+	if len(c.TimingNotes) != 1 || c.TimingNotes[0].Metric != "wall_ns" {
+		t.Fatalf("timing notes = %+v", c.TimingNotes)
+	}
+	// Small timing jitter is suppressed entirely.
+	cur.Runs[0].Timing["wall_ns"] = 1.05e6
+	if c := Compare(base, cur, 15); len(c.TimingNotes) != 0 {
+		t.Fatalf("5%% timing jitter reported: %+v", c.TimingNotes)
+	}
+}
+
+// TestGateDisabled: gatePct <= 0 reports changes but never fails.
+func TestGateDisabled(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Runs[0].Metrics["vheap.words_scanned"] = 5000
+	c := Compare(base, cur, 0)
+	if !c.Ok() || len(c.Changes) != 1 {
+		t.Fatalf("disabled gate: %+v", c)
+	}
+}
+
+func TestGatedMetric(t *testing.T) {
+	if g, hw := GatedMetric("dlc.total"); !g || !hw {
+		t.Fatal("dlc.total should be gated higher-is-worse")
+	}
+	if g, hw := GatedMetric("spec.success_pct"); !g || hw {
+		t.Fatal("spec.success_pct should be gated lower-is-worse")
+	}
+	if g, _ := GatedMetric("nope"); g {
+		t.Fatal("unknown metric gated")
+	}
+}

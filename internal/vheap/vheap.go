@@ -45,6 +45,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"lazydet/internal/telemetry"
 )
 
 // DefaultPageWords is the default page size in 64-bit words (2 KiB pages).
@@ -87,6 +89,10 @@ type Heap struct {
 
 	trim       bool // trim chains below the oldest live base (DDRF coalescing)
 	legacyDiff bool // commit by full twin scan instead of the dirty bitmap
+
+	// tel, if non-nil, receives commit metrics ("vheap.*" counters and the
+	// commit-size histogram). Nil costs one pointer compare per commit.
+	tel *telemetry.Recorder
 }
 
 // Option configures a Heap.
@@ -96,6 +102,7 @@ type heapConfig struct {
 	pageWords  int
 	keepChains bool
 	legacyDiff bool
+	tel        *telemetry.Recorder
 }
 
 // WithPageWords sets the page size in words; it must be a power of two.
@@ -113,6 +120,15 @@ func WithFullVersionChains() Option { return func(c *heapConfig) { c.keepChains 
 // oracle the bitmap path is tested against, and to measure what the bitmap
 // saves (see Stats().WordsScanned).
 func WithLegacyDiffCommit() Option { return func(c *heapConfig) { c.legacyDiff = true } }
+
+// WithTelemetry publishes the heap's commit-path measurements into rec:
+// cumulative "vheap.commits", "vheap.pages_committed", "vheap.words_committed"
+// and "vheap.words_scanned" counters, and a "vheap.commit_words" histogram of
+// per-commit merged word counts. All of them are deterministic for
+// deterministic engines (commit contents and order are turn-ordered).
+func WithTelemetry(rec *telemetry.Recorder) Option {
+	return func(c *heapConfig) { c.tel = rec }
+}
 
 // New creates a heap of the given size in words. The initial contents are
 // all zero at sequence 0.
@@ -141,6 +157,7 @@ func New(words int64, opts ...Option) *Heap {
 		views:      make(map[*View]struct{}),
 		trim:       !cfg.keepChains,
 		legacyDiff: cfg.legacyDiff,
+		tel:        cfg.tel,
 	}
 	zero := make([]int64, cfg.pageWords)
 	for i := range h.slots {
@@ -500,6 +517,7 @@ func (v *View) Commit() (seq int64, changed int) {
 		}
 	}
 	scanned := int64(0)
+	pages := int64(0)
 	for pi, d := range v.dirty {
 		head := h.slots[pi].Load()
 		var merged []int64
@@ -541,6 +559,7 @@ func (v *View) Commit() (seq int64, changed int) {
 		h.slots[pi].Store(np)
 		h.pagesWritten.Add(1)
 		h.wordsMerged.Add(int64(n))
+		pages++
 		changed += n
 		if h.trim {
 			trimChain(np, floor)
@@ -550,6 +569,13 @@ func (v *View) Commit() (seq int64, changed int) {
 	h.commits.Add(1)
 	h.wordsScanned.Add(scanned)
 	h.mu.Unlock()
+	if h.tel != nil {
+		h.tel.Count("vheap.commits", 1)
+		h.tel.Count("vheap.pages_committed", pages)
+		h.tel.Count("vheap.words_committed", int64(changed))
+		h.tel.Count("vheap.words_scanned", scanned)
+		h.tel.Observe("vheap.commit_words", int64(changed))
+	}
 	v.base.Store(newSeq)
 	h.noteRebase(oldBase)
 	clear(v.dirty)
