@@ -1,0 +1,52 @@
+// Command lazydet-detlint runs the determinism lint (internal/detlint) over
+// the engine-deterministic packages: wall-clock reads, math/rand, map
+// iteration and multi-case selects are forbidden there unless annotated
+// with //lazydet:nondeterministic and a reason.
+//
+//	lazydet-detlint                 # lint the default engine packages
+//	lazydet-detlint ./internal/dvm  # lint specific directories
+//	lazydet-detlint -json
+//
+// Exit status: 0 clean, 1 findings, 2 usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lazydet/internal/detlint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	root := flag.String("root", ".", "repository root for the default package set")
+	flag.Parse()
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = detlint.DefaultDirs(*root)
+	}
+	findings, err := detlint.LintDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("%d directory(ies) linted, %d finding(s)\n", len(dirs), len(findings))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,14 @@
 //     commit monotonicity, lock-table consistency and snapshot round-trip
 //     exactness hold at every turn grant and commit/revert.
 //
+// With -vet (on by default) every generated program set is additionally
+// cross-checked against the static analyzer: internal/progcheck must report
+// zero error findings on these race-free, deadlock-free programs (any
+// finding is an analyzer false positive — warnings are tallied and the rate
+// reported), and after seeding a known bug into a copy (the final halt is
+// prefixed with a lock acquisition that is never released) the analyzer
+// must flag it, or it has a soundness hole.
+//
 // With -legacydiff, the strong engines commit via the legacy full-page twin
 // scan instead of the dirty-word bitmaps — running the suite both ways
 // differentially checks the two commit paths against each other.
@@ -31,10 +39,45 @@ import (
 	"os"
 
 	"lazydet/internal/core"
+	"lazydet/internal/dvm"
 	"lazydet/internal/harness"
 	"lazydet/internal/invariant"
+	"lazydet/internal/progcheck"
 	"lazydet/internal/randprog"
 )
+
+// seedHeldLockBug returns a copy of p with a deliberate lock-discipline bug:
+// the trailing halt is prefixed with an acquisition of lock 0 that is never
+// released, so every execution exits holding it. Used to cross-check that
+// the static analyzer still catches a bug it is specified to catch.
+func seedHeldLockBug(p *dvm.Program) *dvm.Program {
+	n := len(p.Code)
+	if n == 0 || p.Code[n-1].Op != dvm.OpHalt {
+		return nil
+	}
+	code := make([]dvm.Instr, n+1)
+	copy(code, p.Code)
+	code[n-1] = dvm.Instr{
+		Op:    dvm.OpLock,
+		Cost:  1,
+		Addr:  func(*dvm.Thread) int64 { return 0 },
+		SAddr: dvm.SVal{Known: true, K: 0},
+	}
+	code[n] = dvm.Instr{Op: dvm.OpHalt, Cost: 1}
+	mut := *p
+	mut.Name = p.Name + "+held-lock-bug"
+	mut.Code = code
+	return &mut
+}
+
+func hasClass(rep *progcheck.Report, class progcheck.Class) bool {
+	for _, f := range rep.Findings {
+		if f.Class == class {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	seeds := flag.Int("seeds", 50, "number of random programs")
@@ -42,6 +85,7 @@ func main() {
 	threads := flag.Int("threads", 4, "simulated thread count")
 	ops := flag.Int("ops", 60, "operations per thread")
 	invariants := flag.Bool("invariants", false, "audit runtime invariants at every turn and commit/revert")
+	vet := flag.Bool("vet", true, "cross-check progcheck static verdicts against runtime outcomes")
 	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
@@ -50,6 +94,7 @@ func main() {
 	cfg.OpsPerThread = *ops
 
 	failures := 0
+	vetSeeds, vetFalseWarnings := 0, 0
 	for s := uint64(0); s < uint64(*seeds); s++ {
 		seed := *start + s
 		w, _, err := randprog.Generate(seed, cfg)
@@ -64,6 +109,32 @@ func main() {
 		if *invariants {
 			baseOpt.CheckInvariants = true
 			baseOpt.OnViolation = func(v *invariant.Violation) { violations = append(violations, v) }
+		}
+
+		// Properties 5 and 6: static/runtime cross-check. The generator
+		// emits race-free, deadlock-free programs, so (5) every progcheck
+		// finding on them is a false positive — errors fail the seed,
+		// warnings only feed the rate printed at the end — and (6) seeding
+		// a lock-held-at-exit bug into a copy must produce exactly that
+		// finding, or the analyzer has a soundness hole.
+		if *vet {
+			progs := w.Programs(*threads)
+			rep := progcheck.Check(progs)
+			if n := rep.CountBySeverity(progcheck.SevError); n > 0 {
+				fmt.Printf("seed %d: progcheck false positive: %d error finding(s) on a race-free program:\n%s",
+					seed, n, rep.Human())
+				ok = false
+			}
+			vetFalseWarnings += rep.CountBySeverity(progcheck.SevWarn)
+			vetSeeds++
+			if mut := seedHeldLockBug(progs[0]); mut == nil {
+				fmt.Printf("seed %d: progcheck cross-check: generated program does not end in halt\n", seed)
+				ok = false
+			} else if mrep := progcheck.Check([]*dvm.Program{mut}); !hasClass(mrep, progcheck.ClassHeldAtExit) {
+				fmt.Printf("seed %d: progcheck MISSED a seeded %s bug in %s\n",
+					seed, progcheck.ClassHeldAtExit, mut.Name)
+				ok = false
+			}
 		}
 
 		// Property 1: model equivalence under every engine.
@@ -136,6 +207,9 @@ func main() {
 	suffix := ""
 	if *invariants {
 		suffix = ", zero invariant violations"
+	}
+	if vetSeeds > 0 {
+		suffix += fmt.Sprintf("; progcheck: %d seeds cross-checked, %d warning false positive(s)", vetSeeds, vetFalseWarnings)
 	}
 	fmt.Printf("ok: %d seeds × %d engines, all equivalent and deterministic%s\n", *seeds, len(harness.AllEngines), suffix)
 }

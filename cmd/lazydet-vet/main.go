@@ -1,0 +1,154 @@
+// Command lazydet-vet runs the internal/progcheck static analyzer over dvm
+// program sets: per-thread control-flow graphs, a forward abstract
+// interpretation of lock/barrier state, cross-program deadlock cycles and
+// static data-race candidates.
+//
+//	lazydet-vet -all                    # vet every built-in workload
+//	lazydet-vet -workload barnes        # vet one workload
+//	lazydet-vet -litmus                 # run the known-bad corpus
+//	lazydet-vet -all -json              # machine-readable reports
+//	lazydet-vet -all -werror            # exit nonzero on warnings too
+//
+// Exit status: 0 when every analyzed set is clean, 1 when any set has
+// error-severity findings (or warnings under -werror), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/progcheck"
+	"lazydet/internal/workloads"
+)
+
+// target is one named program set to analyze.
+type target struct {
+	name  string
+	progs []*dvm.Program
+	// want lists the finding classes a litmus target must produce; nil for
+	// workloads, which must be clean.
+	want     []progcheck.Class
+	isLitmus bool
+}
+
+// jsonReport is the machine-readable per-target output.
+type jsonReport struct {
+	Target   string            `json:"target"`
+	Report   *progcheck.Report `json:"report"`
+	Expected []progcheck.Class `json:"expected,omitempty"`
+	Verdict  string            `json:"verdict"` // "clean", "findings", "as-expected", "mismatch"
+}
+
+func buildTargets(workload string, all, litmus bool, threads, scale int) ([]target, error) {
+	var ts []target
+	if litmus {
+		for _, c := range progcheck.Litmus() {
+			ts = append(ts, target{name: "litmus/" + c.Name, progs: c.Build(), want: c.Want, isLitmus: true})
+		}
+		return ts, nil
+	}
+	if all {
+		for _, variant := range []string{"ht", "htlazy"} {
+			cfg := workloads.DefaultHTConfig(workloads.HTVariant(variant))
+			w := workloads.NewHashTable(cfg)
+			ts = append(ts, target{name: variant, progs: w.Programs(threads)})
+		}
+		for _, g := range workloads.All() {
+			ts = append(ts, target{name: g.Name, progs: g.New(scale).Programs(threads)})
+		}
+		return ts, nil
+	}
+	switch workload {
+	case "":
+		return nil, fmt.Errorf("one of -workload, -all or -litmus is required")
+	case "ht", "htlazy":
+		cfg := workloads.DefaultHTConfig(workloads.HTVariant(workload))
+		w := workloads.NewHashTable(cfg)
+		ts = append(ts, target{name: workload, progs: w.Programs(threads)})
+	default:
+		g := workloads.ByName(workload)
+		if g == nil {
+			return nil, fmt.Errorf("unknown workload %q", workload)
+		}
+		ts = append(ts, target{name: g.Name, progs: g.New(scale).Programs(threads)})
+	}
+	return ts, nil
+}
+
+// classesEqual compares sorted class slices.
+func classesEqual(a, b []progcheck.Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	workload := flag.String("workload", "", "vet one workload's programs (see lazydet-run -list)")
+	all := flag.Bool("all", false, "vet every built-in workload")
+	litmus := flag.Bool("litmus", false, "run the known-bad litmus corpus and check expected verdicts")
+	threads := flag.Int("threads", 8, "thread count the program set is built for")
+	scale := flag.Int("scale", 1, "problem-size multiplier")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per target instead of human-readable reports")
+	werror := flag.Bool("werror", false, "treat warn-severity findings as failures")
+	flag.Parse()
+
+	targets, err := buildTargets(*workload, *all, *litmus, *threads, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	failed := false
+	for _, t := range targets {
+		rep := progcheck.Check(t.progs)
+		bad := rep.CountBySeverity(progcheck.SevError) > 0
+		if *werror && rep.CountBySeverity(progcheck.SevWarn) > 0 {
+			bad = true
+		}
+
+		verdict := "clean"
+		if len(rep.Findings) > 0 {
+			verdict = "findings"
+		}
+		if t.isLitmus {
+			// Litmus targets fail when the analyzer's verdict drifts from
+			// the corpus expectation, in either direction.
+			if classesEqual(rep.Classes(), t.want) {
+				verdict = "as-expected"
+			} else {
+				verdict = "mismatch"
+				failed = true
+			}
+		} else if bad {
+			failed = true
+		}
+
+		if *jsonOut {
+			if err := enc.Encode(jsonReport{Target: t.name, Report: rep, Expected: t.want, Verdict: verdict}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("== %s ==\n", t.name)
+		if t.isLitmus {
+			fmt.Printf("expected: %v, verdict: %s\n", t.want, verdict)
+		}
+		fmt.Print(rep.Human())
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -19,7 +19,7 @@ func Example() {
 			b.ForN(i, 1000, func() {
 				b.Lock(lazydet.Const(0))
 				b.Load(v, lazydet.Const(0))
-				b.Store(lazydet.Const(0), func(t *lazydet.Thread) int64 { return t.R(v) + 1 })
+				b.Store(lazydet.Const(0), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(v) + 1 }))
 				b.Unlock(lazydet.Const(0))
 			})
 			p := b.Build()
@@ -57,7 +57,7 @@ func ExampleVerify() {
 				b := lazydet.NewProgram("writer")
 				// Deliberate data race: strong determinism still
 				// guarantees a reproducible outcome.
-				b.Store(lazydet.Const(0), func(t *lazydet.Thread) int64 { return int64(t.ID) })
+				b.Store(lazydet.Const(0), lazydet.Dyn(func(t *lazydet.Thread) int64 { return int64(t.ID) }))
 				b.Lock(lazydet.Const(0))
 				b.Unlock(lazydet.Const(0))
 				progs[tid] = b.Build()
@@ -85,7 +85,7 @@ func ExampleOptions_speculation() {
 			b := lazydet.NewProgram("p")
 			i := b.Reg()
 			b.ForN(i, 100, func() {
-				l := func(t *lazydet.Thread) int64 { return t.R(i) % 4 }
+				l := lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(i) % 4 })
 				b.Lock(l)
 				b.Store(l, lazydet.FromReg(i))
 				b.Unlock(l)

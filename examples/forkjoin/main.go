@@ -39,16 +39,15 @@ func workload() *lazydet.Workload {
 			// Prepare the input, then create the workers (they must see
 			// every preceding write).
 			main.ForN(i, items, func() {
-				main.Store(func(t *lazydet.Thread) int64 { return inputBase + t.R(i) },
-					func(t *lazydet.Thread) int64 { return t.R(i) % 10 })
+				main.Store(lazydet.Dyn(func(t *lazydet.Thread) int64 { return inputBase + t.R(i) }), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(i) % 10 }))
 			})
 			main.ForN(i, workers, func() {
-				main.Spawn(func(t *lazydet.Thread) int64 { return t.R(i) + 1 })
+				main.Spawn(lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(i) + 1 }))
 			})
 			// Join and reduce.
 			main.ForN(i, workers, func() {
-				main.Join(func(t *lazydet.Thread) int64 { return t.R(i) + 1 })
-				main.Load(v, func(t *lazydet.Thread) int64 { return sumBase + t.R(i) })
+				main.Join(lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(i) + 1 }))
+				main.Load(v, lazydet.Dyn(func(t *lazydet.Thread) int64 { return sumBase + t.R(i) }))
 				main.Do(func(t *lazydet.Thread) { t.AddR(total, t.R(v)) })
 			})
 			main.Store(lazydet.Const(totalCell), lazydet.FromReg(total))
@@ -60,7 +59,7 @@ func workload() *lazydet.Workload {
 				b := lazydet.NewProgram(fmt.Sprintf("worker-%d", w))
 				j, x, acc := b.Reg(), b.Reg(), b.Reg()
 				b.For(j, lo, lazydet.Const(lo+int64(per)), func() {
-					b.Load(x, func(t *lazydet.Thread) int64 { return inputBase + t.R(j) })
+					b.Load(x, lazydet.Dyn(func(t *lazydet.Thread) int64 { return inputBase + t.R(j) }))
 					b.Do(func(t *lazydet.Thread) { t.AddR(acc, t.R(x)) })
 				})
 				b.Store(lazydet.Const(sumBase+int64(w-1)), lazydet.FromReg(acc))

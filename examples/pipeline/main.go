@@ -36,8 +36,8 @@ func pipelineWorkload() *lazydet.Workload {
 					// lock, with syscalls inside some of them.
 					b.ForN(i, items, func() {
 						b.Lock(lazydet.Const(0))
-						b.Load(v, func(t *lazydet.Thread) int64 { return 1 + t.R(i)%slots })
-						b.Store(lazydet.Const(0), func(t *lazydet.Thread) int64 { return t.R(v) })
+						b.Load(v, lazydet.Dyn(func(t *lazydet.Thread) int64 { return 1 + t.R(i)%slots }))
+						b.Store(lazydet.Const(0), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(v) }))
 						b.If(func(t *lazydet.Thread) bool { return t.R(i)%syscallEvery == 0 }, func() {
 							b.Syscall(&lazydet.Syscall{Name: "write", Work: 200})
 						})
@@ -50,9 +50,9 @@ func pipelineWorkload() *lazydet.Workload {
 						b.DoCost(10, func(t *lazydet.Thread) {
 							t.SetR(v, t.R(i)*2654435761+int64(t.ID))
 						})
-						b.Store(func(t *lazydet.Thread) int64 {
+						b.Store(lazydet.Dyn(func(t *lazydet.Thread) int64 {
 							return 1 + (int64(t.ID)*37+t.R(i))%slots
-						}, lazydet.FromReg(v))
+						}), lazydet.FromReg(v))
 					})
 				}
 				progs[tid] = b.Build()

@@ -47,9 +47,9 @@ func bankWorkload() *lazydet.Workload {
 					b.Lock(lazydet.FromReg(from))
 					b.Lock(lazydet.FromReg(to))
 					b.Load(bal, lazydet.FromReg(from))
-					b.Store(lazydet.FromReg(from), func(t *lazydet.Thread) int64 { return t.R(bal) - 1 })
+					b.Store(lazydet.FromReg(from), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(bal) - 1 }))
 					b.Load(bal, lazydet.FromReg(to))
-					b.Store(lazydet.FromReg(to), func(t *lazydet.Thread) int64 { return t.R(bal) + 1 })
+					b.Store(lazydet.FromReg(to), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(bal) + 1 }))
 					b.Unlock(lazydet.FromReg(to))
 					b.Unlock(lazydet.FromReg(from))
 				})

@@ -31,15 +31,15 @@ func racyWorkload() *lazydet.Workload {
 				b.ForN(i, steps, func() {
 					// Deliberately racy read-modify-write on a shared
 					// cell: no lock.
-					cell := func(t *lazydet.Thread) int64 { return (t.R(i)*7 + int64(t.ID)) % cells }
+					cell := lazydet.Dyn(func(t *lazydet.Thread) int64 { return (t.R(i)*7 + int64(t.ID)) % cells })
 					b.Load(v, cell)
-					b.Store(cell, func(t *lazydet.Thread) int64 { return t.R(v)*31 + int64(t.ID) + 1 })
+					b.Store(cell, lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(v)*31 + int64(t.ID) + 1 }))
 					// Occasionally mix through a locked cell, so the
 					// racy values propagate between threads.
 					b.If(func(t *lazydet.Thread) bool { return t.R(i)%64 == 0 }, func() {
 						b.Lock(lazydet.Const(0))
 						b.Load(v, lazydet.Const(cells))
-						b.Store(lazydet.Const(cells), func(t *lazydet.Thread) int64 { return t.R(v) ^ t.R(i)<<t.R(i)%13 })
+						b.Store(lazydet.Const(cells), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(v) ^ t.R(i)<<t.R(i)%13 }))
 						b.Unlock(lazydet.Const(0))
 					})
 				})

@@ -49,10 +49,7 @@ func TestAtomicCASSemantics(t *testing.T) {
 	b := dvm.NewBuilder("cas")
 	s, ok := b.Reg(), b.Reg()
 	b.ForN(s, 32, func() {
-		b.AtomicCAS(ok,
-			func(t *dvm.Thread) int64 { return 8 + t.R(s) },
-			dvm.Const(0),
-			func(t *dvm.Thread) int64 { return int64(t.ID) + 1 })
+		b.AtomicCAS(ok, dvm.Dyn(func(t *dvm.Thread) int64 { return 8 + t.R(s) }), dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) + 1 }))
 	})
 	p := b.Build()
 	dvm.Run(r.eng, []*dvm.Program{p, p, p, p})
@@ -74,7 +71,7 @@ func TestAtomicExchange(t *testing.T) {
 		b.AtomicExchange(prev, dvm.Const(0), dvm.Const(1))
 		b.Do(func(t *dvm.Thread) { t.AddR(acc, t.R(prev)) })
 	})
-	b.Store(func(t *dvm.Thread) int64 { return 1 + int64(t.ID) }, dvm.FromReg(acc))
+	b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return 1 + int64(t.ID) }), dvm.FromReg(acc))
 	p := b.Build()
 	dvm.Run(r.eng, []*dvm.Program{p, p})
 	// 100 exchanges write 1; the sum of previous values plus the final
@@ -93,9 +90,9 @@ func TestSpeculativeAtomicsStayInRun(t *testing.T) {
 	b := dvm.NewBuilder("p")
 	i, v := b.Reg(), b.Reg()
 	b.ForN(i, 8, func() {
-		l := func(t *dvm.Thread) int64 { return t.R(i) % 4 }
+		l := dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) % 4 })
 		b.Lock(l)
-		b.AtomicAdd(v, func(t *dvm.Thread) int64 { return 16 + t.R(i)%4 }, dvm.Const(1))
+		b.AtomicAdd(v, dvm.Dyn(func(t *dvm.Thread) int64 { return 16 + t.R(i)%4 }), dvm.Const(1))
 		b.Unlock(l)
 	})
 	dvm.Run(r.eng, []*dvm.Program{b.Build()})
@@ -120,7 +117,7 @@ func TestNonSpeculativeAtomicsTerminateRuns(t *testing.T) {
 	b := dvm.NewBuilder("p")
 	i, v := b.Reg(), b.Reg()
 	b.ForN(i, 8, func() {
-		l := func(t *dvm.Thread) int64 { return t.R(i) % 4 }
+		l := dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) % 4 })
 		b.Lock(l)
 		b.AtomicAdd(v, dvm.Const(16), dvm.Const(1))
 		b.Unlock(l)
@@ -142,7 +139,7 @@ func TestAtomicConflictReverts(t *testing.T) {
 	b := dvm.NewBuilder("p")
 	i, v := b.Reg(), b.Reg()
 	b.ForN(i, 100, func() {
-		l := func(t *dvm.Thread) int64 { return int64(t.ID) }
+		l := dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) })
 		b.Lock(l) // disjoint locks: only the atomic location is shared
 		b.AtomicAdd(v, dvm.Const(32), dvm.Const(1))
 		b.Unlock(l)
@@ -165,9 +162,9 @@ func TestAtomicDeterminism(t *testing.T) {
 		b := dvm.NewBuilder("p")
 		i, v := b.Reg(), b.Reg()
 		b.ForN(i, 150, func() {
-			l := func(t *dvm.Thread) int64 { return int64(t.ID) }
+			l := dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) })
 			b.Lock(l)
-			b.AtomicAdd(v, func(t *dvm.Thread) int64 { return 32 + t.R(i)%2 }, dvm.Const(1))
+			b.AtomicAdd(v, dvm.Dyn(func(t *dvm.Thread) int64 { return 32 + t.R(i)%2 }), dvm.Const(1))
 			b.Unlock(l)
 		})
 		p := b.Build()

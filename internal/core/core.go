@@ -402,6 +402,8 @@ func (ts *tstate) markWrite() {
 }
 
 // waitTurn blocks for the deterministic turn, charging blocked time.
+//
+//lazydet:nondeterministic the wall clock only measures blocked time for stats.Times; the value never influences control flow
 func (e *Engine) waitTurn(t *dvm.Thread) {
 	if e.times == nil {
 		e.arb.WaitTurn(t.ID)
@@ -492,6 +494,8 @@ func (e *Engine) publishAndRefresh(t *dvm.Thread, ts *tstate) {
 }
 
 // blockedWake waits for a Wake, charging blocked time.
+//
+//lazydet:nondeterministic the wall clock only measures blocked time for stats.Times; the value never influences control flow
 func (e *Engine) blockedWake(t *dvm.Thread) {
 	if e.times == nil {
 		e.tbl.WaitWake(t.ID)

@@ -139,7 +139,7 @@ func TestRevertRestoresRegistersAndHeap(t *testing.T) {
 	b1.Lock(dvm.Const(0))
 	b1.Do(func(th *dvm.Thread) { th.AddR(acc, 1) })
 	b1.Load(v, dvm.Const(10))
-	b1.Store(dvm.Const(10), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+	b1.Store(dvm.Const(10), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 	b1.Unlock(dvm.Const(0))
 	b1.Store(dvm.Const(11), dvm.FromReg(acc)) // publish the register
 
@@ -163,7 +163,7 @@ func TestAdaptiveDisablesSpeculation(t *testing.T) {
 	b.ForN(i, 300, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()
@@ -339,9 +339,9 @@ func TestCoarseningChainsRuns(t *testing.T) {
 	b := dvm.NewBuilder("p")
 	i := b.Reg()
 	b.ForN(i, 16, func() {
-		l := func(th *dvm.Thread) int64 { return th.R(i) % 8 }
+		l := dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(i) % 8 })
 		b.Lock(l)
-		b.Store(func(th *dvm.Thread) int64 { return th.R(i) % 8 }, dvm.FromReg(i))
+		b.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(i) % 8 }), dvm.FromReg(i))
 		b.Unlock(l)
 	})
 	dvm.Run(r.eng, []*dvm.Program{b.Build()})
@@ -364,7 +364,7 @@ func TestProgressAfterRevert(t *testing.T) {
 	b.ForN(i, 50, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()
@@ -387,7 +387,7 @@ func TestWeakModeDeterministicCounter(t *testing.T) {
 	b.ForN(i, 200, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()
@@ -406,7 +406,7 @@ func TestWeakNondetMutualExclusion(t *testing.T) {
 	b.ForN(i, 200, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()
@@ -448,7 +448,7 @@ func TestNoCoarseningOneCSRuns(t *testing.T) {
 	b := dvm.NewBuilder("p")
 	i := b.Reg()
 	b.ForN(i, 12, func() {
-		l := func(th *dvm.Thread) int64 { return th.R(i) % 4 }
+		l := dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(i) % 4 })
 		b.Lock(l)
 		b.Unlock(l)
 	})
@@ -497,7 +497,7 @@ func TestPerThreadStatsMode(t *testing.T) {
 	b.ForN(i, 200, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()

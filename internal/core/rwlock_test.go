@@ -45,9 +45,9 @@ func TestRWLockWriterExcludesReaders(t *testing.T) {
 				w.ForN(i, 80, func() {
 					w.Lock(dvm.Const(0))
 					w.Load(v, dvm.Const(1))
-					w.Store(dvm.Const(1), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+					w.Store(dvm.Const(1), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 					w.Load(v, dvm.Const(2))
-					w.Store(dvm.Const(2), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+					w.Store(dvm.Const(2), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 					w.Unlock(dvm.Const(0))
 				})
 			}
@@ -62,7 +62,7 @@ func TestRWLockWriterExcludesReaders(t *testing.T) {
 					rd.Load(x, dvm.Const(1))
 					rd.Load(y, dvm.Const(2))
 					rd.If(func(th *dvm.Thread) bool { return th.R(x) != th.R(y) }, func() {
-						rd.Store(func(th *dvm.Thread) int64 { return 10 + int64(th.ID) }, dvm.Const(1))
+						rd.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return 10 + int64(th.ID) }), dvm.Const(1))
 					})
 					rd.RUnlock(dvm.Const(0))
 				})
@@ -115,7 +115,7 @@ func TestSpeculativeWritersStayCorrect(t *testing.T) {
 			func() {
 				b.Lock(dvm.Const(0))
 				b.Load(v, dvm.Const(0))
-				b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+				b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 				b.Unlock(dvm.Const(0))
 			},
 			func() {
@@ -139,18 +139,17 @@ func TestRWLockDeterminism(t *testing.T) {
 		b := dvm.NewBuilder("rwdet")
 		i, v := b.Reg(), b.Reg()
 		b.ForN(i, 120, func() {
-			l := func(th *dvm.Thread) int64 { return th.R(i) % 2 }
+			l := dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(i) % 2 })
 			b.IfElse(func(th *dvm.Thread) bool { return th.RandN(3) == 0 },
 				func() {
 					b.Lock(l)
-					b.Load(v, func(th *dvm.Thread) int64 { return 4 + th.R(i)%2 })
-					b.Store(func(th *dvm.Thread) int64 { return 4 + th.R(i)%2 },
-						func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+					b.Load(v, dvm.Dyn(func(th *dvm.Thread) int64 { return 4 + th.R(i)%2 }))
+					b.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return 4 + th.R(i)%2 }), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 					b.Unlock(l)
 				},
 				func() {
 					b.RLock(l)
-					b.Load(v, func(th *dvm.Thread) int64 { return 4 + th.R(i)%2 })
+					b.Load(v, dvm.Dyn(func(th *dvm.Thread) int64 { return 4 + th.R(i)%2 }))
 					b.RUnlock(l)
 				},
 			)

@@ -14,11 +14,11 @@ func forkJoinProgs(workers int) []*dvm.Program {
 	i, v, sum := main.Reg(), main.Reg(), main.Reg()
 	main.Store(dvm.Const(0), dvm.Const(7)) // input the workers read
 	main.ForN(i, int64(workers), func() {
-		main.Spawn(func(t *dvm.Thread) int64 { return t.R(i) + 1 })
+		main.Spawn(dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) + 1 }))
 	})
 	main.ForN(i, int64(workers), func() {
-		main.Join(func(t *dvm.Thread) int64 { return t.R(i) + 1 })
-		main.Load(v, func(t *dvm.Thread) int64 { return 8 + t.R(i) })
+		main.Join(dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) + 1 }))
+		main.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return 8 + t.R(i) }))
 		main.Do(func(t *dvm.Thread) { t.AddR(sum, t.R(v)) })
 	})
 	main.Store(dvm.Const(1), dvm.FromReg(sum))
@@ -28,7 +28,7 @@ func forkJoinProgs(workers int) []*dvm.Program {
 		b := dvm.NewBuilder("worker")
 		x := b.Reg()
 		b.Load(x, dvm.Const(0)) // must see main's pre-spawn write
-		b.Store(dvm.Const(8+int64(w-1)), func(t *dvm.Thread) int64 { return t.R(x) * int64(t.ID) })
+		b.Store(dvm.Const(8+int64(w-1)), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(x) * int64(t.ID) }))
 		p := b.Build()
 		p.StartSuspended = true
 		progs[w] = p

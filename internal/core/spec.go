@@ -249,6 +249,8 @@ func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
 // discard the run's private pages, reinstating the pre-run dirty set (the
 // thread's writes from before the run must survive its failure). The DLC is
 // deliberately left unchanged (§3.3). Caller holds the turn.
+//
+//lazydet:nondeterministic the wall clock only measures the revert's cost for stats.Spec; the value never influences control flow
 func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
 	start := time.Now()
 	discarded := ts.mem.RevertTo(ts.dirtySnap)

@@ -21,7 +21,7 @@ func TestIrrevocableBlocksOtherCommits(t *testing.T) {
 	b0.Lock(dvm.Const(0))
 	b0.Syscall(&dvm.Syscall{Name: "slow", Work: 5000})
 	b0.Load(v0, dvm.Const(8))
-	b0.Store(dvm.Const(8), func(th *dvm.Thread) int64 { return th.R(v0) + 1 })
+	b0.Store(dvm.Const(8), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v0) + 1 }))
 	b0.Unlock(dvm.Const(0))
 
 	// Thread 1: increments the same cell under a DIFFERENT lock, so only
@@ -31,7 +31,7 @@ func TestIrrevocableBlocksOtherCommits(t *testing.T) {
 	v1 := b1.Reg()
 	b1.Lock(dvm.Const(1))
 	b1.Load(v1, dvm.Const(8))
-	b1.Store(dvm.Const(8), func(th *dvm.Thread) int64 { return th.R(v1) + 1 })
+	b1.Store(dvm.Const(8), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v1) + 1 }))
 	b1.Unlock(dvm.Const(1))
 
 	dvm.Run(r.eng, []*dvm.Program{b0.Build(), b1.Build()})
@@ -57,13 +57,13 @@ func TestIrrevocableBlocksOtherCommits(t *testing.T) {
 	b0b.Lock(dvm.Const(0))
 	b0b.Syscall(&dvm.Syscall{Name: "slow", Work: 5000})
 	b0b.Load(v0b, dvm.Const(8))
-	b0b.Store(dvm.Const(8), func(th *dvm.Thread) int64 { return th.R(v0b) + 1 })
+	b0b.Store(dvm.Const(8), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v0b) + 1 }))
 	b0b.Unlock(dvm.Const(0))
 	b1b := dvm.NewBuilder("other")
 	v1b := b1b.Reg()
 	b1b.Lock(dvm.Const(1))
 	b1b.Load(v1b, dvm.Const(8))
-	b1b.Store(dvm.Const(8), func(th *dvm.Thread) int64 { return th.R(v1b) + 1 })
+	b1b.Store(dvm.Const(8), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v1b) + 1 }))
 	b1b.Unlock(dvm.Const(1))
 	dvm.Run(r2.eng, []*dvm.Program{b0b.Build(), b1b.Build()})
 	if r.read(8) != r2.read(8) {

@@ -66,7 +66,7 @@ func TestWriteAwareStillCatchesWriters(t *testing.T) {
 	b.ForN(i, 200, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()
@@ -87,7 +87,7 @@ func TestWriteAwareMixedReadersAndWriter(t *testing.T) {
 		writer.ForN(i, 100, func() {
 			writer.Lock(dvm.Const(0))
 			writer.Load(v, dvm.Const(0))
-			writer.Store(dvm.Const(0), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+			writer.Store(dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 			writer.Unlock(dvm.Const(0))
 		})
 	}
@@ -108,12 +108,11 @@ func TestWriteAwareDeterminism(t *testing.T) {
 		b := dvm.NewBuilder("mix")
 		i, v := b.Reg(), b.Reg()
 		b.ForN(i, 120, func() {
-			l := func(t *dvm.Thread) int64 { return t.R(i) % 2 }
+			l := dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) % 2 })
 			b.Lock(l)
-			b.Load(v, func(t *dvm.Thread) int64 { return 8 + t.R(i)%2 })
+			b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return 8 + t.R(i)%2 }))
 			b.If(func(t *dvm.Thread) bool { return t.R(i)%3 == 0 }, func() {
-				b.Store(func(t *dvm.Thread) int64 { return 8 + t.R(i)%2 },
-					func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return 8 + t.R(i)%2 }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 			})
 			b.Unlock(l)
 		})

@@ -240,6 +240,7 @@ func (a *Arbiter) notifyMinWaiterLocked() {
 		}
 	}
 	if best >= 0 {
+		//lazydet:nondeterministic non-blocking token send; a pending token and a fresh one are indistinguishable to the receiver
 		select {
 		case a.wake[best] <- struct{}{}:
 		default: // a token is already pending; one is enough to re-check
@@ -266,6 +267,7 @@ func (a *Arbiter) WaitTurn(tid int) {
 	s.status.Store(int32(StatusTurn))
 	a.recomputeMinWaiterLocked()
 	// Drain a stale token so a future wait does not wake spuriously.
+	//lazydet:nondeterministic non-blocking drain; waking with or without a stale token pending is behaviorally identical
 	select {
 	case <-a.wake[tid]:
 	default:

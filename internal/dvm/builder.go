@@ -17,6 +17,53 @@ func (t *Thread) AddR(r Reg, delta int64) int64 {
 	return t.Regs[r]
 }
 
+// Val is one operand of an emitted instruction: the closure the interpreter
+// evaluates at run time, plus whatever the builder knows about it statically
+// (a compile-time constant, an address-class tag). Construct one with Const,
+// FromReg or Dyn; the static half feeds internal/progcheck and never
+// influences execution.
+type Val struct {
+	fn    func(t *Thread) int64
+	known bool
+	k     int64
+	class string
+}
+
+// Const returns the operand for a compile-time constant. The constant is
+// recorded statically, so the analyzer sees through it.
+func Const(v int64) Val {
+	return Val{fn: func(*Thread) int64 { return v }, known: true, k: v}
+}
+
+// FromReg returns the operand reading register r. Its value is dynamic, so
+// the analyzer treats it as unknown unless tagged with InClass.
+func FromReg(r Reg) Val {
+	return Val{fn: func(t *Thread) int64 { return t.R(r) }}
+}
+
+// Dyn wraps an arbitrary closure as an operand. The analyzer treats it as
+// unknown (the sound fallback) unless tagged with InClass.
+func Dyn(f func(t *Thread) int64) Val {
+	return Val{fn: f}
+}
+
+// InClass tags the operand with an address-class name: a declaration that
+// every value it produces stays inside the named abstract region, and that
+// operands of different classes never alias. internal/progcheck uses class
+// tags to find conflicting accesses whose static locksets are disjoint; a
+// wrong class declaration yields wrong reports, so tag only what is true by
+// construction.
+func (v Val) InClass(name string) Val {
+	v.class = name
+	return v
+}
+
+// Eval evaluates the operand on thread t, exactly as the interpreter would.
+func (v Val) Eval(t *Thread) int64 { return v.fn(t) }
+
+// Static returns the operand's static abstraction.
+func (v Val) Static() SVal { return SVal{Known: v.known, K: v.k, Class: v.class} }
+
 // Builder assembles a Program from structured control flow. All emit
 // methods append instructions; loops and conditionals take body callbacks
 // that emit into the same builder, with jump targets patched on completion.
@@ -85,54 +132,54 @@ func (b *Builder) Set(r Reg, v int64) {
 }
 
 // Load emits a shared-heap read into dst.
-func (b *Builder) Load(dst Reg, addr func(t *Thread) int64) {
-	b.emit(Instr{Op: OpLoad, Dst: int(dst), Addr: addr})
+func (b *Builder) Load(dst Reg, addr Val) {
+	b.emit(Instr{Op: OpLoad, Dst: int(dst), Addr: addr.fn, SAddr: addr.Static()})
 }
 
 // Store emits a shared-heap write.
-func (b *Builder) Store(addr func(t *Thread) int64, val func(t *Thread) int64) {
-	b.emit(Instr{Op: OpStore, Addr: addr, Val: val})
+func (b *Builder) Store(addr Val, val Val) {
+	b.emit(Instr{Op: OpStore, Addr: addr.fn, Val: val.fn, SAddr: addr.Static()})
 }
 
 // Lock emits a lock acquisition.
-func (b *Builder) Lock(l func(t *Thread) int64) {
-	b.emit(Instr{Op: OpLock, Addr: l})
+func (b *Builder) Lock(l Val) {
+	b.emit(Instr{Op: OpLock, Addr: l.fn, SAddr: l.Static()})
 }
 
 // Unlock emits a lock release.
-func (b *Builder) Unlock(l func(t *Thread) int64) {
-	b.emit(Instr{Op: OpUnlock, Addr: l})
+func (b *Builder) Unlock(l Val) {
+	b.emit(Instr{Op: OpUnlock, Addr: l.fn, SAddr: l.Static()})
 }
 
 // RLock emits a shared (reader) lock acquisition.
-func (b *Builder) RLock(l func(t *Thread) int64) {
-	b.emit(Instr{Op: OpRLock, Addr: l})
+func (b *Builder) RLock(l Val) {
+	b.emit(Instr{Op: OpRLock, Addr: l.fn, SAddr: l.Static()})
 }
 
 // RUnlock emits a shared lock release.
-func (b *Builder) RUnlock(l func(t *Thread) int64) {
-	b.emit(Instr{Op: OpRUnlock, Addr: l})
+func (b *Builder) RUnlock(l Val) {
+	b.emit(Instr{Op: OpRUnlock, Addr: l.fn, SAddr: l.Static()})
 }
 
 // CondWait emits a condition-variable wait: release l, wait on cv,
 // reacquire l.
-func (b *Builder) CondWait(cv, l func(t *Thread) int64) {
-	b.emit(Instr{Op: OpCondWait, Addr: cv, Addr2: l})
+func (b *Builder) CondWait(cv, l Val) {
+	b.emit(Instr{Op: OpCondWait, Addr: cv.fn, Addr2: l.fn, SAddr: cv.Static(), SAddr2: l.Static()})
 }
 
 // CondSignal emits a condition-variable signal.
-func (b *Builder) CondSignal(cv func(t *Thread) int64) {
-	b.emit(Instr{Op: OpCondSignal, Addr: cv})
+func (b *Builder) CondSignal(cv Val) {
+	b.emit(Instr{Op: OpCondSignal, Addr: cv.fn, SAddr: cv.Static()})
 }
 
 // CondBroadcast emits a condition-variable broadcast.
-func (b *Builder) CondBroadcast(cv func(t *Thread) int64) {
-	b.emit(Instr{Op: OpCondBroadcast, Addr: cv})
+func (b *Builder) CondBroadcast(cv Val) {
+	b.emit(Instr{Op: OpCondBroadcast, Addr: cv.fn, SAddr: cv.Static()})
 }
 
 // Barrier emits a barrier wait.
-func (b *Builder) Barrier(id func(t *Thread) int64) {
-	b.emit(Instr{Op: OpBarrier, Addr: id})
+func (b *Builder) Barrier(id Val) {
+	b.emit(Instr{Op: OpBarrier, Addr: id.fn, SAddr: id.Static()})
 }
 
 // Syscall emits an irrevocable external operation.
@@ -142,13 +189,13 @@ func (b *Builder) Syscall(s *Syscall) {
 
 // Spawn emits a thread creation: the suspended thread named by target
 // starts running (pthread_create).
-func (b *Builder) Spawn(target func(t *Thread) int64) {
-	b.emit(Instr{Op: OpSpawn, Addr: target})
+func (b *Builder) Spawn(target Val) {
+	b.emit(Instr{Op: OpSpawn, Addr: target.fn, SAddr: target.Static()})
 }
 
 // Join emits a wait for the named thread's exit (pthread_join).
-func (b *Builder) Join(target func(t *Thread) int64) {
-	b.emit(Instr{Op: OpJoin, Addr: target})
+func (b *Builder) Join(target Val) {
+	b.emit(Instr{Op: OpJoin, Addr: target.fn, SAddr: target.Static()})
 }
 
 // Halt emits an explicit thread termination.
@@ -157,18 +204,21 @@ func (b *Builder) Halt() {
 }
 
 // AtomicAdd emits an atomic fetch-add; the new value lands in dst.
-func (b *Builder) AtomicAdd(dst Reg, addr, delta func(t *Thread) int64) {
-	b.emit(Instr{Op: OpAtomic, Atom: &Atomic{Kind: AtomicAdd, Addr: addr, Delta: delta, Dst: dst}})
+func (b *Builder) AtomicAdd(dst Reg, addr, delta Val) {
+	b.emit(Instr{Op: OpAtomic, SAddr: addr.Static(),
+		Atom: &Atomic{Kind: AtomicAdd, Addr: addr.fn, Delta: delta.fn, Dst: dst}})
 }
 
 // AtomicCAS emits an atomic compare-and-swap; dst receives 1 on success.
-func (b *Builder) AtomicCAS(dst Reg, addr, old, new func(t *Thread) int64) {
-	b.emit(Instr{Op: OpAtomic, Atom: &Atomic{Kind: AtomicCAS, Addr: addr, Old: old, New: new, Dst: dst}})
+func (b *Builder) AtomicCAS(dst Reg, addr, old, new Val) {
+	b.emit(Instr{Op: OpAtomic, SAddr: addr.Static(),
+		Atom: &Atomic{Kind: AtomicCAS, Addr: addr.fn, Old: old.fn, New: new.fn, Dst: dst}})
 }
 
 // AtomicExchange emits an atomic swap; dst receives the previous value.
-func (b *Builder) AtomicExchange(dst Reg, addr, new func(t *Thread) int64) {
-	b.emit(Instr{Op: OpAtomic, Atom: &Atomic{Kind: AtomicExchange, Addr: addr, New: new, Dst: dst}})
+func (b *Builder) AtomicExchange(dst Reg, addr, new Val) {
+	b.emit(Instr{Op: OpAtomic, SAddr: addr.Static(),
+		Atom: &Atomic{Kind: AtomicExchange, Addr: addr.fn, New: new.fn, Dst: dst}})
 }
 
 // While emits a pre-tested loop: while cond(t) { body }.
@@ -181,9 +231,9 @@ func (b *Builder) While(cond func(t *Thread) bool, body func()) {
 
 // For emits: for r = from; r < to(t); r++ { body }. The bound is
 // re-evaluated each iteration.
-func (b *Builder) For(r Reg, from int64, to func(t *Thread) int64, body func()) {
+func (b *Builder) For(r Reg, from int64, to Val, body func()) {
 	b.Set(r, from)
-	b.While(func(t *Thread) bool { return t.R(r) < to(t) }, func() {
+	b.While(func(t *Thread) bool { return t.R(r) < to.fn(t) }, func() {
 		body()
 		b.Do(func(t *Thread) { t.AddR(r, 1) })
 	})
@@ -191,7 +241,7 @@ func (b *Builder) For(r Reg, from int64, to func(t *Thread) int64, body func()) 
 
 // ForN emits a loop of exactly n iterations with r counting 0..n-1.
 func (b *Builder) ForN(r Reg, n int64, body func()) {
-	b.For(r, 0, func(*Thread) int64 { return n }, body)
+	b.For(r, 0, Const(n), body)
 }
 
 // If emits: if cond(t) { then }.
@@ -211,26 +261,33 @@ func (b *Builder) IfElse(cond func(t *Thread) bool, then, els func()) {
 	b.code[j].Target = len(b.code)
 }
 
-// Build finalizes the program.
+// Build finalizes the program. Every builder program halts explicitly: if
+// the emitted code could fall off the end — the last instruction is not an
+// OpHalt, or a patched branch targets one past the end — Build appends a
+// final OpHalt, so Validate's termination check holds by construction.
 func (b *Builder) Build() *Program {
 	if b.built {
 		panic(fmt.Sprintf("dvm: program %q built twice", b.name))
 	}
 	b.built = true
+	n := len(b.code)
+	needHalt := n == 0 || b.code[n-1].Op != OpHalt
+	if !needHalt {
+		for pc := range b.code {
+			in := &b.code[pc]
+			if (in.Op == OpJump || in.Op == OpBranchUnless) && in.Target == n {
+				needHalt = true
+				break
+			}
+		}
+	}
+	if needHalt {
+		b.emit(Instr{Op: OpHalt})
+	}
 	return &Program{
 		Name:    b.name,
 		Code:    b.code,
 		NumRegs: b.numRegs,
 		Scratch: b.scratch,
 	}
-}
-
-// Const returns an address/value closure for a compile-time constant.
-func Const(v int64) func(t *Thread) int64 {
-	return func(*Thread) int64 { return v }
-}
-
-// FromReg returns an address/value closure reading register r.
-func FromReg(r Reg) func(t *Thread) int64 {
-	return func(t *Thread) int64 { return t.R(r) }
 }

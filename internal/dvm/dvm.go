@@ -131,6 +131,23 @@ type Syscall struct {
 	Effect func(t *Thread)
 }
 
+// SVal is the static abstraction of one operand closure: what the builder
+// knew about the operand at emit time. The closures of Instr are opaque at
+// analysis time, so the builder records the knowledge it does have — a
+// compile-time constant (dvm.Const) or an address-class tag — and the static
+// analyzer (internal/progcheck) treats everything else as unknown, its sound
+// fallback. SVal never influences execution.
+type SVal struct {
+	// Known reports that the operand is the compile-time constant K.
+	Known bool
+	// K is the constant value when Known.
+	K int64
+	// Class optionally names the address class (abstract memory region)
+	// the operand draws from, for static race candidate detection. Two
+	// accesses may alias iff they share a class or a known constant.
+	Class string
+}
+
 // Instr is a single VM instruction. Instruction closures must be
 // deterministic functions of thread-local state and engine-mediated loads;
 // they run concurrently across threads and must not share mutable Go state.
@@ -146,6 +163,11 @@ type Instr struct {
 	Dst    int                   // OpLoad destination register
 	Sys    *Syscall              // OpSyscall payload
 	Atom   *Atomic               // OpAtomic payload
+
+	// SAddr and SAddr2 carry the builder's static knowledge of Addr and
+	// Addr2 (internal/progcheck input); the zero value means unknown.
+	SAddr  SVal
+	SAddr2 SVal
 }
 
 // Program is an immutable instruction sequence plus the register and scratch
@@ -261,6 +283,7 @@ type Group struct {
 // StartThread releases suspended thread target. Spawning a thread twice,
 // or spawning one that was not marked StartSuspended, is a loud error.
 func (g *Group) StartThread(target int) {
+	//lazydet:nondeterministic non-blocking closed-check on a close-once channel; both cases are mutually exclusive by channel state
 	select {
 	case <-g.start[target]:
 		panic(fmt.Sprintf("dvm: thread %d spawned twice or not marked StartSuspended", target))

@@ -147,7 +147,7 @@ func TestScratchIsThreadPrivate(t *testing.T) {
 	b := NewBuilder("scratch")
 	base := b.Scratch(4)
 	b.Do(func(th *Thread) { th.Scratch[base] = int64(th.ID) + 100 })
-	b.Store(func(th *Thread) int64 { return int64(th.ID) }, func(th *Thread) int64 { return th.Scratch[base] })
+	b.Store(Dyn(func(th *Thread) int64 { return int64(th.ID) }), Dyn(func(th *Thread) int64 { return th.Scratch[base] }))
 	p := b.Build()
 	e := newNullEngine(4, 1)
 	Run(e, []*Program{p, p, p})
@@ -208,8 +208,10 @@ func TestTickCostsCharged(t *testing.T) {
 	b.Do(func(*Thread) {})
 	e := newNullEngine(1, 1)
 	Run(e, []*Program{b.Build()})
-	if got := e.ticks[0]; got != 6 {
-		t.Fatalf("ticks = %d, want 6", got)
+	// 5 + 1 for the two Do instructions, + 1 for the implicit OpHalt that
+	// Build appends.
+	if got := e.ticks[0]; got != 7 {
+		t.Fatalf("ticks = %d, want 7", got)
 	}
 }
 
@@ -223,7 +225,7 @@ func TestMultiThreadLocking(t *testing.T) {
 	b.ForN(i, k, func() {
 		b.Lock(Const(0))
 		b.Load(v, Const(0))
-		b.Store(Const(0), func(th *Thread) int64 { return th.R(v) + 1 })
+		b.Store(Const(0), Dyn(func(th *Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(Const(0))
 	})
 	p := b.Build()

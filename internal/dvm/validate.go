@@ -2,12 +2,15 @@ package dvm
 
 import "fmt"
 
-// Validate statically checks a program: jump targets must stay inside the
-// code (or point exactly one past the end, a fall-through exit), every
-// instruction must carry the closures its opcode requires, register indices
-// must be allocated, and costs must be positive. The harness validates
-// every program before running it, so builder mistakes fail fast instead of
-// crashing an engine goroutine mid-run.
+// Validate statically checks a program: every instruction must carry the
+// closures its opcode requires, register indices must be allocated, costs
+// must be positive, and the control-flow graph must be well-formed — every
+// instruction reachable from entry, and every path terminated by an explicit
+// OpHalt rather than running off the end of the code (Builder.Build appends
+// the final OpHalt automatically, so builder-produced programs satisfy this
+// by construction). The harness validates every program before running it,
+// so builder mistakes fail fast instead of crashing an engine goroutine
+// mid-run.
 func (p *Program) Validate() error {
 	n := len(p.Code)
 	for pc := range p.Code {
@@ -93,5 +96,66 @@ func (p *Program) Validate() error {
 			return fail("unknown opcode")
 		}
 	}
+	return p.validateFlow()
+}
+
+// validateFlow checks the control-flow graph: every instruction must be
+// reachable from entry, and no reachable path may leave the code without
+// executing OpHalt — neither by falling through past the last instruction
+// nor through a jump or branch targeting one past the end.
+func (p *Program) validateFlow() error {
+	n := len(p.Code)
+	if n == 0 {
+		return nil
+	}
+	reached := make([]bool, n)
+	stack := []int{0}
+	reached[0] = true
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.successors(pc) {
+			if s == n {
+				in := &p.Code[pc]
+				if in.Op == OpJump || in.Op == OpBranchUnless {
+					return fmt.Errorf("dvm: program %q, instruction %d (op %d): target %d is one past the end — path exits without OpHalt",
+						p.Name, pc, in.Op, in.Target)
+				}
+				return fmt.Errorf("dvm: program %q, instruction %d (op %d): control falls off the end of the program without OpHalt",
+					p.Name, pc, in.Op)
+			}
+			if !reached[s] {
+				reached[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for pc, r := range reached {
+		if !r {
+			return fmt.Errorf("dvm: program %q, instruction %d (op %d): unreachable",
+				p.Name, pc, p.Code[pc].Op)
+		}
+	}
 	return nil
+}
+
+// successors returns the control-flow successors of instruction pc; the
+// pseudo-node len(Code) represents leaving the program without OpHalt.
+// OpCondWait, OpJoin and the rest block or have effects but always continue
+// to pc+1.
+func (p *Program) successors(pc int) []int {
+	in := &p.Code[pc]
+	switch in.Op {
+	case OpHalt:
+		return nil
+	case OpJump:
+		return []int{in.Target}
+	case OpBranchUnless:
+		if in.Target == pc+1 {
+			return []int{pc + 1}
+		}
+		return []int{pc + 1, in.Target}
+	default:
+		return []int{pc + 1}
+	}
 }

@@ -52,7 +52,7 @@ func TestValidateRejectsBrokenPrograms(t *testing.T) {
 		},
 		{
 			"load-register-out-of-range",
-			&Program{Name: "l", NumRegs: 1, Code: []Instr{{Op: OpLoad, Cost: 1, Dst: 5, Addr: Const(0)}}},
+			&Program{Name: "l", NumRegs: 1, Code: []Instr{{Op: OpLoad, Cost: 1, Dst: 5, Addr: Const(0).Eval}}},
 			"out of range",
 		},
 		{
@@ -67,7 +67,7 @@ func TestValidateRejectsBrokenPrograms(t *testing.T) {
 		},
 		{
 			"condwait-missing-mutex",
-			&Program{Name: "w", Code: []Instr{{Op: OpCondWait, Cost: 1, Addr: Const(0)}}},
+			&Program{Name: "w", Code: []Instr{{Op: OpCondWait, Cost: 1, Addr: Const(0).Eval}}},
 			"missing condition or mutex",
 		},
 		{
@@ -77,8 +77,35 @@ func TestValidateRejectsBrokenPrograms(t *testing.T) {
 		},
 		{
 			"atomic-missing-delta",
-			&Program{Name: "a", NumRegs: 1, Code: []Instr{{Op: OpAtomic, Cost: 1, Atom: &Atomic{Kind: AtomicAdd, Addr: Const(0)}}}},
+			&Program{Name: "a", NumRegs: 1, Code: []Instr{{Op: OpAtomic, Cost: 1, Atom: &Atomic{Kind: AtomicAdd, Addr: Const(0).Eval}}}},
 			"missing delta",
+		},
+		{
+			"unreachable-instruction",
+			&Program{Name: "u", Code: []Instr{
+				{Op: OpJump, Cost: 1, Target: 2},
+				{Op: OpDo, Cost: 1, Do: func(*Thread) {}},
+				{Op: OpHalt, Cost: 1},
+			}},
+			"unreachable",
+		},
+		{
+			"falls-off-end",
+			&Program{Name: "f", Code: []Instr{{Op: OpDo, Cost: 1, Do: func(*Thread) {}}}},
+			"falls off the end",
+		},
+		{
+			"jump-one-past-end",
+			&Program{Name: "je", Code: []Instr{{Op: OpJump, Cost: 1, Target: 1}}},
+			"one past the end",
+		},
+		{
+			"branch-one-past-end",
+			&Program{Name: "be", Code: []Instr{
+				{Op: OpBranchUnless, Cost: 1, Target: 2, Cond: func(*Thread) bool { return true }},
+				{Op: OpHalt, Cost: 1},
+			}},
+			"one past the end",
 		},
 	}
 	for _, c := range cases {
@@ -91,5 +118,27 @@ func TestValidateRejectsBrokenPrograms(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, c.want)
 			}
 		})
+	}
+}
+
+func TestBuildAppendsImplicitHalt(t *testing.T) {
+	// A program that does not end in Halt gets one appended by Build.
+	b := NewBuilder("implicit")
+	b.Do(func(*Thread) {})
+	p := b.Build()
+	if p.Code[len(p.Code)-1].Op != OpHalt {
+		t.Fatal("Build did not append an implicit OpHalt")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("implicit-halt program rejected: %v", err)
+	}
+
+	// A final If whose body halts leaves the patched branch target one past
+	// the end; Build must still append a Halt for it to land on.
+	b2 := NewBuilder("branch-end")
+	b2.If(func(*Thread) bool { return true }, func() { b2.Halt() })
+	p2 := b2.Build()
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("branch-to-end program rejected: %v", err)
 	}
 }

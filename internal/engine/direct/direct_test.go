@@ -22,7 +22,7 @@ func TestMutualExclusion(t *testing.T) {
 	b.ForN(i, 500, func() {
 		b.Lock(dvm.Const(0))
 		b.Load(v, dvm.Const(0))
-		b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+		b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 		b.Unlock(dvm.Const(0))
 	})
 	p := b.Build()
@@ -74,7 +74,7 @@ func TestCondBroadcastWakesAll(t *testing.T) {
 			b.Load(fv, dvm.Const(0))
 		})
 		b.Unlock(dvm.Const(0))
-		b.Store(func(th *dvm.Thread) int64 { return 1 + int64(th.ID) }, dvm.Const(1))
+		b.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return 1 + int64(th.ID) }), dvm.Const(1))
 		progs[tid] = b.Build()
 	}
 	b := dvm.NewBuilder("bcast")
@@ -102,13 +102,13 @@ func TestBarrierRendezvous(t *testing.T) {
 	for tid := 0; tid < n; tid++ {
 		b := dvm.NewBuilder("b")
 		v, sum := b.Reg(), b.Reg()
-		b.Store(func(th *dvm.Thread) int64 { return int64(th.ID) }, dvm.Const(1))
+		b.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return int64(th.ID) }), dvm.Const(1))
 		b.Barrier(dvm.Const(0))
 		for o := int64(0); o < n; o++ {
 			b.Load(v, dvm.Const(o))
 			b.Do(func(th *dvm.Thread) { th.AddR(sum, th.R(v)) })
 		}
-		b.Store(func(th *dvm.Thread) int64 { return 8 + int64(th.ID) }, dvm.FromReg(sum))
+		b.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return 8 + int64(th.ID) }), dvm.FromReg(sum))
 		progs[tid] = b.Build()
 	}
 	run(t, e, progs)
@@ -130,7 +130,7 @@ func TestBarrierReusableAcrossPhases(t *testing.T) {
 		b.ForN(i, 5, func() {
 			b.Lock(dvm.Const(0))
 			b.Load(v, dvm.Const(0))
-			b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+			b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 			b.Unlock(dvm.Const(0))
 			b.Barrier(dvm.Const(0))
 		})
@@ -149,7 +149,7 @@ func TestLockCounting(t *testing.T) {
 	b := dvm.NewBuilder("p")
 	i := b.Reg()
 	b.ForN(i, 9, func() {
-		l := func(th *dvm.Thread) int64 { return th.R(i) % 3 }
+		l := dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(i) % 3 })
 		b.Lock(l)
 		b.Unlock(l)
 	})
@@ -210,8 +210,7 @@ func TestSpawnJoin(t *testing.T) {
 		b := dvm.NewBuilder("worker")
 		x := b.Reg()
 		b.Load(x, dvm.Const(0))
-		b.Store(func(th *dvm.Thread) int64 { return int64(th.ID) },
-			func(th *dvm.Thread) int64 { return th.R(x) * int64(th.ID) })
+		b.Store(dvm.Dyn(func(th *dvm.Thread) int64 { return int64(th.ID) }), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(x) * int64(th.ID) }))
 		p := b.Build()
 		p.StartSuspended = true
 		progs = append(progs, p)

@@ -16,6 +16,7 @@ import (
 	"lazydet/internal/dvm"
 	"lazydet/internal/engine/direct"
 	"lazydet/internal/invariant"
+	"lazydet/internal/progcheck"
 	"lazydet/internal/shmem"
 	"lazydet/internal/stats"
 	"lazydet/internal/telemetry"
@@ -141,6 +142,11 @@ type Options struct {
 	// CheckInvariants is set; nil means a violation panics (repeatably,
 	// since the engines are deterministic).
 	OnViolation func(*invariant.Violation)
+	// Vet runs the internal/progcheck static analyzer over the workload's
+	// programs before execution. Error-severity findings (definite lock
+	// discipline violations) abort the run; warnings (potential deadlocks,
+	// race candidates) are kept on Result.Vet for the caller to surface.
+	Vet bool
 }
 
 // Result is one run's measurements.
@@ -186,6 +192,10 @@ type Result struct {
 	// BlockedPct is the fraction of total thread-time spent blocked
 	// (turn waits, lock waits, parks) when measured.
 	BlockedPct float64
+	// Vet is the static-analysis report when Options.Vet was set. It is
+	// populated even when vet aborts the run, so callers can render the
+	// findings.
+	Vet *progcheck.Report
 }
 
 // Run executes the workload once under the configured engine.
@@ -224,6 +234,16 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		tel = telemetry.NewWithSpans(opt.Threads)
 	} else if opt.Telemetry {
 		tel = telemetry.New()
+	}
+
+	if opt.Vet {
+		vet := progcheck.Check(progs)
+		res.Vet = vet
+		vet.Publish(tel)
+		if n := vet.CountBySeverity(progcheck.SevError); n > 0 {
+			return res, fmt.Errorf("harness: workload %s failed static vet with %d error finding(s):\n%s",
+				w.Name, n, vet.Human())
+		}
 	}
 
 	var eng dvm.Engine

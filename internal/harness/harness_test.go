@@ -21,7 +21,7 @@ func counterWorkload(iters int64) *Workload {
 			b.ForN(i, iters, func() {
 				b.Lock(dvm.Const(0))
 				b.Load(v, dvm.Const(0))
-				b.Store(dvm.Const(0), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+				b.Store(dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 				b.Unlock(dvm.Const(0))
 			})
 			progs := make([]*dvm.Program, threads)
@@ -59,7 +59,7 @@ func shardedWorkload(shards int, iters int64) *Workload {
 					b.Do(func(t *dvm.Thread) { t.SetR(s, (t.R(i)*stride+int64(t.ID))%int64(shards)) })
 					b.Lock(dvm.FromReg(s))
 					b.Load(v, dvm.FromReg(s))
-					b.Store(dvm.FromReg(s), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Store(dvm.FromReg(s), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 					b.Unlock(dvm.FromReg(s))
 				})
 				progs[tid] = b.Build()
@@ -101,7 +101,7 @@ func disjointWorkload(shards int, iters int64) *Workload {
 					b.Do(func(t *dvm.Thread) { t.SetR(s, base+t.R(i)%int64(per)) })
 					b.Lock(dvm.FromReg(s))
 					b.Load(v, dvm.FromReg(s))
-					b.Store(dvm.FromReg(s), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Store(dvm.FromReg(s), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 					b.Unlock(dvm.FromReg(s))
 				})
 				progs[tid] = b.Build()
@@ -251,7 +251,7 @@ func TestStrongIsolationEndState(t *testing.T) {
 			progs := make([]*dvm.Program, threads)
 			for tid := 0; tid < threads; tid++ {
 				b := dvm.NewBuilder("iso")
-				b.Store(func(t *dvm.Thread) int64 { return int64(t.ID) }, dvm.Const(7))
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) }), dvm.Const(7))
 				b.Lock(dvm.Const(0))
 				b.Unlock(dvm.Const(0))
 				progs[tid] = b.Build()

@@ -37,6 +37,13 @@ func absorbStats(tel *telemetry.Recorder, res *Result) {
 	}
 }
 
+// timingCounters names telemetry counters that carry wall time rather than
+// deterministic counts; BuildReport routes them into the never-gated Timing
+// section so Metrics stays reproducible across machines.
+var timingCounters = map[string]bool{
+	"progcheck.analysis_ns": true,
+}
+
 // BuildReport converts one run's measurements into a report entry.
 //
 // Deterministic values (every telemetry counter and gauge — DLC totals,
@@ -59,6 +66,10 @@ func BuildReport(res *Result) telemetry.RunReport {
 	if t := res.Telemetry; t != nil {
 		snap := t.Snapshot()
 		for k, v := range snap.Counters {
+			if timingCounters[k] {
+				r.Timing[k] = float64(v)
+				continue
+			}
 			r.Metrics[k] = float64(v)
 		}
 		for k, v := range snap.Gauges {

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/progcheck"
+)
+
+// leakyWorkload builds a program with a definite discipline bug: the lock is
+// never released, so the thread halts holding it.
+func leakyWorkload() *Workload {
+	return &Workload{
+		Name:      "leaky",
+		HeapWords: 8,
+		Locks:     1,
+		Programs: func(threads int) []*dvm.Program {
+			b := dvm.NewBuilder("leaky")
+			b.Lock(dvm.Const(0))
+			b.Store(dvm.Const(0), dvm.Const(1))
+			progs := make([]*dvm.Program, threads)
+			p := b.Build()
+			for t := range progs {
+				progs[t] = p
+			}
+			return progs
+		},
+	}
+}
+
+// TestVetPassesCleanWorkload: the pre-run check stays out of the way on
+// disciplined programs and leaves the report on the result.
+func TestVetPassesCleanWorkload(t *testing.T) {
+	res, err := Run(counterWorkload(50), Options{Engine: Pthreads, Threads: 4, Vet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vet == nil {
+		t.Fatal("Options.Vet set but Result.Vet is nil")
+	}
+	if len(res.Vet.Findings) != 0 {
+		t.Fatalf("clean workload has findings:\n%s", res.Vet.Human())
+	}
+}
+
+// TestVetAbortsOnErrorFindings: error-severity findings abort the run before
+// the engine starts, with the report still attached.
+func TestVetAbortsOnErrorFindings(t *testing.T) {
+	res, err := Run(leakyWorkload(), Options{Engine: Pthreads, Threads: 2, Vet: true})
+	if err == nil {
+		t.Fatal("vet accepted a program that exits holding a lock")
+	}
+	if !strings.Contains(err.Error(), string(progcheck.ClassHeldAtExit)) {
+		t.Fatalf("error does not name the finding class: %v", err)
+	}
+	if res == nil || res.Vet == nil {
+		t.Fatal("aborted run must still carry the vet report")
+	}
+	if res.Wall != 0 {
+		t.Fatal("vet must abort before the engine runs")
+	}
+}
+
+// TestVetPublishesTelemetry: the progcheck.* counters land in the registry
+// and the run report, with the wall-time counter routed to Timing.
+func TestVetPublishesTelemetry(t *testing.T) {
+	res, err := Run(counterWorkload(10), Options{Engine: LazyDet, Threads: 2, Vet: true, Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Telemetry.Counter("progcheck.programs"); got != 1 {
+		t.Fatalf("progcheck.programs = %d, want 1", got)
+	}
+	rep := BuildReport(res)
+	if _, ok := rep.Metrics["progcheck.states"]; !ok {
+		t.Fatal("progcheck.states missing from report metrics")
+	}
+	if _, ok := rep.Metrics["progcheck.analysis_ns"]; ok {
+		t.Fatal("machine-dependent progcheck.analysis_ns must not land in gated metrics")
+	}
+	if _, ok := rep.Timing["progcheck.analysis_ns"]; !ok {
+		t.Fatal("progcheck.analysis_ns missing from timing")
+	}
+}

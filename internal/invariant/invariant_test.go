@@ -54,7 +54,7 @@ func TestMutationSkewedGl(t *testing.T) {
 	v := b.Reg()
 	b.Lock(dvm.Const(0))
 	b.Load(v, dvm.Const(0))
-	b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+	b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 	b.Unlock(dvm.Const(0))
 	b.Do(func(*dvm.Thread) { r.tbl.Locks[0].LastAcquireDLC -= 1000 })
 	b.Lock(dvm.Const(0)) // the violating turn: audit fires here
@@ -157,10 +157,10 @@ func TestCleanRunNoViolations(t *testing.T) {
 			b.ForN(i, 60, func() {
 				b.Lock(dvm.Const(0))
 				b.Load(v, dvm.Const(0))
-				b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+				b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 				b.Unlock(dvm.Const(0))
-				b.Lock(func(th *dvm.Thread) int64 { return 1 + th.R(i)%3 })
-				b.Unlock(func(th *dvm.Thread) int64 { return 1 + th.R(i)%3 })
+				b.Lock(dvm.Dyn(func(th *dvm.Thread) int64 { return 1 + th.R(i)%3 }))
+				b.Unlock(dvm.Dyn(func(th *dvm.Thread) int64 { return 1 + th.R(i)%3 }))
 			})
 			progs[tid] = b.Build()
 		}
@@ -221,7 +221,7 @@ func TestEndToEndDirtyAuditClean(t *testing.T) {
 		b.ForN(i, 40, func() {
 			b.Lock(dvm.Const(0))
 			b.Load(v, dvm.Const(0))
-			b.Store(dvm.Const(0), func(th *dvm.Thread) int64 { return th.R(v) + 1 })
+			b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
 			// A silent store: marked in the bitmap, equal to the twin.
 			b.Store(dvm.Const(1), dvm.Const(0))
 			b.Unlock(dvm.Const(0))

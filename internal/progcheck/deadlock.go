@@ -1,0 +1,214 @@
+package progcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// maxCycleLen bounds the lock-order cycles the analysis searches for.
+// Real-world deadlocks overwhelmingly involve two or three locks; longer
+// cycles exist but cost exponentially more to enumerate.
+const maxCycleLen = 4
+
+// maxEdgesPerPair bounds how many concrete acquisition sites are considered
+// per (from lock, to lock) pair when searching for a feasible witness.
+const maxEdgesPerPair = 8
+
+// taggedEdge is a lock-order edge attributed to the summary that produced it.
+type taggedEdge struct {
+	lockEdge
+	owner *progSummary
+}
+
+// lockPair keys the lock-order multigraph by (held, acquired).
+type lockPair struct{ from, to int64 }
+
+// findDeadlocks builds the cross-program lock-order multigraph and reports
+// every lock cycle that is feasible: some selection of one acquisition site
+// per cycle arc has (a) no gate lock — a lock held across *every* selected
+// acquisition, which would serialize the cycle — and (b) an assignment of
+// distinct threads to the arcs.
+func findDeadlocks(summaries []*progSummary) []Finding {
+	// Group edges by (from, to).
+	pairs := map[lockPair][]taggedEdge{}
+	adj := map[int64][]int64{} // from -> sorted distinct to
+	for _, ps := range summaries {
+		for _, e := range ps.edges {
+			k := lockPair{e.from, e.to}
+			if len(pairs[k]) < maxEdgesPerPair {
+				pairs[k] = append(pairs[k], taggedEdge{e, ps})
+			}
+		}
+	}
+	for k := range pairs {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	nodes := make([]int64, 0, len(adj))
+	for n, tos := range adj {
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+		adj[n] = tos
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var findings []Finding
+	seenCycle := map[string]bool{}
+
+	// Enumerate simple cycles up to maxCycleLen, canonicalized by starting
+	// at the cycle's smallest lock ID so each is found once.
+	var path []int64
+	var dfs func(start, cur int64)
+	dfs = func(start, cur int64) {
+		for _, next := range adj[cur] {
+			if next == start && len(path) >= 2 {
+				key := fmt.Sprint(path)
+				if !seenCycle[key] {
+					seenCycle[key] = true
+					if f, ok := witness(path, pairs); ok {
+						findings = append(findings, f)
+					}
+				}
+				continue
+			}
+			if next <= start || len(path) >= maxCycleLen {
+				continue // canonical form: start is the minimum node
+			}
+			dup := false
+			for _, p := range path {
+				if p == next {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			path = append(path, next)
+			dfs(start, next)
+			path = path[:len(path)-1]
+		}
+	}
+	for _, n := range nodes {
+		path = append(path[:0], n)
+		dfs(n, n)
+	}
+	return findings
+}
+
+// witness searches the edge selections of a lock cycle for a feasible one and
+// renders it as a finding. cycle lists the lock IDs in order; arc i acquires
+// cycle[(i+1)%len] while holding cycle[i].
+func witness(cycle []int64, pairs map[lockPair][]taggedEdge) (Finding, bool) {
+	n := len(cycle)
+	arcs := make([][]taggedEdge, n)
+	for i := range cycle {
+		arcs[i] = pairs[lockPair{cycle[i], cycle[(i+1)%n]}]
+		if len(arcs[i]) == 0 {
+			return Finding{}, false
+		}
+	}
+
+	sel := make([]taggedEdge, n)
+	var pick func(i int) bool
+	pick = func(i int) bool {
+		if i == n {
+			return feasible(sel)
+		}
+		for _, e := range arcs[i] {
+			sel[i] = e
+			if pick(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if !pick(0) {
+		return Finding{}, false
+	}
+
+	ids := make([]string, n)
+	sites := make([]Site, n)
+	threadOf := assignThreads(sel)
+	for i, e := range sel {
+		ids[i] = fmt.Sprintf("%d", cycle[i])
+		sites[i] = Site{
+			Thread: threadOf[i],
+			Prog:   e.owner.prog.Name,
+			PC:     e.pc,
+			Detail: fmt.Sprintf("acquires lock %d while holding lock %d", e.to, e.from),
+		}
+	}
+	return Finding{
+		Class: ClassDeadlock, Severity: SevWarn,
+		Message: fmt.Sprintf("locks %s form an acquisition cycle; some schedule deadlocks here",
+			strings.Join(ids, " -> ")+" -> "+ids[0]),
+		Sites: sites,
+	}, true
+}
+
+// feasible reports whether a selected set of cycle edges can actually
+// deadlock: no common gate lock across every acquisition, and distinct
+// threads can execute the arcs.
+func feasible(sel []taggedEdge) bool {
+	// Gate-lock suppression: a lock held at every selected acquisition
+	// serializes the cycle. Intersect the guard sets.
+	gates := map[int64]int{}
+	for _, e := range sel {
+		seen := map[int64]bool{}
+		for _, g := range e.guards {
+			if !seen[g] {
+				seen[g] = true
+				gates[g]++
+			}
+		}
+	}
+	for g, cnt := range gates {
+		if cnt != len(sel) {
+			continue
+		}
+		// g is held across all arcs — but the cycle's own locks do not
+		// count as gates (each arc holds its from-lock by construction).
+		own := false
+		for _, e := range sel {
+			if e.from == g || e.to == g {
+				own = true
+				break
+			}
+		}
+		if !own {
+			return false
+		}
+	}
+	return assignThreads(sel) != nil
+}
+
+// assignThreads finds an assignment of distinct thread IDs to the selected
+// edges (each arc of a deadlock must be executed by a different thread), or
+// nil if none exists. Edge i may be run by any thread of its owning summary.
+func assignThreads(sel []taggedEdge) []int {
+	out := make([]int, len(sel))
+	used := map[int]bool{}
+	var place func(i int) bool
+	place = func(i int) bool {
+		if i == len(sel) {
+			return true
+		}
+		for _, t := range sel[i].owner.threads {
+			if used[t] {
+				continue
+			}
+			used[t] = true
+			out[i] = t
+			if place(i + 1) {
+				return true
+			}
+			delete(used, t)
+		}
+		return false
+	}
+	if !place(0) {
+		return nil
+	}
+	return out
+}

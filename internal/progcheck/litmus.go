@@ -1,0 +1,229 @@
+package progcheck
+
+import (
+	"sort"
+
+	"lazydet/internal/dvm"
+)
+
+// LitmusCase is one entry of the known-answer corpus: a tiny program set
+// with a seeded synchronization bug (or deliberately none), plus the finding
+// classes the analyzer must report for it. The corpus pins the analyzer's
+// behavior in both directions — every seeded bug must be flagged, and the
+// clean variants must stay silent — and doubles as executable documentation
+// of what each finding class means.
+type LitmusCase struct {
+	Name string
+	// Want lists the expected finding classes, sorted; empty means the case
+	// must produce zero findings.
+	Want []Class
+	// Build constructs the program set, one program per thread.
+	Build func() []*dvm.Program
+}
+
+// Litmus returns the corpus, sorted by name.
+func Litmus() []LitmusCase {
+	cases := []LitmusCase{
+		{
+			Name: "abba-deadlock",
+			Want: []Class{ClassDeadlock},
+			Build: func() []*dvm.Program {
+				a := dvm.NewBuilder("ab")
+				a.Lock(dvm.Const(0))
+				a.Lock(dvm.Const(1))
+				a.Unlock(dvm.Const(1))
+				a.Unlock(dvm.Const(0))
+				b := dvm.NewBuilder("ba")
+				b.Lock(dvm.Const(1))
+				b.Lock(dvm.Const(0))
+				b.Unlock(dvm.Const(0))
+				b.Unlock(dvm.Const(1))
+				return []*dvm.Program{a.Build(), b.Build()}
+			},
+		},
+		{
+			Name: "gate-locked-abba",
+			Want: nil, // the outer gate lock serializes the cycle
+			Build: func() []*dvm.Program {
+				a := dvm.NewBuilder("gate-ab")
+				a.Lock(dvm.Const(9))
+				a.Lock(dvm.Const(0))
+				a.Lock(dvm.Const(1))
+				a.Unlock(dvm.Const(1))
+				a.Unlock(dvm.Const(0))
+				a.Unlock(dvm.Const(9))
+				b := dvm.NewBuilder("gate-ba")
+				b.Lock(dvm.Const(9))
+				b.Lock(dvm.Const(1))
+				b.Lock(dvm.Const(0))
+				b.Unlock(dvm.Const(0))
+				b.Unlock(dvm.Const(1))
+				b.Unlock(dvm.Const(9))
+				return []*dvm.Program{a.Build(), b.Build()}
+			},
+		},
+		{
+			Name: "racy-counter",
+			Want: []Class{ClassRace},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("racy-inc")
+				v := b.Reg()
+				b.Load(v, dvm.Const(0))
+				b.Store(dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "locked-counter",
+			Want: nil,
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("locked-inc")
+				v := b.Reg()
+				b.Lock(dvm.Const(1))
+				b.Load(v, dvm.Const(0))
+				b.Store(dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+				b.Unlock(dvm.Const(1))
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "read-locked-writer",
+			// The writer takes only the read mode of the lock: readers and
+			// the writer can be inside simultaneously, so the race stands.
+			Want: []Class{ClassRace},
+			Build: func() []*dvm.Program {
+				w := dvm.NewBuilder("rw-writer")
+				w.RLock(dvm.Const(1))
+				w.Store(dvm.Const(0), dvm.Const(7))
+				w.RUnlock(dvm.Const(1))
+				r := dvm.NewBuilder("rw-reader")
+				v := r.Reg()
+				r.RLock(dvm.Const(1))
+				r.Load(v, dvm.Const(0))
+				r.RUnlock(dvm.Const(1))
+				return []*dvm.Program{w.Build(), r.Build()}
+			},
+		},
+		{
+			Name: "class-race",
+			Want: []Class{ClassRace},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("class-writer")
+				i := b.Reg()
+				b.ForN(i, 4, func() {
+					b.Store(dvm.FromReg(i).InClass("slots"), dvm.Const(1))
+				})
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "double-lock",
+			Want: []Class{ClassDoubleLock},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("double-lock")
+				b.Lock(dvm.Const(0))
+				b.Lock(dvm.Const(0))
+				b.Unlock(dvm.Const(0))
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "unlock-without-lock",
+			Want: []Class{ClassUnlockWithoutLock},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("unlock-free")
+				b.Unlock(dvm.Const(0))
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "cond-wait-no-mutex",
+			Want: []Class{ClassCondWaitNoMutex},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("wait-bare")
+				b.CondWait(dvm.Const(0), dvm.Const(1))
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "lock-held-at-exit",
+			Want: []Class{ClassHeldAtExit},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("leaky")
+				b.Lock(dvm.Const(0))
+				b.Store(dvm.Const(0), dvm.Const(1))
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "lock-held-on-one-path",
+			// Only the If branch leaks the lock; path sensitivity must keep
+			// the clean path from masking the leaky one.
+			Want: []Class{ClassHeldAtExit},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("leaky-branch")
+				b.Lock(dvm.Const(0))
+				b.If(func(t *dvm.Thread) bool { return t.ID == 0 }, func() {
+					b.Unlock(dvm.Const(0))
+				})
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "rw-confusion",
+			Want: []Class{ClassRWConfusion},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("mismatched")
+				b.RLock(dvm.Const(0))
+				b.Unlock(dvm.Const(0))
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "atomic-clean",
+			Want: nil, // atomic RMWs are engine-serialized
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("atomic-inc")
+				v := b.Reg()
+				b.AtomicAdd(v, dvm.Const(0), dvm.Const(1))
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "barrier-phased",
+			Want: nil, // the full barrier orders the write before the read
+			Build: func() []*dvm.Program {
+				w := dvm.NewBuilder("phase-writer")
+				w.Store(dvm.Const(0), dvm.Const(42))
+				w.Barrier(dvm.Const(0))
+				r := dvm.NewBuilder("phase-reader")
+				v := r.Reg()
+				r.Barrier(dvm.Const(0))
+				r.Load(v, dvm.Const(0))
+				return []*dvm.Program{w.Build(), r.Build()}
+			},
+		},
+		{
+			Name: "unknown-lock-sound-fallback",
+			// The lock object is dynamic, so the analyzer must stay silent
+			// rather than guess (taint, not findings).
+			Want: nil,
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("dyn-lock")
+				v := b.Reg()
+				b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) }))
+				b.Load(v, dvm.Const(0))
+				b.Store(dvm.Const(0), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+				b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) }))
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases
+}

@@ -1,0 +1,128 @@
+package progcheck
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestLitmusClasses pins the analyzer's verdicts: every seeded bug in the
+// corpus must be reported with exactly the expected finding classes, and the
+// clean variants must stay silent.
+func TestLitmusClasses(t *testing.T) {
+	for _, c := range Litmus() {
+		t.Run(c.Name, func(t *testing.T) {
+			rep := Check(c.Build())
+			got := rep.Classes()
+			want := append([]Class(nil), c.Want...)
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("classes = %v, want %v\nreport:\n%s", got, want, rep.Human())
+			}
+		})
+	}
+}
+
+// TestLitmusGolden pins the exact rendered reports, so message wording,
+// sites and ordering cannot drift silently. Refresh with
+// `go test ./internal/progcheck -run TestLitmusGolden -update`.
+func TestLitmusGolden(t *testing.T) {
+	var b strings.Builder
+	for _, c := range Litmus() {
+		rep := Check(c.Build())
+		rep.Stats.AnalysisNs = 0 // wall time is machine-dependent
+		fmt.Fprintf(&b, "== %s ==\n%s\n", c.Name, rep.Human())
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "litmus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("litmus report drifted from golden (run with -update to refresh)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSeverityMapping: discipline violations are errors, schedule-dependent
+// hazards (deadlock cycles, races) are warnings.
+func TestSeverityMapping(t *testing.T) {
+	wantSev := map[Class]Severity{
+		ClassDoubleLock:        SevError,
+		ClassUnlockWithoutLock: SevError,
+		ClassRWConfusion:       SevError,
+		ClassHeldAtExit:        SevError,
+		ClassCondWaitNoMutex:   SevError,
+		ClassDeadlock:          SevWarn,
+		ClassRace:              SevWarn,
+	}
+	seen := map[Class]bool{}
+	for _, c := range Litmus() {
+		for _, f := range Check(c.Build()).Findings {
+			seen[f.Class] = true
+			if want, ok := wantSev[f.Class]; !ok || f.Severity != want {
+				t.Errorf("%s: finding %s has severity %s, want %s", c.Name, f.Class, f.Severity, want)
+			}
+		}
+	}
+	for cl := range wantSev {
+		if !seen[cl] {
+			t.Errorf("litmus corpus exercises no %s finding", cl)
+		}
+	}
+}
+
+// TestReplicaDedup: N threads running the same *Program are analyzed once.
+func TestReplicaDedup(t *testing.T) {
+	c := litmusByName(t, "racy-counter")
+	progs := c.Build()
+	progs = append(progs, progs[0], progs[0])
+	rep := Check(progs)
+	if rep.Stats.Programs != 1 {
+		t.Fatalf("Programs = %d, want 1 (replicas dedup)", rep.Stats.Programs)
+	}
+	if rep.Stats.Threads != 4 {
+		t.Fatalf("Threads = %d, want 4", rep.Stats.Threads)
+	}
+}
+
+// TestUnknownSyncCounted: dynamic sync objects are counted, not guessed at.
+func TestUnknownSyncCounted(t *testing.T) {
+	c := litmusByName(t, "unknown-lock-sound-fallback")
+	rep := Check(c.Build())
+	if rep.Stats.UnknownSyncOps == 0 {
+		t.Fatal("UnknownSyncOps = 0, want > 0 for dynamic lock operands")
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("tainted analysis must stay silent, got:\n%s", rep.Human())
+	}
+}
+
+func litmusByName(t *testing.T, name string) LitmusCase {
+	t.Helper()
+	for _, c := range Litmus() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no litmus case %q", name)
+	return LitmusCase{}
+}

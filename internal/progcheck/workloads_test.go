@@ -1,0 +1,46 @@
+package progcheck_test
+
+import (
+	"testing"
+
+	"lazydet/internal/progcheck"
+	"lazydet/internal/randprog"
+	"lazydet/internal/workloads"
+)
+
+// TestWorkloadsAreClean: the analyzer must produce zero findings on every
+// built-in benchmark — they are the known-good corpus, so any finding here
+// is an analyzer false positive (or a real workload bug; either way a
+// hard failure).
+func TestWorkloadsAreClean(t *testing.T) {
+	const threads = 4
+	for _, g := range workloads.All() {
+		t.Run(g.Name, func(t *testing.T) {
+			w := g.New(1)
+			rep := progcheck.Check(w.Programs(threads))
+			if len(rep.Findings) != 0 {
+				t.Fatalf("workload %s has findings:\n%s", g.Name, rep.Human())
+			}
+		})
+	}
+}
+
+// TestRandprogIsClean: the fuzzer's generator emits disciplined programs by
+// construction (ordered nested acquisitions, rendezvous under a door lock),
+// so the analyzer must agree.
+func TestRandprogIsClean(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := randprog.DefaultConfig(3)
+		w, _, err := randprog.Generate(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := progcheck.Check(w.Programs(3))
+		if n := rep.CountBySeverity(progcheck.SevError); n != 0 {
+			t.Fatalf("seed %d: %d error-severity findings:\n%s", seed, n, rep.Human())
+		}
+		if len(rep.Findings) != 0 {
+			t.Fatalf("seed %d: findings on generated program:\n%s", seed, rep.Human())
+		}
+	}
+}

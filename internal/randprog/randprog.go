@@ -209,15 +209,15 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, erro
 					case opLockedAdd:
 						b.Lock(dvm.Const(o.cell))
 						b.Load(v, dvm.Const(o.cell))
-						b.Store(dvm.Const(o.cell), func(t *dvm.Thread) int64 { return t.R(v) + o.delta })
+						b.Store(dvm.Const(o.cell), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + o.delta }))
 						b.Unlock(dvm.Const(o.cell))
 					case opNestedAdd:
 						b.Lock(dvm.Const(o.cell))
 						b.Lock(dvm.Const(o.cell2))
 						b.Load(v, dvm.Const(o.cell))
-						b.Store(dvm.Const(o.cell), func(t *dvm.Thread) int64 { return t.R(v) + o.delta })
+						b.Store(dvm.Const(o.cell), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + o.delta }))
 						b.Load(v, dvm.Const(o.cell2))
-						b.Store(dvm.Const(o.cell2), func(t *dvm.Thread) int64 { return t.R(v) + o.delta2 })
+						b.Store(dvm.Const(o.cell2), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + o.delta2 }))
 						b.Unlock(dvm.Const(o.cell2))
 						b.Unlock(dvm.Const(o.cell))
 					case opSharedRead:
@@ -227,7 +227,7 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, erro
 					case opLockedSysc:
 						b.Lock(dvm.Const(o.cell))
 						b.Load(v, dvm.Const(o.cell))
-						b.Store(dvm.Const(o.cell), func(t *dvm.Thread) int64 { return t.R(v) + o.delta })
+						b.Store(dvm.Const(o.cell), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + o.delta }))
 						b.Syscall(&dvm.Syscall{Name: "fuzz-cs", Work: o.work})
 						b.Unlock(dvm.Const(o.cell))
 					case opBareSyscall:
@@ -252,7 +252,7 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, erro
 					} else {
 						b.Lock(dvm.Const(doorLock))
 						b.Load(v, dvm.Const(rvCell))
-						b.Store(dvm.Const(rvCell), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+						b.Store(dvm.Const(rvCell), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 						b.CondSignal(dvm.Const(0))
 						b.Unlock(dvm.Const(doorLock))
 					}

@@ -215,6 +215,7 @@ func (h *Heap) pageAt(pi int, base int64) *page {
 // view. Caller holds h.mu.
 func (h *Heap) trimFloorLocked() int64 {
 	floor := int64(math.MaxInt64)
+	//lazydet:nondeterministic order-independent min-reduction over the live-view set
 	for v := range h.views {
 		if b := v.base.Load(); b < floor {
 			floor = b
@@ -314,6 +315,7 @@ func (h *Heap) Audit() error {
 		return fmt.Errorf("vheap: cached trim floor %d is above the true floor %d — trimming could cut a live view's base",
 			h.floorCache.Load(), floor)
 	}
+	//lazydet:nondeterministic order-independent audit: every view is checked, the first offender differs only in the error text
 	for v := range h.views {
 		if b := v.base.Load(); b > top {
 			return fmt.Errorf("vheap: live view base %d is ahead of the newest commit %d", b, top)
@@ -397,6 +399,7 @@ func (v *View) DirtyPages() int { return len(v.dirty) }
 // but equal to the twin) do not count, under either commit path.
 func (v *View) DirtyWords() int {
 	n := 0
+	//lazydet:nondeterministic order-independent sum over the dirty-page set
 	for _, d := range v.dirty {
 		n += diffWords(d)
 	}
@@ -426,6 +429,7 @@ func diffWords(d *dirtyPage) int {
 // view's owning thread, before Commit clears the dirty set. Used by the
 // invariant checker.
 func (v *View) AuditDirty() error {
+	//lazydet:nondeterministic order-independent audit: every page is checked, the first offender differs only in the error text
 	for pi, d := range v.dirty {
 		for i := range d.words {
 			if d.words[i] != d.twin[i] && !d.marked(i) {
@@ -518,6 +522,7 @@ func (v *View) Commit() (seq int64, changed int) {
 	}
 	scanned := int64(0)
 	pages := int64(0)
+	//lazydet:nondeterministic pages publish independently into per-page slots; commit order within one commit is unobservable
 	for pi, d := range v.dirty {
 		head := h.slots[pi].Load()
 		var merged []int64
@@ -668,6 +673,7 @@ func copyDirtyPage(d *dirtyPage) *dirtyPage {
 // SnapshotDirty deep-copies the view's dirty set.
 func (v *View) SnapshotDirty() *DirtySnapshot {
 	s := &DirtySnapshot{pages: make(map[int]*dirtyPage, len(v.dirty))}
+	//lazydet:nondeterministic order-independent deep copy into a map
 	for pi, d := range v.dirty {
 		s.pages[pi] = copyDirtyPage(d)
 		s.words += diffWords(d)
@@ -686,6 +692,7 @@ func (v *View) RevertTo(s *DirtySnapshot) (discarded int) {
 		discarded = 0
 	}
 	v.dirty = make(map[int]*dirtyPage, len(s.pages))
+	//lazydet:nondeterministic order-independent deep copy into a map
 	for pi, d := range s.pages {
 		v.dirty[pi] = copyDirtyPage(d)
 	}

@@ -80,7 +80,7 @@ func AtomicHistogram(scale int) *harness.Workload {
 			b.ForN(i, ops, func() {
 				b.Lock(lock)
 				b.DoCost(4, func(t *dvm.Thread) { t.SetR(bin, t.RandN(bins)) })
-				b.AtomicAdd(r, func(t *dvm.Thread) int64 { return hist + t.R(bin) }, dvm.Const(1))
+				b.AtomicAdd(r, dvm.Dyn(func(t *dvm.Thread) int64 { return hist + t.R(bin) }), dvm.Const(1))
 				b.Unlock(lock)
 			})
 			b.Barrier(dvm.Const(0))

@@ -147,7 +147,7 @@ func buildHTProgram(cfg HTConfig, buckets, chain int64) *dvm.Program {
 	v := b.Reg()    // loaded slot value
 	act := b.Reg()  // slot chosen for the action, -1 none
 
-	slotAddr := func(t *dvm.Thread) int64 { return t.R(base) + t.R(s) }
+	slotAddr := dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(base) + t.R(s) })
 	lockOfSlot := slotAddr // lock l guards slot l
 
 	b.ForN(i, int64(cfg.OpsPerThread), func() {
@@ -180,9 +180,9 @@ func buildHTProgram(cfg HTConfig, buckets, chain int64) *dvm.Program {
 // acquiring the successor before releasing the predecessor, then performs
 // the operation on the final locked slot.
 func emitHandOverHand(b *dvm.Builder, chain int64, key, mode, base, s, v, act dvm.Reg,
-	slotAddr, lockOfSlot func(*dvm.Thread) int64) {
+	slotAddr, lockOfSlot dvm.Val) {
 
-	next := func(t *dvm.Thread) int64 { return t.R(base) + t.R(s) + 1 }
+	next := dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(base) + t.R(s) + 1 })
 	stop := b.Reg()
 
 	b.Lock(lockOfSlot)
@@ -210,7 +210,7 @@ func emitHandOverHand(b *dvm.Builder, chain int64, key, mode, base, s, v, act dv
 	})
 	// Act on the locked slot: v holds its current value.
 	b.If(func(t *dvm.Thread) bool { return t.R(mode) == 1 && t.R(v) <= 1 }, func() {
-		b.Store(slotAddr, func(t *dvm.Thread) int64 { return t.R(key) + 2 })
+		b.Store(slotAddr, dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(key) + 2 }))
 	})
 	b.If(func(t *dvm.Thread) bool { return t.R(mode) == 2 && t.R(v) == t.R(key)+2 }, func() {
 		b.Store(slotAddr, dvm.Const(1)) // tombstone
@@ -221,7 +221,7 @@ func emitHandOverHand(b *dvm.Builder, chain int64, key, mode, base, s, v, act dv
 // emitLazySet traverses without locks, then locks and re-validates only the
 // slot an update modifies. Lookups acquire no locks at all.
 func emitLazySet(b *dvm.Builder, chain int64, key, mode, base, s, v, act dvm.Reg,
-	slotAddr, lockOfSlot func(*dvm.Thread) int64) {
+	slotAddr, lockOfSlot dvm.Val) {
 
 	tomb := b.Reg() // first tombstone seen, -1 none
 	stop := b.Reg()
@@ -263,7 +263,7 @@ func emitLazySet(b *dvm.Builder, chain int64, key, mode, base, s, v, act dvm.Reg
 			b.Load(v, slotAddr)
 			// Validate: still empty or tombstoned.
 			b.If(func(t *dvm.Thread) bool { return t.R(v) <= 1 }, func() {
-				b.Store(slotAddr, func(t *dvm.Thread) int64 { return t.R(key) + 2 })
+				b.Store(slotAddr, dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(key) + 2 }))
 			})
 			b.Unlock(lockOfSlot)
 		})

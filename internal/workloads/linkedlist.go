@@ -60,9 +60,7 @@ func NewLinkedList(cfg LLConfig) *harness.Workload {
 		pred, curr, nxt := b.Reg(), b.Reg(), b.Reg()
 		v := b.Reg()
 
-		lockOf := func(r dvm.Reg) func(*dvm.Thread) int64 {
-			return func(t *dvm.Thread) int64 { return t.R(r) }
-		}
+		lockOf := func(r dvm.Reg) dvm.Val { return dvm.FromReg(r) }
 		b.ForN(i, int64(cfg.OpsPerThread), func() {
 			b.Do(func(t *dvm.Thread) {
 				t.SetR(key, t.RandN(keys))
@@ -80,13 +78,13 @@ func NewLinkedList(cfg LLConfig) *harness.Workload {
 			// Hand-over-hand traversal: lock pred, walk until the next
 			// node's key reaches the target.
 			b.Lock(lockOf(pred))
-			b.Load(nxt, func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) })
+			b.Load(nxt, dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) }))
 			b.While(func(t *dvm.Thread) bool { return t.R(nxt) != 0 && t.R(nxt)-1 < t.R(key) }, func() {
 				b.Do(func(t *dvm.Thread) { t.SetR(curr, t.R(nxt)-1) })
 				b.Lock(lockOf(curr))
 				b.Unlock(lockOf(pred))
 				b.Do(func(t *dvm.Thread) { t.SetR(pred, t.R(curr)) })
-				b.Load(nxt, func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) })
+				b.Load(nxt, dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) }))
 			})
 			// pred is locked; nxt-1 is the first node with key >= target
 			// (or nil). For updates, lock it too when it is the target.
@@ -97,10 +95,10 @@ func NewLinkedList(cfg LLConfig) *harness.Workload {
 					b.Lock(lockOf(curr))
 					b.If(func(t *dvm.Thread) bool { return t.R(mode) == 2 }, func() {
 						// Remove: unlink and clear.
-						b.Load(v, func(t *dvm.Thread) int64 { return nextOf(t.R(curr)) })
-						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) }, dvm.FromReg(v))
-						b.Store(func(t *dvm.Thread) int64 { return presentOf(t.R(curr)) }, dvm.Const(0))
-						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(curr)) }, dvm.Const(0))
+						b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(curr)) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) }), dvm.FromReg(v))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return presentOf(t.R(curr)) }), dvm.Const(0))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(curr)) }), dvm.Const(0))
 					})
 					b.Unlock(lockOf(curr))
 				},
@@ -108,10 +106,9 @@ func NewLinkedList(cfg LLConfig) *harness.Workload {
 					// Target absent.
 					b.If(func(t *dvm.Thread) bool { return t.R(mode) == 1 }, func() {
 						// Insert: link the key's node after pred.
-						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(key)) }, dvm.FromReg(nxt))
-						b.Store(func(t *dvm.Thread) int64 { return presentOf(t.R(key)) }, dvm.Const(1))
-						b.Store(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) },
-							func(t *dvm.Thread) int64 { return t.R(key) + 1 })
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(key)) }), dvm.FromReg(nxt))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return presentOf(t.R(key)) }), dvm.Const(1))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return nextOf(t.R(pred)) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(key) + 1 }))
 					})
 				},
 			)
@@ -203,11 +200,11 @@ func NewBoundedQueue(itemsPerProducer, capacity int) *harness.Workload {
 						b.Load(c, dvm.Const(count))
 					})
 					b.Load(t2, dvm.Const(headIdx))
-					b.Load(v, func(t *dvm.Thread) int64 { return buf + t.R(t2)%int64(capacity) })
-					b.Store(dvm.Const(headIdx), func(t *dvm.Thread) int64 { return t.R(t2) + 1 })
-					b.Store(dvm.Const(count), func(t *dvm.Thread) int64 { return t.R(c) - 1 })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return buf + t.R(t2)%int64(capacity) }))
+					b.Store(dvm.Const(headIdx), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(t2) + 1 }))
+					b.Store(dvm.Const(count), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(c) - 1 }))
 					b.Load(t2, dvm.Const(checksum))
-					b.Store(dvm.Const(checksum), func(t *dvm.Thread) int64 { return t.R(t2) + t.R(v) })
+					b.Store(dvm.Const(checksum), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(t2) + t.R(v) }))
 					b.CondSignal(dvm.Const(cvNotFull))
 					b.Unlock(dvm.Const(qLock))
 					b.Do(func(t *dvm.Thread) { t.AddR(n, 1) })
@@ -229,10 +226,9 @@ func NewBoundedQueue(itemsPerProducer, capacity int) *harness.Workload {
 						b.Load(c, dvm.Const(count))
 					})
 					b.Load(t2, dvm.Const(tailIdx))
-					b.Store(func(t *dvm.Thread) int64 { return buf + t.R(t2)%int64(capacity) },
-						func(t *dvm.Thread) int64 { return t.R(i) + int64(t.ID)*1000 })
-					b.Store(dvm.Const(tailIdx), func(t *dvm.Thread) int64 { return t.R(t2) + 1 })
-					b.Store(dvm.Const(count), func(t *dvm.Thread) int64 { return t.R(c) + 1 })
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return buf + t.R(t2)%int64(capacity) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) + int64(t.ID)*1000 }))
+					b.Store(dvm.Const(tailIdx), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(t2) + 1 }))
+					b.Store(dvm.Const(count), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(c) + 1 }))
 					b.CondSignal(dvm.Const(cvNotEmpty))
 					b.Unlock(dvm.Const(qLock))
 				})

@@ -69,11 +69,11 @@ func Blackscholes(scale int) *harness.Workload {
 				b.Unlock(dvm.Const(0))
 			}
 			b.For(i, lo, dvm.Const(hi), func() {
-				b.Load(s, func(t *dvm.Thread) int64 { return spot + t.R(i) })
-				b.Load(k, func(t *dvm.Thread) int64 { return strike + t.R(i) })
-				b.Load(r, func(t *dvm.Thread) int64 { return rate + t.R(i) })
-				b.Load(v, func(t *dvm.Thread) int64 { return vol + t.R(i) })
-				b.Load(tt, func(t *dvm.Thread) int64 { return tte + t.R(i) })
+				b.Load(s, dvm.Dyn(func(t *dvm.Thread) int64 { return spot + t.R(i) }))
+				b.Load(k, dvm.Dyn(func(t *dvm.Thread) int64 { return strike + t.R(i) }))
+				b.Load(r, dvm.Dyn(func(t *dvm.Thread) int64 { return rate + t.R(i) }))
+				b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return vol + t.R(i) }))
+				b.Load(tt, dvm.Dyn(func(t *dvm.Thread) int64 { return tte + t.R(i) }))
 				b.DoCost(8, func(t *dvm.Thread) {
 					S, K := itof(t.R(s)), itof(t.R(k))
 					R, V, T := itof(t.R(r)), itof(t.R(v)), itof(t.R(tt))
@@ -82,7 +82,7 @@ func Blackscholes(scale int) *harness.Workload {
 					c := S*cndf(d1) - K*math.Exp(-R*T)*cndf(d2)
 					t.SetR(out, ftoi(c))
 				})
-				b.Store(func(t *dvm.Thread) int64 { return price + t.R(i) }, dvm.FromReg(out))
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return price + t.R(i) }), dvm.FromReg(out))
 			})
 			b.Barrier(dvm.Const(0))
 			progs[tid] = b.Build()
@@ -128,7 +128,7 @@ func Swaptions(scale int) *harness.Workload {
 				b.Unlock(dvm.Const(0))
 			}
 			b.For(i, lo, dvm.Const(hi), func() {
-				b.Load(p, func(t *dvm.Thread) int64 { return params + t.R(i) })
+				b.Load(p, dvm.Dyn(func(t *dvm.Thread) int64 { return params + t.R(i) }))
 				b.Set(acc, 0)
 				b.For(tr, 0, dvm.Const(trials), func() {
 					b.DoCost(4, func(t *dvm.Thread) {
@@ -143,8 +143,7 @@ func Swaptions(scale int) *harness.Workload {
 						t.SetR(acc, ftoi(itof(t.R(acc))+payoff))
 					})
 				})
-				b.Store(func(t *dvm.Thread) int64 { return results + t.R(i) },
-					func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(trials)) })
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return results + t.R(i) }), dvm.Dyn(func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(trials)) }))
 			})
 			b.Barrier(dvm.Const(0))
 			progs[tid] = b.Build()
@@ -188,13 +187,13 @@ func Streamcluster(scale int) *harness.Workload {
 			b.ForN(it, iters, func() {
 				// Cache the center, then accumulate the local cost.
 				b.ForN(d, dim, func() {
-					b.Load(cv, func(t *dvm.Thread) int64 { return center + t.R(d) })
+					b.Load(cv, dvm.Dyn(func(t *dvm.Thread) int64 { return center + t.R(d) }))
 					b.Do(func(t *dvm.Thread) { t.Scratch[cbuf+t.R(d)] = t.R(cv) })
 				})
 				b.Set(acc, 0)
 				b.For(i, lo, dvm.Const(hi), func() {
 					b.ForN(d, dim, func() {
-						b.Load(v, func(t *dvm.Thread) int64 { return data + t.R(i)*dim + t.R(d) })
+						b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return data + t.R(i)*dim + t.R(d) }))
 						b.Do(func(t *dvm.Thread) {
 							df := itof(t.R(v)) - itof(t.Scratch[cbuf+t.R(d)])
 							t.SetR(acc, ftoi(itof(t.R(acc))+df*df))
@@ -203,19 +202,19 @@ func Streamcluster(scale int) *harness.Workload {
 				})
 				b.Lock(dvm.Const(costLock))
 				b.Load(v, dvm.Const(cost))
-				b.Store(dvm.Const(cost), func(t *dvm.Thread) int64 {
+				b.Store(dvm.Const(cost), dvm.Dyn(func(t *dvm.Thread) int64 {
 					return ftoi(itof(t.R(v)) + itof(t.R(acc)))
-				})
+				}))
 				b.Unlock(dvm.Const(costLock))
 				b.Barrier(dvm.Const(0))
 				// Thread 0 decides whether to open a new center.
 				if tid == 0 {
 					b.Lock(dvm.Const(openLock))
 					b.Load(v, dvm.Const(opened))
-					b.Store(dvm.Const(opened), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Store(dvm.Const(opened), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 					b.ForN(d, dim, func() {
-						b.Load(cv, func(t *dvm.Thread) int64 { return data + (t.R(v)*31%points)*dim + t.R(d) })
-						b.Store(func(t *dvm.Thread) int64 { return center + t.R(d) }, dvm.FromReg(cv))
+						b.Load(cv, dvm.Dyn(func(t *dvm.Thread) int64 { return data + (t.R(v)*31%points)*dim + t.R(d) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return center + t.R(d) }), dvm.FromReg(cv))
 					})
 					b.Unlock(dvm.Const(openLock))
 				}
@@ -273,16 +272,16 @@ func Ferret(scale int) *harness.Workload {
 				i, v, best := b.Reg(), b.Reg(), b.Reg()
 				b.ForN(i, rankOps, func() {
 					b.Lock(dvm.Const(rankLock))
-					b.Load(v, func(t *dvm.Thread) int64 {
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 {
 						return candidates + t.R(i)%(64*8)
-					})
+					}))
 					b.Do(func(t *dvm.Thread) {
 						if t.R(v) > t.R(best) {
 							t.SetR(best, t.R(v))
 						}
 					})
 					// Maintain the rank list under the lock.
-					b.Store(func(t *dvm.Thread) int64 { return rankOut + t.R(i)%8 }, dvm.FromReg(best))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return rankOut + t.R(i)%8 }), dvm.FromReg(best))
 					b.If(func(t *dvm.Thread) bool { return t.R(i)%syscallEvery == syscallEvery-1 }, func() {
 						b.Syscall(&dvm.Syscall{Name: "mmap", Work: 300})
 					})
@@ -293,7 +292,7 @@ func Ferret(scale int) *harness.Workload {
 				// bucket distribution.
 				i, h, v := b.Reg(), b.Reg(), b.Reg()
 				b.ForN(i, indexItems, func() {
-					b.Load(v, func(t *dvm.Thread) int64 { return images + (t.R(i)*7)%4096 })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return images + (t.R(i)*7)%4096 }))
 					b.DoCost(6, func(t *dvm.Thread) {
 						f := t.R(v)*2654435761 + t.R(i)
 						// Half the probes follow a skewed popularity,
@@ -310,11 +309,10 @@ func Ferret(scale int) *harness.Workload {
 						bucket := func(t *dvm.Thread) int64 {
 							return (t.R(h) + int64(probe)*37) % tableLocks
 						}
-						b.Lock(func(t *dvm.Thread) int64 { return tableLock + bucket(t) })
-						b.Load(v, func(t *dvm.Thread) int64 { return table + bucket(t) })
-						b.Store(func(t *dvm.Thread) int64 { return table + bucket(t) },
-							func(t *dvm.Thread) int64 { return t.R(v) + 1 })
-						b.Unlock(func(t *dvm.Thread) int64 { return tableLock + bucket(t) })
+						b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return tableLock + bucket(t) }))
+						b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return table + bucket(t) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return table + bucket(t) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+						b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return tableLock + bucket(t) }))
 					}
 				})
 			default:
@@ -322,7 +320,7 @@ func Ferret(scale int) *harness.Workload {
 				// go to this thread's private candidate slots.
 				i, v, feat := b.Reg(), b.Reg(), b.Reg()
 				b.ForN(i, extractItems, func() {
-					b.Load(v, func(t *dvm.Thread) int64 { return images + (t.R(i)*int64(tid*131+7))%4096 })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return images + (t.R(i)*int64(tid*131+7))%4096 }))
 					b.DoCost(20, func(t *dvm.Thread) {
 						f := t.R(v)
 						for k := 0; k < 8; k++ {
@@ -330,9 +328,9 @@ func Ferret(scale int) *harness.Workload {
 						}
 						t.SetR(feat, f&0x7fffffff)
 					})
-					b.Store(func(t *dvm.Thread) int64 {
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 {
 						return candidates + int64(tid%64)*8 + t.R(i)%8
-					}, dvm.FromReg(feat))
+					}), dvm.FromReg(feat))
 				})
 			}
 			b.Barrier(dvm.Const(0))
@@ -395,18 +393,17 @@ func Dedup(scale int) *harness.Workload {
 			i, v, fp, hb, n, fresh := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
 			b.For(i, lo, dvm.Const(hi), func() {
 				// Chunk + fingerprint (compute over the input).
-				b.Load(v, func(t *dvm.Thread) int64 { return input + t.R(i)%8192 })
+				b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return input + t.R(i)%8192 }))
 				b.DoCost(6, func(t *dvm.Thread) {
 					f := t.R(v)*-7046029254386353131 + t.R(i) // Fibonacci hashing constant
 					t.SetR(fp, f&0x7fffffffffffffff)
 					t.SetR(hb, zipfPick(t.R(fp)&0xffff, buckets))
 				})
 				// Deduplicate against the fingerprint table bucket.
-				b.Lock(func(t *dvm.Thread) int64 { return bucketLock + t.R(hb) })
-				b.Load(v, func(t *dvm.Thread) int64 { return bucketData + t.R(hb) })
-				b.Store(func(t *dvm.Thread) int64 { return bucketData + t.R(hb) },
-					func(t *dvm.Thread) int64 { return t.R(v) + 1 })
-				b.Unlock(func(t *dvm.Thread) int64 { return bucketLock + t.R(hb) })
+				b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return bucketLock + t.R(hb) }))
+				b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return bucketData + t.R(hb) }))
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return bucketData + t.R(hb) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+				b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return bucketLock + t.R(hb) }))
 				b.Do(func(t *dvm.Thread) { t.AddR(fresh, 1) })
 				// Every batch, append to the shared output queue under
 				// the hot lock and write() the compressed batch out
@@ -414,8 +411,8 @@ func Dedup(scale int) *harness.Workload {
 				b.If(func(t *dvm.Thread) bool { return t.R(fresh) >= batch }, func() {
 					b.Lock(dvm.Const(queueLock))
 					b.Load(n, dvm.Const(outLen))
-					b.Store(func(t *dvm.Thread) int64 { return outQueue + t.R(n)%4096 }, dvm.FromReg(fp))
-					b.Store(dvm.Const(outLen), func(t *dvm.Thread) int64 { return t.R(n) + 1 })
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return outQueue + t.R(n)%4096 }), dvm.FromReg(fp))
+					b.Store(dvm.Const(outLen), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(n) + 1 }))
 					b.If(func(t *dvm.Thread) bool { return t.R(n)%syscallEvery == syscallEvery-1 }, func() {
 						b.Syscall(&dvm.Syscall{Name: "write", Work: 200})
 					})

@@ -56,8 +56,8 @@ func LinearRegression(scale int) *harness.Workload {
 			i, xv, yv := b.Reg(), b.Reg(), b.Reg()
 			sx, sy, sxx, sxy := b.Reg(), b.Reg(), b.Reg(), b.Reg()
 			b.For(i, lo, dvm.Const(hi), func() {
-				b.Load(xv, func(t *dvm.Thread) int64 { return xs + t.R(i) })
-				b.Load(yv, func(t *dvm.Thread) int64 { return ys + t.R(i) })
+				b.Load(xv, dvm.Dyn(func(t *dvm.Thread) int64 { return xs + t.R(i) }))
+				b.Load(yv, dvm.Dyn(func(t *dvm.Thread) int64 { return ys + t.R(i) }))
 				b.Do(func(t *dvm.Thread) {
 					x, y := itof(t.R(xv)), itof(t.R(yv))
 					t.SetR(sx, ftoi(itof(t.R(sx))+x))
@@ -139,10 +139,9 @@ func WordCount(scale int) *harness.Workload {
 			i, wv, c := b.Reg(), b.Reg(), b.Reg()
 			mine := priv + int64(tid)*vocab
 			b.For(i, lo, dvm.Const(hi), func() {
-				b.Load(wv, func(t *dvm.Thread) int64 { return doc + t.R(i) })
-				b.Load(c, func(t *dvm.Thread) int64 { return mine + t.R(wv) })
-				b.Store(func(t *dvm.Thread) int64 { return mine + t.R(wv) },
-					func(t *dvm.Thread) int64 { return t.R(c) + 1 })
+				b.Load(wv, dvm.Dyn(func(t *dvm.Thread) int64 { return doc + t.R(i) }))
+				b.Load(c, dvm.Dyn(func(t *dvm.Thread) int64 { return mine + t.R(wv) }))
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return mine + t.R(wv) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(c) + 1 }))
 			})
 			coarseReduce(b, tid, func() {
 				word, v, acc := b.Reg(), b.Reg(), b.Reg()
@@ -150,10 +149,10 @@ func WordCount(scale int) *harness.Workload {
 					b.Set(acc, 0)
 					for t2 := 0; t2 < threads; t2++ {
 						pb := priv + int64(t2)*vocab
-						b.Load(v, func(t *dvm.Thread) int64 { return pb + t.R(word) })
+						b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return pb + t.R(word) }))
 						b.Do(func(t *dvm.Thread) { t.AddR(acc, t.R(v)) })
 					}
-					b.Store(func(t *dvm.Thread) int64 { return counts + t.R(word) }, dvm.FromReg(acc))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return counts + t.R(word) }), dvm.FromReg(acc))
 				})
 			})
 			progs[tid] = b.Build()
@@ -205,11 +204,11 @@ func MatrixMultiply(scale int) *harness.Workload {
 				b.ForN(col, n, func() {
 					b.Set(acc, 0)
 					b.ForN(k, n, func() {
-						b.Load(av, func(t *dvm.Thread) int64 { return a + t.R(row)*n + t.R(k) })
-						b.Load(bv, func(t *dvm.Thread) int64 { return bm + t.R(k)*n + t.R(col) })
+						b.Load(av, dvm.Dyn(func(t *dvm.Thread) int64 { return a + t.R(row)*n + t.R(k) }))
+						b.Load(bv, dvm.Dyn(func(t *dvm.Thread) int64 { return bm + t.R(k)*n + t.R(col) }))
 						b.Do(func(t *dvm.Thread) { t.AddR(acc, t.R(av)*t.R(bv)) })
 					})
-					b.Store(func(t *dvm.Thread) int64 { return c + t.R(row)*n + t.R(col) }, dvm.FromReg(acc))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return c + t.R(row)*n + t.R(col) }), dvm.FromReg(acc))
 				})
 			})
 			b.Barrier(dvm.Const(0))
@@ -258,30 +257,28 @@ func PCA(scale int) *harness.Workload {
 			b.For(col, clo, dvm.Const(chi), func() {
 				b.Set(acc, 0)
 				b.ForN(row, rows, func() {
-					b.Load(v, func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(col) })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(col) }))
 					b.Do(func(t *dvm.Thread) { t.SetR(acc, ftoi(itof(t.R(acc))+itof(t.R(v)))) })
 				})
-				b.Store(func(t *dvm.Thread) int64 { return means + t.R(col) },
-					func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(rows)) })
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return means + t.R(col) }), dvm.Dyn(func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(rows)) }))
 			})
 			b.Barrier(dvm.Const(0))
 			// Phase 2: covariance entries, partitioned by flat index.
 			elo, ehi := splitRange(cols*cols, threads, tid)
 			e, mi, mj, xi, xj := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
 			b.For(e, elo, dvm.Const(ehi), func() {
-				b.Load(mi, func(t *dvm.Thread) int64 { return means + t.R(e)/cols })
-				b.Load(mj, func(t *dvm.Thread) int64 { return means + t.R(e)%cols })
+				b.Load(mi, dvm.Dyn(func(t *dvm.Thread) int64 { return means + t.R(e)/cols }))
+				b.Load(mj, dvm.Dyn(func(t *dvm.Thread) int64 { return means + t.R(e)%cols }))
 				b.Set(acc, 0)
 				b.ForN(row, rows, func() {
-					b.Load(xi, func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(e)/cols })
-					b.Load(xj, func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(e)%cols })
+					b.Load(xi, dvm.Dyn(func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(e)/cols }))
+					b.Load(xj, dvm.Dyn(func(t *dvm.Thread) int64 { return m + t.R(row)*cols + t.R(e)%cols }))
 					b.Do(func(t *dvm.Thread) {
 						d := (itof(t.R(xi)) - itof(t.R(mi))) * (itof(t.R(xj)) - itof(t.R(mj)))
 						t.SetR(acc, ftoi(itof(t.R(acc))+d))
 					})
 				})
-				b.Store(func(t *dvm.Thread) int64 { return cov + t.R(e) },
-					func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(rows-1)) })
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return cov + t.R(e) }), dvm.Dyn(func(t *dvm.Thread) int64 { return ftoi(itof(t.R(acc)) / float64(rows-1)) }))
 			})
 			coarseReduce(b, tid, func() {})
 			progs[tid] = b.Build()
@@ -331,11 +328,11 @@ func StringMatch(scale int) *harness.Workload {
 			ktab := b.Scratch(nkeys)
 			// Cache the keys in private scratch first.
 			b.ForN(k, nkeys, func() {
-				b.Load(kv, func(t *dvm.Thread) int64 { return keys + t.R(k) })
+				b.Load(kv, dvm.Dyn(func(t *dvm.Thread) int64 { return keys + t.R(k) }))
 				b.Do(func(t *dvm.Thread) { t.Scratch[ktab+t.R(k)] = t.R(kv) })
 			})
 			b.For(i, lo, dvm.Const(hi), func() {
-				b.Load(v, func(t *dvm.Thread) int64 { return data + t.R(i) })
+				b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return data + t.R(i) }))
 				b.Do(func(t *dvm.Thread) {
 					enc := encrypt(t.R(v))
 					for kk := int64(0); kk < nkeys; kk++ {
@@ -392,21 +389,20 @@ func ReverseIndex(scale int) *harness.Workload {
 			b.For(f, lo, dvm.Const(hi), func() {
 				// Once per directory (64 files), touch its lock.
 				b.If(func(t *dvm.Thread) bool { return t.R(f)%64 == 0 }, func() {
-					dl := func(t *dvm.Thread) int64 { return dirLock + t.R(f)/64%dirLocks }
+					dl := dvm.Dyn(func(t *dvm.Thread) int64 { return dirLock + t.R(f)/64%dirLocks })
 					b.Lock(dl)
-					b.Load(v, func(t *dvm.Thread) int64 { return dirs + t.R(f)/64%dirLocks })
-					b.Store(func(t *dvm.Thread) int64 { return dirs + t.R(f)/64%dirLocks },
-						func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return dirs + t.R(f)/64%dirLocks }))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return dirs + t.R(f)/64%dirLocks }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 					b.Unlock(dl)
 				})
 				b.ForN(i, wordsPerFile, func() {
-					b.Load(v, func(t *dvm.Thread) int64 { return corpus + t.R(f)*wordsPerFile + t.R(i) })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return corpus + t.R(f)*wordsPerFile + t.R(i) }))
 					b.If(func(t *dvm.Thread) bool { return t.R(v) >= 2 }, func() {
 						// Append to the shared link list: the hot lock.
 						b.Lock(dvm.Const(listLock))
 						b.Load(n, dvm.Const(listLen))
-						b.Store(func(t *dvm.Thread) int64 { return list + t.R(n)%(files*4) }, dvm.FromReg(v))
-						b.Store(dvm.Const(listLen), func(t *dvm.Thread) int64 { return t.R(n) + 1 })
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return list + t.R(n)%(files*4) }), dvm.FromReg(v))
+						b.Store(dvm.Const(listLen), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(n) + 1 }))
 						b.Unlock(dvm.Const(listLock))
 					})
 				})

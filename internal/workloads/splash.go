@@ -49,9 +49,9 @@ func Barnes(scale int) *harness.Workload {
 			// Load phase: each body's lock is taken exactly once — the
 			// "acquired once" half of barnes' lock population.
 			b.For(i, lo, dvm.Const(hi), func() {
-				b.Lock(func(t *dvm.Thread) int64 { return bodyLock + t.R(i) })
-				b.Load(p, func(t *dvm.Thread) int64 { return pos + t.R(i) })
-				b.Unlock(func(t *dvm.Thread) int64 { return bodyLock + t.R(i) })
+				b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return bodyLock + t.R(i) }))
+				b.Load(p, dvm.Dyn(func(t *dvm.Thread) int64 { return pos + t.R(i) }))
+				b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return bodyLock + t.R(i) }))
 			})
 
 			b.ForN(it, iters, func() {
@@ -60,7 +60,7 @@ func Barnes(scale int) *harness.Workload {
 				// variable, as do we.
 				if tid == 0 {
 					b.Lock(dvm.Const(flagLock))
-					b.Store(dvm.Const(flag), func(t *dvm.Thread) int64 { return t.R(it) + 1 })
+					b.Store(dvm.Const(flag), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(it) + 1 }))
 					b.CondBroadcast(dvm.Const(0))
 					b.Unlock(dvm.Const(flagLock))
 				} else {
@@ -75,9 +75,9 @@ func Barnes(scale int) *harness.Workload {
 
 				b.For(i, lo, dvm.Const(hi), func() {
 					// Force computation: read a few neighbours.
-					b.Load(p, func(t *dvm.Thread) int64 { return pos + t.R(i) })
-					b.Load(n1, func(t *dvm.Thread) int64 { return pos + (t.R(i)+1)%bodies })
-					b.Load(n2, func(t *dvm.Thread) int64 { return pos + (t.R(i)+7)%bodies })
+					b.Load(p, dvm.Dyn(func(t *dvm.Thread) int64 { return pos + t.R(i) }))
+					b.Load(n1, dvm.Dyn(func(t *dvm.Thread) int64 { return pos + (t.R(i)+1)%bodies }))
+					b.Load(n2, dvm.Dyn(func(t *dvm.Thread) int64 { return pos + (t.R(i)+7)%bodies }))
 					b.Do(func(t *dvm.Thread) {
 						f := (t.R(n1) - t.R(p)) / 16
 						f += (t.R(n2) - t.R(p)) / 64
@@ -94,16 +94,14 @@ func Barnes(scale int) *harness.Workload {
 						cell := func(t *dvm.Thread) int64 {
 							return lvl.base + (t.R(p)*2654435761)%lvl.cells
 						}
-						b.Lock(func(t *dvm.Thread) int64 { return cellLock + cell(t) })
-						b.Load(acc, func(t *dvm.Thread) int64 { return cellAcc + cell(t) })
-						b.Store(func(t *dvm.Thread) int64 { return cellAcc + cell(t) },
-							func(t *dvm.Thread) int64 { return t.R(acc) + 1 })
-						b.Unlock(func(t *dvm.Thread) int64 { return cellLock + cell(t) })
+						b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return cellLock + cell(t) }))
+						b.Load(acc, dvm.Dyn(func(t *dvm.Thread) int64 { return cellAcc + cell(t) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return cellAcc + cell(t) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(acc) + 1 }))
+						b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return cellLock + cell(t) }))
 					}
 					// Advance the body.
-					b.Store(func(t *dvm.Thread) int64 { return vel + t.R(i) }, dvm.FromReg(v))
-					b.Store(func(t *dvm.Thread) int64 { return pos + t.R(i) },
-						func(t *dvm.Thread) int64 { return (t.R(p) + t.R(v)) & 0xffff })
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return vel + t.R(i) }), dvm.FromReg(v))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return pos + t.R(i) }), dvm.Dyn(func(t *dvm.Thread) int64 { return (t.R(p) + t.R(v)) & 0xffff }))
 				})
 				b.Barrier(dvm.Const(0))
 			})
@@ -161,7 +159,7 @@ func OceanCP(scale int) *harness.Workload {
 			ml := int64(tid % 14)
 			b.Lock(dvm.Const(miscLock + ml))
 			b.Load(ev, dvm.Const(miscCells+ml))
-			b.Store(dvm.Const(miscCells+ml), func(t *dvm.Thread) int64 { return t.R(ev) + 1 })
+			b.Store(dvm.Const(miscCells+ml), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(ev) + 1 }))
 			b.Unlock(dvm.Const(miscLock + ml))
 
 			b.ForN(it, iters, func() {
@@ -170,10 +168,10 @@ func OceanCP(scale int) *harness.Workload {
 				b.Set(chunk, 0)
 				b.For(row, rlo, dvm.Const(rhi), func() {
 					b.For(col, 1, dvm.Const(n-1), func() {
-						at := func(dr, dc int64) func(*dvm.Thread) int64 {
-							return func(t *dvm.Thread) int64 {
+						at := func(dr, dc int64) dvm.Val {
+							return dvm.Dyn(func(t *dvm.Thread) int64 {
 								return grid + (t.R(row)+dr)*n + t.R(col) + dc
-							}
+							})
 						}
 						b.Load(c, at(0, 0))
 						b.Load(up, at(-1, 0))
@@ -186,9 +184,9 @@ func OceanCP(scale int) *harness.Workload {
 							t.SetR(acc, ftoi(itof(t.R(acc))+d*d))
 							t.SetR(c, ftoi(nv))
 						})
-						b.Store(func(t *dvm.Thread) int64 {
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 {
 							return scratchGrid + t.R(row)*n + t.R(col)
-						}, dvm.FromReg(c))
+						}), dvm.FromReg(c))
 					})
 					// Fold the chunk's residual into the hot global
 					// error lock several times per iteration.
@@ -198,9 +196,9 @@ func OceanCP(scale int) *harness.Workload {
 					}, func() {
 						b.Lock(dvm.Const(errLock))
 						b.Load(ev, dvm.Const(errCell))
-						b.Store(dvm.Const(errCell), func(t *dvm.Thread) int64 {
+						b.Store(dvm.Const(errCell), dvm.Dyn(func(t *dvm.Thread) int64 {
 							return ftoi(itof(t.R(ev)) + itof(t.R(acc)))
-						})
+						}))
 						b.Unlock(dvm.Const(errLock))
 						b.Set(acc, 0)
 					})
@@ -209,8 +207,8 @@ func OceanCP(scale int) *harness.Workload {
 				// Copy back (partitioned, no locks).
 				b.For(row, rlo, dvm.Const(rhi), func() {
 					b.For(col, 1, dvm.Const(n-1), func() {
-						b.Load(c, func(t *dvm.Thread) int64 { return scratchGrid + t.R(row)*n + t.R(col) })
-						b.Store(func(t *dvm.Thread) int64 { return grid + t.R(row)*n + t.R(col) }, dvm.FromReg(c))
+						b.Load(c, dvm.Dyn(func(t *dvm.Thread) int64 { return scratchGrid + t.R(row)*n + t.R(col) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return grid + t.R(row)*n + t.R(col) }), dvm.FromReg(c))
 					})
 				})
 				b.Barrier(dvm.Const(0))
@@ -261,8 +259,8 @@ func WaterNSquared(scale int) *harness.Workload {
 						b.Do(func(t *dvm.Thread) {
 							t.SetR(jreg, (t.R(i)+(t.R(k)+1)*97)%mols)
 						})
-						b.Load(pi, func(t *dvm.Thread) int64 { return mpos + t.R(i) })
-						b.Load(pj, func(t *dvm.Thread) int64 { return mpos + t.R(jreg) })
+						b.Load(pi, dvm.Dyn(func(t *dvm.Thread) int64 { return mpos + t.R(i) }))
+						b.Load(pj, dvm.Dyn(func(t *dvm.Thread) int64 { return mpos + t.R(jreg) }))
 						// Lennard-Jones-flavoured force.
 						b.Do(func(t *dvm.Thread) {
 							d := itof(t.R(pi)) - itof(t.R(pj))
@@ -276,20 +274,19 @@ func WaterNSquared(scale int) *harness.Workload {
 						// Symmetric update: both molecules' locks.
 						for _, side := range []dvm.Reg{i, jreg} {
 							side := side
-							b.Lock(func(t *dvm.Thread) int64 { return molLock + t.R(side) })
-							b.Load(fv, func(t *dvm.Thread) int64 { return force + t.R(side) })
-							b.Store(func(t *dvm.Thread) int64 { return force + t.R(side) },
-								func(t *dvm.Thread) int64 { return ftoi(itof(t.R(fv)) + itof(t.R(f))) })
-							b.Unlock(func(t *dvm.Thread) int64 { return molLock + t.R(side) })
+							b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return molLock + t.R(side) }))
+							b.Load(fv, dvm.Dyn(func(t *dvm.Thread) int64 { return force + t.R(side) }))
+							b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return force + t.R(side) }), dvm.Dyn(func(t *dvm.Thread) int64 { return ftoi(itof(t.R(fv)) + itof(t.R(f))) }))
+							b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return molLock + t.R(side) }))
 						}
 					})
 				})
 				// Fold kinetic energy into the single global lock.
 				b.Lock(dvm.Const(keLock))
 				b.Load(fv, dvm.Const(kinetic))
-				b.Store(dvm.Const(kinetic), func(t *dvm.Thread) int64 {
+				b.Store(dvm.Const(kinetic), dvm.Dyn(func(t *dvm.Thread) int64 {
 					return ftoi(itof(t.R(fv)) + itof(t.R(ke)))
-				})
+				}))
 				b.Unlock(dvm.Const(keLock))
 				b.Barrier(dvm.Const(0))
 			})
@@ -329,17 +326,16 @@ func WaterSpatial(scale int) *harness.Workload {
 			it, i, p, v, box := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
 			b.ForN(it, iters, func() {
 				b.For(i, lo, dvm.Const(hi), func() {
-					b.Load(p, func(t *dvm.Thread) int64 { return mpos + t.R(i) })
+					b.Load(p, dvm.Dyn(func(t *dvm.Thread) int64 { return mpos + t.R(i) }))
 					b.DoCost(4, func(t *dvm.Thread) {
 						t.SetR(box, t.R(p)%boxes)
 						t.SetR(p, (t.R(p)*31+7)%1000)
 					})
-					b.Lock(func(t *dvm.Thread) int64 { return boxLock + t.R(box) })
-					b.Load(v, func(t *dvm.Thread) int64 { return boxAcc + t.R(box) })
-					b.Store(func(t *dvm.Thread) int64 { return boxAcc + t.R(box) },
-						func(t *dvm.Thread) int64 { return t.R(v) + 1 })
-					b.Unlock(func(t *dvm.Thread) int64 { return boxLock + t.R(box) })
-					b.Store(func(t *dvm.Thread) int64 { return mpos + t.R(i) }, dvm.FromReg(p))
+					b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return boxLock + t.R(box) }))
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return boxAcc + t.R(box) }))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return boxAcc + t.R(box) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+					b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return boxLock + t.R(box) }))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return mpos + t.R(i) }), dvm.FromReg(p))
 				})
 				b.Barrier(dvm.Const(0))
 			})
@@ -420,21 +416,19 @@ func Radix(scale int) *harness.Workload {
 					}
 				})
 				b.For(i, lo, dvm.Const(hi), func() {
-					b.Load(v, func(t *dvm.Thread) int64 { return srcOf(t) + t.R(i) })
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return srcOf(t) + t.R(i) }))
 					b.Do(func(t *dvm.Thread) { t.Scratch[localHist+digit(t, t.R(v))]++ })
 				})
 				// Publish per-(bucket, thread) counts (disjoint) and
 				// merge non-zero buckets into the global histogram
 				// under the bucket locks: the contended burst.
 				b.ForN(d, radix, func() {
-					b.Store(func(t *dvm.Thread) int64 { return rankBase + t.R(d)*64 + int64(t.ID) },
-						func(t *dvm.Thread) int64 { return t.Scratch[localHist+t.R(d)] })
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return rankBase + t.R(d)*64 + int64(t.ID) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.Scratch[localHist+t.R(d)] }))
 					b.If(func(t *dvm.Thread) bool { return t.Scratch[localHist+t.R(d)] > 0 }, func() {
-						b.Lock(func(t *dvm.Thread) int64 { return bucketLock + t.R(d) })
-						b.Load(c, func(t *dvm.Thread) int64 { return hist + t.R(d) })
-						b.Store(func(t *dvm.Thread) int64 { return hist + t.R(d) },
-							func(t *dvm.Thread) int64 { return t.R(c) + t.Scratch[localHist+t.R(d)] })
-						b.Unlock(func(t *dvm.Thread) int64 { return bucketLock + t.R(d) })
+						b.Lock(dvm.Dyn(func(t *dvm.Thread) int64 { return bucketLock + t.R(d) }))
+						b.Load(c, dvm.Dyn(func(t *dvm.Thread) int64 { return hist + t.R(d) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return hist + t.R(d) }), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(c) + t.Scratch[localHist+t.R(d)] }))
+						b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return bucketLock + t.R(d) }))
 					})
 				})
 				b.Barrier(dvm.Const(0))
@@ -442,33 +436,33 @@ func Radix(scale int) *harness.Workload {
 				if tid == 0 {
 					b.Set(off, 0)
 					b.ForN(d, radix, func() {
-						b.Load(c, func(t *dvm.Thread) int64 { return hist + t.R(d) })
-						b.Store(func(t *dvm.Thread) int64 { return prefix + t.R(d) }, dvm.FromReg(off))
+						b.Load(c, dvm.Dyn(func(t *dvm.Thread) int64 { return hist + t.R(d) }))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return prefix + t.R(d) }), dvm.FromReg(off))
 						b.Do(func(t *dvm.Thread) { t.AddR(off, t.R(c)) })
-						b.Store(func(t *dvm.Thread) int64 { return hist + t.R(d) }, dvm.Const(0))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return hist + t.R(d) }), dvm.Const(0))
 					})
 				}
 				b.Barrier(dvm.Const(0))
 				// Compute private write offsets: prefix[d] + counts of
 				// lower-numbered threads.
 				b.ForN(d, radix, func() {
-					b.Load(off, func(t *dvm.Thread) int64 { return prefix + t.R(d) })
+					b.Load(off, dvm.Dyn(func(t *dvm.Thread) int64 { return prefix + t.R(d) }))
 					b.Do(func(t *dvm.Thread) { t.Scratch[offsets+t.R(d)] = t.R(off) })
 					for t2 := 0; t2 < tid; t2++ {
 						t2 := t2
-						b.Load(c, func(t *dvm.Thread) int64 { return rankBase + t.R(d)*64 + int64(t2) })
+						b.Load(c, dvm.Dyn(func(t *dvm.Thread) int64 { return rankBase + t.R(d)*64 + int64(t2) }))
 						b.Do(func(t *dvm.Thread) { t.Scratch[offsets+t.R(d)] += t.R(c) })
 					}
 				})
 				// Permute into the destination (disjoint writes).
 				b.For(i, lo, dvm.Const(hi), func() {
-					b.Load(v, func(t *dvm.Thread) int64 { return srcOf(t) + t.R(i) })
-					b.Store(func(t *dvm.Thread) int64 {
+					b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return srcOf(t) + t.R(i) }))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 {
 						dd := digit(t, t.R(v))
 						o := t.Scratch[offsets+dd]
 						t.Scratch[offsets+dd]++
 						return dstOf(t) + o
-					}, dvm.FromReg(v))
+					}), dvm.FromReg(v))
 				})
 				b.Barrier(dvm.Const(0))
 			})
@@ -527,7 +521,7 @@ func FFT(scale int) *harness.Workload {
 					sl := int64((s + tid) % 3)
 					b.Lock(dvm.Const(stageLock + sl))
 					b.Load(v, dvm.Const(stageAcc+sl))
-					b.Store(dvm.Const(stageAcc+sl), func(t *dvm.Thread) int64 { return t.R(v) + 1 })
+					b.Store(dvm.Const(stageAcc+sl), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
 					b.Unlock(dvm.Const(stageLock + sl))
 				}
 				halfS := half
@@ -538,10 +532,10 @@ func FFT(scale int) *harness.Workload {
 						a := blk*halfS*2 + off
 						return a, a + halfS
 					}
-					b.Load(ar, func(t *dvm.Thread) int64 { a, _ := idx(t); return re + a })
-					b.Load(ai, func(t *dvm.Thread) int64 { a, _ := idx(t); return im + a })
-					b.Load(br, func(t *dvm.Thread) int64 { _, c := idx(t); return re + c })
-					b.Load(bi, func(t *dvm.Thread) int64 { _, c := idx(t); return im + c })
+					b.Load(ar, dvm.Dyn(func(t *dvm.Thread) int64 { a, _ := idx(t); return re + a }))
+					b.Load(ai, dvm.Dyn(func(t *dvm.Thread) int64 { a, _ := idx(t); return im + a }))
+					b.Load(br, dvm.Dyn(func(t *dvm.Thread) int64 { _, c := idx(t); return re + c }))
+					b.Load(bi, dvm.Dyn(func(t *dvm.Thread) int64 { _, c := idx(t); return im + c }))
 					b.Do(func(t *dvm.Thread) {
 						off := t.R(i) % halfS
 						ang := -math.Pi * float64(off) / float64(halfS)
@@ -554,10 +548,10 @@ func FFT(scale int) *harness.Workload {
 						t.SetR(ar, ftoi(itof(t.R(ar))+tr))
 						t.SetR(ai, ftoi(itof(t.R(ai))+ti))
 					})
-					b.Store(func(t *dvm.Thread) int64 { a, _ := idx(t); return re + a }, dvm.FromReg(ar))
-					b.Store(func(t *dvm.Thread) int64 { a, _ := idx(t); return im + a }, dvm.FromReg(ai))
-					b.Store(func(t *dvm.Thread) int64 { _, c := idx(t); return re + c }, dvm.FromReg(br))
-					b.Store(func(t *dvm.Thread) int64 { _, c := idx(t); return im + c }, dvm.FromReg(bi))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { a, _ := idx(t); return re + a }), dvm.FromReg(ar))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { a, _ := idx(t); return im + a }), dvm.FromReg(ai))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { _, c := idx(t); return re + c }), dvm.FromReg(br))
+					b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { _, c := idx(t); return im + c }), dvm.FromReg(bi))
 				})
 				b.Barrier(dvm.Const(0))
 				half *= 2
@@ -633,12 +627,12 @@ func luWorkload(name string, contiguous bool, scale int) *harness.Workload {
 					b.Do(func(t *dvm.Thread) { t.SetR(mul, ftoi(itof(t.R(mul))/itof(t.R(pv)))) })
 					b.Store(dvm.Const(a+r*n+k), dvm.FromReg(mul))
 					b.For(col, k+1, dvm.Const(n), func() {
-						b.Load(v, func(t *dvm.Thread) int64 { return a + r*n + t.R(col) })
-						b.Load(pv, func(t *dvm.Thread) int64 { return a + k*n + t.R(col) })
+						b.Load(v, dvm.Dyn(func(t *dvm.Thread) int64 { return a + r*n + t.R(col) }))
+						b.Load(pv, dvm.Dyn(func(t *dvm.Thread) int64 { return a + k*n + t.R(col) }))
 						b.Do(func(t *dvm.Thread) {
 							t.SetR(v, ftoi(itof(t.R(v))-itof(t.R(mul))*itof(t.R(pv))))
 						})
-						b.Store(func(t *dvm.Thread) int64 { return a + r*n + t.R(col) }, dvm.FromReg(v))
+						b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return a + r*n + t.R(col) }), dvm.FromReg(v))
 					})
 				}
 				b.Barrier(dvm.Const(0))

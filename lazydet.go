@@ -109,11 +109,15 @@ const (
 // NewProgram starts building a thread program.
 func NewProgram(name string) *Builder { return dvm.NewBuilder(name) }
 
-// Const returns an address/value closure for a constant.
-func Const(v int64) func(*Thread) int64 { return dvm.Const(v) }
+// Const returns an operand for a constant, recorded statically for lazydet-vet.
+func Const(v int64) dvm.Val { return dvm.Const(v) }
 
-// FromReg returns an address/value closure reading register r.
-func FromReg(r Reg) func(*Thread) int64 { return dvm.FromReg(r) }
+// FromReg returns an operand reading register r.
+func FromReg(r Reg) dvm.Val { return dvm.FromReg(r) }
+
+// Dyn wraps an arbitrary closure as an operand; the static analyzer treats
+// it as unknown.
+func Dyn(f func(*Thread) int64) dvm.Val { return dvm.Dyn(f) }
 
 // DefaultSpecConfig returns the speculation parameters used by the paper's
 // experiments (85 % success threshold, probe every 20 attempts, per-lock

@@ -20,7 +20,7 @@ func counter(iters int64) *lazydet.Workload {
 			b.ForN(i, iters, func() {
 				b.Lock(lazydet.Const(0))
 				b.Load(v, lazydet.Const(0))
-				b.Store(lazydet.Const(0), func(t *lazydet.Thread) int64 { return t.R(v) + 1 })
+				b.Store(lazydet.Const(0), lazydet.Dyn(func(t *lazydet.Thread) int64 { return t.R(v) + 1 }))
 				b.Unlock(lazydet.Const(0))
 			})
 			p := b.Build()
