@@ -61,6 +61,23 @@ func BenchmarkFigure7_HashTableSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkHTAllocs measures the allocation behavior of the strong
+// deterministic engines on both hash-table variants (run with -benchmem).
+// The flat page tables and frame/page pools target exactly this path: after
+// per-run setup, sync epochs should draw every dirty-page frame and
+// published page version from a pool rather than the allocator.
+func BenchmarkHTAllocs(b *testing.B) {
+	for _, variant := range []workloads.HTVariant{workloads.HT, workloads.HTLazy} {
+		w := workloads.NewHashTable(htCfg(variant))
+		for _, eng := range []lazydet.EngineKind{lazydet.Consequence, lazydet.LazyDet} {
+			b.Run(fmt.Sprintf("%s/%s", variant, eng), func(b *testing.B) {
+				b.ReportAllocs()
+				runOnce(b, w, lazydet.Options{Engine: eng, Threads: benchThreads})
+			})
+		}
+	}
+}
+
 // BenchmarkTable1_LockStatistics measures the instrumented pthreads runs
 // that produce Table 1's lock statistics.
 func BenchmarkTable1_LockStatistics(b *testing.B) {

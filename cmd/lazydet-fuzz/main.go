@@ -26,11 +26,15 @@
 //
 // With -legacydiff, the strong engines commit via the legacy full-page twin
 // scan instead of the dirty-word bitmaps — running the suite both ways
-// differentially checks the two commit paths against each other.
+// differentially checks the two commit paths against each other. With
+// -mapviews, thread views track pages in Go maps instead of the flat
+// page-number-indexed tables, differentially checking the flat-table fast
+// path the same way.
 //
 //	lazydet-fuzz -seeds 100 -threads 4
 //	lazydet-fuzz -seeds 1000 -ops 120 -start 42
 //	lazydet-fuzz -seeds 50 -invariants -legacydiff
+//	lazydet-fuzz -seeds 50 -invariants -mapviews
 package main
 
 import (
@@ -87,6 +91,7 @@ func main() {
 	invariants := flag.Bool("invariants", false, "audit runtime invariants at every turn and commit/revert")
 	vet := flag.Bool("vet", true, "cross-check progcheck static verdicts against runtime outcomes")
 	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
+	mapViews := flag.Bool("mapviews", false, "track view pages in maps instead of flat page tables")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -105,7 +110,7 @@ func main() {
 		}
 		ok := true
 		var violations []*invariant.Violation
-		baseOpt := harness.Options{Threads: *threads, LegacyDiffCommit: *legacyDiff}
+		baseOpt := harness.Options{Threads: *threads, LegacyDiffCommit: *legacyDiff, MapViews: *mapViews}
 		if *invariants {
 			baseOpt.CheckInvariants = true
 			baseOpt.OnViolation = func(v *invariant.Violation) { violations = append(violations, v) }

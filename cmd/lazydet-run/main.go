@@ -83,6 +83,7 @@ func main() {
 	scale := flag.Int("scale", 1, "problem-size multiplier")
 	trace := flag.Bool("trace", false, "record and print determinism fingerprints")
 	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
+	mapViews := flag.Bool("mapviews", false, "track view pages in maps instead of flat page tables")
 	reportPath := flag.String("report", "", "write a single-run structured JSON run report to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -113,6 +114,7 @@ func main() {
 		MeasureTimes: true, CollectSpec: ek == harness.LazyDet,
 		CountLocks:       ek == harness.Pthreads,
 		LegacyDiffCommit: *legacyDiff,
+		MapViews:         *mapViews,
 		Telemetry:        *reportPath != "",
 	}
 	if *cpuprofile != "" {

@@ -291,13 +291,25 @@ type tstate struct {
 	heldConv     []int64 // conventionally held exclusive locks
 	heldConvRead []int64 // conventionally held shared locks
 
+	// tickFlushes counts the batched clock flushes this thread sent into
+	// the arbiter (see dlc.TickWindow) — published as the deterministic
+	// "dlc.tick_flushes" counter at thread exit. Thread-local, so the hot
+	// Tick path never touches the telemetry registry's mutex.
+	tickFlushes int64
+
 	// Speculation state (paper §3.1–§3.5).
-	spec         bool                 // inside a speculation run
-	irrevocable  bool                 // run upgraded to irrevocable
-	begin        int64                // BEGIN_i: DLC when the run started
-	baseAtBegin  int64                // heap sequence the run's view is based on
-	snap         *dvm.Snapshot        // state to restore on revert
-	dirtySnap    *vheap.DirtySnapshot // pre-run private writes, preserved across reverts
+	spec        bool                 // inside a speculation run
+	irrevocable bool                 // run upgraded to irrevocable
+	begin       int64                // BEGIN_i: DLC when the run started
+	baseAtBegin int64                // heap sequence the run's view is based on
+	snap        *dvm.Snapshot        // state to restore on revert
+	dirtySnap   *vheap.DirtySnapshot // pre-run private writes, preserved across reverts
+
+	// snapScratch and dirtyScratch are the retained buffers snap/dirtySnap
+	// are rebuilt into at every BEGIN (per-thread scratch, not a sync.Pool,
+	// so recycling cannot perturb deterministic allocation-order counts).
+	snapScratch  *dvm.Snapshot
+	dirtyScratch *vheap.DirtySnapshot
 	logLocks     []int64              // L_i: locks touched, in first-acquisition order
 	logCount     map[int64]int        // acquisitions per logged lock
 	logWrite     map[int64]bool       // logged lock was taken exclusively at least once
@@ -360,14 +372,22 @@ func (e *Engine) ThreadExit(t *dvm.Thread) bool {
 		// The thread's final clock: summed over threads this is the run's
 		// total deterministic logical work, the report's "dlc.total".
 		e.tel.Count("dlc.total", e.arb.DLC(t.ID))
+		// How many batched flushes delivered it (see dlc.TickWindow):
+		// dlc.total / dlc.tick_flushes is the realized batching factor.
+		e.tel.Count("dlc.tick_flushes", ts.tickFlushes)
 	}
 	e.arb.Exit(t.ID)
 	ts.mem.Close()
 	return true
 }
 
-// Tick implements dvm.Engine.
+// Tick implements dvm.Engine. The interpreter batches retired-instruction
+// cost (dlc.TickWindow), so this runs once per batch, not per instruction.
 func (e *Engine) Tick(t *dvm.Thread, cost int64) {
+	if cost == 0 {
+		return
+	}
+	e.ts(t).tickFlushes++
 	e.arb.Tick(t.ID, cost)
 }
 

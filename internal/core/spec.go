@@ -56,10 +56,13 @@ func (e *Engine) lazyLock(t *dvm.Thread, ts *tstate, l int64) {
 
 // beginRun starts a speculation run at the current lock acquisition:
 // snapshot thread state for roll-back and record BEGIN_i and the heap
-// sequence the run's reads are based on (§3.1).
+// sequence the run's reads are based on (§3.1). Both snapshots are rebuilt
+// into per-thread scratch buffers, so steady-state BEGINs allocate nothing.
 func (e *Engine) beginRun(t *dvm.Thread, ts *tstate) {
-	ts.snap = t.Snapshot()
-	ts.dirtySnap = ts.mem.SnapshotDirty()
+	ts.snapScratch = t.SnapshotInto(ts.snapScratch)
+	ts.snap = ts.snapScratch
+	ts.dirtyScratch = ts.mem.SnapshotDirtyInto(ts.dirtyScratch)
+	ts.dirtySnap = ts.dirtyScratch
 	ts.begin = e.arb.DLC(t.ID)
 	ts.baseAtBegin = ts.mem.BaseSeq()
 	ts.spec = true
@@ -202,10 +205,6 @@ func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
 	e.publishAndRefresh(t, ts)
 	my := e.arb.DLC(t.ID)
 	seq := e.pipe.Seq()
-	stillHeld := make(map[int64]bool, len(ts.heldSpec))
-	for _, l := range ts.heldSpec {
-		stillHeld[l] = true
-	}
 	for _, l := range ts.logLocks {
 		st := &e.tbl.Locks[l]
 		if ts.logWrite[l] {
@@ -214,7 +213,9 @@ func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
 				st.LastCommitSeq = seq
 			} else if ts.wroteUnder[l] {
 				st.LastCommitSeq = seq
-				if !stillHeld[l] {
+				// heldSpec is a handful of nested locks at most; a linear
+				// scan beats allocating a membership map per commit.
+				if !containsLock(ts.heldSpec, l) {
 					delete(ts.wroteUnder, l)
 				}
 			}
@@ -278,6 +279,17 @@ func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
 	clear(ts.wroteUnder) // discarded writes never became visible
 	e.resetSpec(ts)
 	ts.depth = len(ts.heldConv) + len(ts.heldConvRead) // always 0: runs begin outside critical sections
+}
+
+// containsLock reports whether lock l appears in held, a nesting-depth-sized
+// slice of currently held speculative locks.
+func containsLock(held []int64, l int64) bool {
+	for _, h := range held {
+		if h == l {
+			return true
+		}
+	}
+	return false
 }
 
 // resetSpec clears per-run state.

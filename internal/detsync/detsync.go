@@ -99,13 +99,17 @@ func NewTable(nthreads, nlocks, nconds, nbarriers int, specMeta bool) *Table {
 		t.wake[i] = make(chan struct{}, 1)
 	}
 	if specMeta {
+		// Two flat backing arrays instead of two slices per lock: workloads
+		// with thousands of locks (hash-table buckets) would otherwise pay
+		// 2·nlocks allocations here on every run.
+		hist := make([]uint64, nlocks*nthreads)
+		for i := range hist {
+			hist[i] = ^uint64(0)
+		}
+		attempts := make([]uint32, nlocks*nthreads)
 		for i := range t.Locks {
-			h := make([]uint64, nthreads)
-			for j := range h {
-				h[j] = ^uint64(0)
-			}
-			t.Locks[i].SpecHist = h
-			t.Locks[i].SpecAttempts = make([]uint32, nthreads)
+			t.Locks[i].SpecHist = hist[i*nthreads : (i+1)*nthreads : (i+1)*nthreads]
+			t.Locks[i].SpecAttempts = attempts[i*nthreads : (i+1)*nthreads : (i+1)*nthreads]
 		}
 	}
 	return t

@@ -30,6 +30,8 @@ package dvm
 import (
 	"fmt"
 	"sync"
+
+	"lazydet/internal/dlc"
 )
 
 // Opcode identifies an instruction kind.
@@ -337,17 +339,33 @@ type Snapshot struct {
 // Snapshot captures the thread state with the PC rewound to the instruction
 // currently executing (speculation always begins at a lock acquisition; on
 // restore the acquisition re-executes, this time non-speculatively).
-func (t *Thread) Snapshot() *Snapshot {
-	s := &Snapshot{
-		PC:   t.PC - 1,
-		Regs: make([]int64, len(t.Regs)),
-		RNG:  t.rng,
+func (t *Thread) Snapshot() *Snapshot { return t.SnapshotInto(nil) }
+
+// SnapshotInto captures the thread state into s, reusing its register and
+// scratch buffers; a nil s allocates a fresh snapshot. The returned snapshot
+// is s (or the fresh one). The speculation engine keeps one snapshot per
+// thread and recycles it across runs, so steady-state BEGINs allocate
+// nothing.
+func (t *Thread) SnapshotInto(s *Snapshot) *Snapshot {
+	if s == nil {
+		s = new(Snapshot)
+	}
+	s.PC = t.PC - 1
+	s.RNG = t.rng
+	if cap(s.Regs) < len(t.Regs) {
+		s.Regs = make([]int64, len(t.Regs))
+	} else {
+		s.Regs = s.Regs[:len(t.Regs)]
 	}
 	copy(s.Regs, t.Regs)
-	if len(t.Scratch) > 0 {
+	if len(t.Scratch) == 0 {
+		s.Scratch = s.Scratch[:0]
+	} else if cap(s.Scratch) < len(t.Scratch) {
 		s.Scratch = make([]int64, len(t.Scratch))
-		copy(s.Scratch, t.Scratch)
+	} else {
+		s.Scratch = s.Scratch[:len(t.Scratch)]
 	}
+	copy(s.Scratch, t.Scratch)
 	return s
 }
 
@@ -387,9 +405,22 @@ func (t *Thread) MatchesSnapshot(s *Snapshot) error {
 }
 
 // run interprets the thread's program to completion.
+//
+// Retired-instruction cost is not ticked into the engine per instruction:
+// local instructions accumulate their cost thread-locally and flush every
+// dlc.TickWindow instructions, while engine (synchronization) operations
+// flush the pending batch first — so the thread's published clock is exact
+// at every synchronization point and the deterministic schedule is
+// bit-identical to per-instruction ticking (see dlc.TickWindow) — and then
+// charge their own cost immediately, exactly as before. A speculation
+// revert can only happen inside an engine operation, where the pending
+// batch is always zero, so rewinding the PC never double-charges or loses
+// accumulated cost.
 func (t *Thread) run() {
 	code := t.prog.Code
 	eng := t.eng
+	var pend int64 // local-instruction cost accumulated since the last flush
+	steps := 0     // local instructions accumulated since the last flush
 	for !t.halted && t.PC < len(code) {
 		in := &code[t.PC]
 		t.PC++
@@ -406,36 +437,57 @@ func (t *Thread) run() {
 			if !in.Cond(t) {
 				t.PC = in.Target
 			}
-		case OpLock:
-			eng.Lock(t, in.Addr(t))
-		case OpUnlock:
-			eng.Unlock(t, in.Addr(t))
-		case OpRLock:
-			eng.RLock(t, in.Addr(t))
-		case OpRUnlock:
-			eng.RUnlock(t, in.Addr(t))
-		case OpCondWait:
-			eng.CondWait(t, in.Addr(t), in.Addr2(t))
-		case OpCondSignal:
-			eng.CondSignal(t, in.Addr(t))
-		case OpCondBroadcast:
-			eng.CondBroadcast(t, in.Addr(t))
-		case OpBarrier:
-			eng.BarrierWait(t, in.Addr(t))
-		case OpSyscall:
-			eng.Syscall(t, in.Sys)
-		case OpAtomic:
-			t.Regs[in.Atom.Dst] = eng.Atomic(t, in.Atom)
-		case OpSpawn:
-			eng.Spawn(t, int(in.Addr(t)))
-		case OpJoin:
-			eng.Join(t, int(in.Addr(t)))
 		case OpHalt:
 			t.halted = true
 		default:
-			panic(fmt.Sprintf("dvm: unknown opcode %d", in.Op))
+			// Engine operation: publish the exact clock before the engine
+			// observes or orders anything, then charge the operation's own
+			// cost as per-instruction ticking did.
+			if pend != 0 {
+				eng.Tick(t, pend)
+			}
+			pend, steps = 0, 0
+			switch in.Op {
+			case OpLock:
+				eng.Lock(t, in.Addr(t))
+			case OpUnlock:
+				eng.Unlock(t, in.Addr(t))
+			case OpRLock:
+				eng.RLock(t, in.Addr(t))
+			case OpRUnlock:
+				eng.RUnlock(t, in.Addr(t))
+			case OpCondWait:
+				eng.CondWait(t, in.Addr(t), in.Addr2(t))
+			case OpCondSignal:
+				eng.CondSignal(t, in.Addr(t))
+			case OpCondBroadcast:
+				eng.CondBroadcast(t, in.Addr(t))
+			case OpBarrier:
+				eng.BarrierWait(t, in.Addr(t))
+			case OpSyscall:
+				eng.Syscall(t, in.Sys)
+			case OpAtomic:
+				t.Regs[in.Atom.Dst] = eng.Atomic(t, in.Atom)
+			case OpSpawn:
+				eng.Spawn(t, int(in.Addr(t)))
+			case OpJoin:
+				eng.Join(t, int(in.Addr(t)))
+			default:
+				panic(fmt.Sprintf("dvm: unknown opcode %d", in.Op))
+			}
+			eng.Tick(t, in.Cost)
+			continue
 		}
-		eng.Tick(t, in.Cost)
+		pend += in.Cost
+		steps++
+		if steps >= dlc.TickWindow {
+			eng.Tick(t, pend)
+			pend, steps = 0, 0
+		}
+	}
+	// Publish the tail batch before ThreadExit takes its final turn.
+	if pend != 0 {
+		eng.Tick(t, pend)
 	}
 }
 

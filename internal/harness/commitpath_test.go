@@ -79,3 +79,72 @@ func TestQuickBitmapCommitMatchesLegacyDiff(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickFlatViewsMatchMapViews is the end-to-end differential oracle for
+// the flat per-view page tables and their frame/page pools: random corpus
+// programs run under each strong deterministic engine must publish a
+// byte-identical final heap, an identical synchronization trace, and
+// identical commit statistics whether views track pages in the flat
+// generation-stamped tables (default) or in the original Go maps
+// (MapViews). Runs flat → map → flat so an order-dependent divergence in
+// either layout is caught from both sides.
+func TestQuickFlatViewsMatchMapViews(t *testing.T) {
+	const threads = 3
+	configs := []struct {
+		name string
+		opt  harness.Options
+	}{
+		{"Consequence", harness.Options{Engine: harness.Consequence, Threads: threads, Trace: true}},
+		{"LazyDet", harness.Options{Engine: harness.LazyDet, Threads: threads, Trace: true}},
+		{"LazyDet-WriteAware", harness.Options{
+			Engine: harness.LazyDet, Threads: threads, Trace: true,
+			Spec: core.SpecConfig{WriteAware: true},
+		}},
+	}
+	f := func(seed uint64) bool {
+		w, _, err := randprog.Generate(seed, randprog.DefaultConfig(threads))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		for _, c := range configs {
+			flatOpt := c.opt
+			mapOpt := c.opt
+			mapOpt.MapViews = true
+			f1, err := harness.Run(w, flatOpt)
+			if err != nil {
+				t.Logf("seed %x %s flat: %v", seed, c.name, err)
+				return false
+			}
+			mp, err := harness.Run(w, mapOpt)
+			if err != nil {
+				t.Logf("seed %x %s map: %v", seed, c.name, err)
+				return false
+			}
+			f2, err := harness.Run(w, flatOpt)
+			if err != nil {
+				t.Logf("seed %x %s flat rerun: %v", seed, c.name, err)
+				return false
+			}
+			if f1.HeapHash != mp.HeapHash || f1.TraceSig != mp.TraceSig ||
+				f1.HeapHash != f2.HeapHash || f1.TraceSig != f2.TraceSig {
+				t.Logf("seed %x %s: heap %x/%x/%x trace %x/%x/%x (flat/map/flat)",
+					seed, c.name, f1.HeapHash, mp.HeapHash, f2.HeapHash,
+					f1.TraceSig, mp.TraceSig, f2.TraceSig)
+				return false
+			}
+			// The view layout may only change how pages are found, never
+			// which words commit or how much work finds them.
+			if f1.Commits != mp.Commits || f1.PagesCommitted != mp.PagesCommitted ||
+				f1.WordsCommitted != mp.WordsCommitted || f1.WordsScanned != mp.WordsScanned {
+				t.Logf("seed %x %s: commits %d/%d pages %d/%d words %d/%d scanned %d/%d (flat/map)",
+					seed, c.name, f1.Commits, mp.Commits, f1.PagesCommitted, mp.PagesCommitted,
+					f1.WordsCommitted, mp.WordsCommitted, f1.WordsScanned, mp.WordsScanned)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

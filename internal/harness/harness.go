@@ -119,6 +119,11 @@ type Options struct {
 	// dirty-word bitmaps. The differential oracle for the bitmap commit
 	// path: both must publish byte-identical heaps and traces.
 	LegacyDiffCommit bool
+	// MapViews makes the versioned heap's views track dirty and clean
+	// pages in Go maps instead of the flat page-number-indexed tables.
+	// The differential oracle for the flat-table fast path: both must
+	// publish byte-identical heaps, traces, and commit statistics.
+	MapViews bool
 	// Telemetry enables the unified metrics registry
 	// (internal/telemetry): the engine, versioned heap and memory pipeline
 	// publish counters and histograms into one recorder, available as
@@ -196,6 +201,11 @@ type Result struct {
 	// populated even when vet aborts the run, so callers can render the
 	// findings.
 	Vet *progcheck.Report
+	// Allocs is the process heap-allocation count (runtime mallocs) over
+	// the run, measured when any of Telemetry, TelemetrySpans or
+	// MeasureTimes is set. Informational only: the Go runtime's
+	// allocation behavior is not part of the deterministic machine state.
+	Allocs int64
 }
 
 // Run executes the workload once under the configured engine.
@@ -277,6 +287,9 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		if opt.LegacyDiffCommit {
 			hopts = append(hopts, vheap.WithLegacyDiffCommit())
 		}
+		if opt.MapViews {
+			hopts = append(hopts, vheap.WithMapViews())
+		}
 		if tel != nil {
 			hopts = append(hopts, vheap.WithTelemetry(tel))
 		}
@@ -336,12 +349,26 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("harness: unknown engine %d", opt.Engine)
 	}
 
+	// ReadMemStats stops the world, so the allocation count is only taken
+	// when the caller already opted into measurement overhead.
+	measureAllocs := opt.Telemetry || opt.TelemetrySpans || opt.MeasureTimes
+	var mallocsBefore uint64
+	if measureAllocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocsBefore = ms.Mallocs
+	}
 	cpuBefore := stats.ProcessCPUNs()
 	start := time.Now()
 	dvm.Run(eng, progs)
 	res.Wall = time.Since(start)
 	cpuAfter := stats.ProcessCPUNs()
 	res.CPU = time.Duration(cpuAfter - cpuBefore)
+	if measureAllocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.Allocs = int64(ms.Mallocs - mallocsBefore)
+	}
 
 	if rec != nil {
 		res.TraceSig = rec.Signature()

@@ -42,6 +42,13 @@ func absorbStats(tel *telemetry.Recorder, res *Result) {
 // section so Metrics stays reproducible across machines.
 var timingCounters = map[string]bool{
 	"progcheck.analysis_ns": true,
+	// The frame/page pool hit ratios depend on when the runtime scheduler
+	// lets views register against the trim floor — an allocation detail,
+	// not deterministic machine state — so they are informational only.
+	"vheap.frame_pool_hits":   true,
+	"vheap.frame_pool_misses": true,
+	"vheap.page_pool_hits":    true,
+	"vheap.page_pool_misses":  true,
 }
 
 // BuildReport converts one run's measurements into a report entry.
@@ -82,6 +89,9 @@ func BuildReport(res *Result) telemetry.RunReport {
 
 	r.Timing["wall_ns"] = float64(res.Wall.Nanoseconds())
 	r.Timing["cpu_ns"] = float64(res.CPU.Nanoseconds())
+	if res.Allocs > 0 {
+		r.Timing["allocs"] = float64(res.Allocs)
+	}
 	if res.Times != nil {
 		r.Timing["utilization_pct"] = res.UtilizationPct
 		r.Timing["blocked_pct"] = res.BlockedPct

@@ -211,6 +211,15 @@ func (c *Checker) AtPublish(tid int, m DirtyAuditor) {
 	if err := m.AuditDirty(); err != nil {
 		c.violate(tid, -1, "commit-dirty-tracking", err.Error())
 	}
+	// Windows backed by the flat per-view page tables additionally expose a
+	// structural self-check: the dense dirty/clean tables, generation stamps
+	// and pooled frames must be mutually consistent, or a recycled frame is
+	// about to leak stale words into a commit.
+	if ta, ok := m.(interface{ AuditTables() error }); ok {
+		if err := ta.AuditTables(); err != nil {
+			c.violate(tid, -1, "view-page-table", err.Error())
+		}
+	}
 }
 
 // AtCommit audits the versioned heap after thread tid published commit seq:

@@ -79,6 +79,11 @@ type Thread interface {
 	// SnapshotDirty deep-copies the unpublished write set at a speculation
 	// run's begin. Panics on flat memory.
 	SnapshotDirty() *vheap.DirtySnapshot
+	// SnapshotDirtyInto deep-copies the unpublished write set into s,
+	// recycling its buffers (nil s allocates a fresh snapshot) — the
+	// allocation-free path the speculation engine uses across runs. Panics
+	// on flat memory.
+	SnapshotDirtyInto(s *vheap.DirtySnapshot) *vheap.DirtySnapshot
 	// RevertTo discards the run's writes and reinstates the snapshot,
 	// returning the number of discarded speculative words. Panics on flat
 	// memory.
@@ -126,7 +131,12 @@ func (t *versionedThread) BaseSeq() int64                      { return t.v.Base
 func (t *versionedThread) SnapshotDirty() *vheap.DirtySnapshot { return t.v.SnapshotDirty() }
 func (t *versionedThread) RevertTo(s *vheap.DirtySnapshot) int { return t.v.RevertTo(s) }
 func (t *versionedThread) AuditDirty() error                   { return t.v.AuditDirty() }
+func (t *versionedThread) AuditTables() error                  { return t.v.AuditTables() }
 func (t *versionedThread) Close()                              { t.v.Close() }
+
+func (t *versionedThread) SnapshotDirtyInto(s *vheap.DirtySnapshot) *vheap.DirtySnapshot {
+	return t.v.SnapshotDirtyInto(s)
+}
 
 func (t *versionedThread) Publish() (int64, bool) {
 	if t.v.DirtyPages() == 0 {
@@ -167,6 +177,10 @@ func (t flatThread) AuditDirty() error          { return nil }
 func (t flatThread) Close()                     {}
 
 func (t flatThread) SnapshotDirty() *vheap.DirtySnapshot {
+	panic("mempipe: speculation snapshot on flat memory — speculation requires versioned isolation")
+}
+
+func (t flatThread) SnapshotDirtyInto(*vheap.DirtySnapshot) *vheap.DirtySnapshot {
 	panic("mempipe: speculation snapshot on flat memory — speculation requires versioned isolation")
 }
 

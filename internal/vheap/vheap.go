@@ -23,6 +23,24 @@
 //   - Update re-bases a view on the newest committed state; Revert discards
 //     all private modifications. Both are O(dirty set).
 //
+// The hot path is organized as a software TLB, mirroring the flat per-thread
+// page tables the paper's threads read and write through:
+//
+//   - A View's dirty and clean lookups are dense slices indexed by page
+//     number (the page count is fixed at heap construction), so a Load is an
+//     array index plus at most one version-chain resolution — no hashing.
+//   - Clean-resolution entries are validated by a per-view generation
+//     stamp: re-basing the view (Commit, Update, Revert) bumps the
+//     generation instead of clearing or reallocating the table.
+//   - dirtyPage frames (working copy + twin + bitmap) come from a per-view
+//     free list, recycled at every Commit/Revert, and published page
+//     versions come from a per-heap free list refilled by chain trimming —
+//     steady-state sync epochs allocate nothing.
+//
+// WithMapViews restores the original map-backed views (unpooled, allocating)
+// as a differential oracle for the flat tables, exactly as
+// WithLegacyDiffCommit preserves the full twin scan for the bitmap commit.
+//
 // Version chains are trimmed below the oldest base sequence still referenced
 // by a live view. This is the space advantage the paper ascribes to DDRF
 // (§4.2): the heap holds one version per page plus short tails for in-flight
@@ -70,6 +88,10 @@ type Heap struct {
 	seq       atomic.Int64 // newest committed sequence
 	slots     []atomic.Pointer[page]
 
+	// zero is the single shared all-zero page every slot starts from. It can
+	// appear in many chains at once, so trimming must never recycle it.
+	zero *page
+
 	views map[*View]struct{} // live views, for trim floor computation
 
 	// Trim-floor cache: recomputing the floor is an O(views) map scan under
@@ -82,13 +104,26 @@ type Heap struct {
 	floorCache atomic.Int64
 	floorValid atomic.Bool
 
+	// pagePool is the per-heap free list of published page frames, refilled
+	// by chain trimming: a version cut below the trim floor is unreachable
+	// by every live view (their bases are at or above the floor, so no
+	// chain walk descends past the floor's terminal node), which makes its
+	// frame safe to overwrite in a later commit. Guarded by mu.
+	pagePool []*page
+
 	commits      atomic.Int64 // total commits (stats)
 	pagesWritten atomic.Int64 // total page versions published (stats)
 	wordsMerged  atomic.Int64 // total words merged across commits (stats)
 	wordsScanned atomic.Int64 // total words examined by commits to find them
 
+	frameHits   atomic.Int64 // dirty-page frames served from a view free list
+	frameMisses atomic.Int64 // dirty-page frames freshly allocated
+	pageHits    atomic.Int64 // published page frames served from the heap pool
+	pageMisses  atomic.Int64 // published page frames freshly allocated
+
 	trim       bool // trim chains below the oldest live base (DDRF coalescing)
 	legacyDiff bool // commit by full twin scan instead of the dirty bitmap
+	mapViews   bool // map-backed views (the flat-table differential oracle)
 
 	// tel, if non-nil, receives commit metrics ("vheap.*" counters and the
 	// commit-size histogram). Nil costs one pointer compare per commit.
@@ -102,6 +137,7 @@ type heapConfig struct {
 	pageWords  int
 	keepChains bool
 	legacyDiff bool
+	mapViews   bool
 	tel        *telemetry.Recorder
 }
 
@@ -121,11 +157,25 @@ func WithFullVersionChains() Option { return func(c *heapConfig) { c.keepChains 
 // saves (see Stats().WordsScanned).
 func WithLegacyDiffCommit() Option { return func(c *heapConfig) { c.legacyDiff = true } }
 
+// WithMapViews makes every view resolve its dirty and clean pages through
+// Go maps, as the original implementation did, instead of the flat
+// generation-stamped page tables — and disables frame and page pooling, so
+// allocation behavior matches the original too. The two view layouts
+// publish byte-identical heaps, commit sequences and dirty counts; this one
+// exists as the differential oracle the flat tables are tested against.
+func WithMapViews() Option { return func(c *heapConfig) { c.mapViews = true } }
+
 // WithTelemetry publishes the heap's commit-path measurements into rec:
 // cumulative "vheap.commits", "vheap.pages_committed", "vheap.words_committed"
-// and "vheap.words_scanned" counters, and a "vheap.commit_words" histogram of
-// per-commit merged word counts. All of them are deterministic for
-// deterministic engines (commit contents and order are turn-ordered).
+// and "vheap.words_scanned" counters, a "vheap.commit_words" histogram of
+// per-commit merged word counts, and the pool counters
+// "vheap.frame_pool_hits"/"vheap.frame_pool_misses" (dirty-page frames) and
+// "vheap.page_pool_hits"/"vheap.page_pool_misses" (published page frames).
+// The commit counters are deterministic for deterministic engines (commit
+// contents and order are turn-ordered); the pool counters can depend on
+// wall-clock view registration order (a suspended thread's view pins the
+// trim floor from a nondeterministic instant), so the harness reports them
+// in the non-gated Timing half.
 func WithTelemetry(rec *telemetry.Recorder) Option {
 	return func(c *heapConfig) { c.tel = rec }
 }
@@ -157,11 +207,12 @@ func New(words int64, opts ...Option) *Heap {
 		views:      make(map[*View]struct{}),
 		trim:       !cfg.keepChains,
 		legacyDiff: cfg.legacyDiff,
+		mapViews:   cfg.mapViews,
 		tel:        cfg.tel,
 	}
-	zero := make([]int64, cfg.pageWords)
+	h.zero = &page{seq: 0, words: make([]int64, cfg.pageWords)}
 	for i := range h.slots {
-		h.slots[i].Store(&page{seq: 0, words: zero}) // shared zero page; copied on first write
+		h.slots[i].Store(h.zero) // shared zero page; copied on first write
 	}
 	return h
 }
@@ -176,19 +227,24 @@ func (h *Heap) PageWords() int { return h.pageWords }
 func (h *Heap) Seq() int64 { return h.seq.Load() }
 
 // SetInitial writes directly into the committed state. It must only be used
-// before any views exist (to load a workload's initial data).
+// before any views exist (to load a workload's initial data) — which is what
+// makes writing in place legal: page versions only become immutable once a
+// view can read them.
 func (h *Heap) SetInitial(addr, val int64) {
 	pi := addr >> h.pageShift
 	off := addr & h.pageMask
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	head := h.slots[pi].Load()
-	w := make([]int64, h.pageWords)
-	copy(w, head.words)
-	w[off] = val
-	np := &page{seq: head.seq, words: w}
-	np.prev.Store(head.prev.Load())
-	h.slots[pi].Store(np)
+	if head == h.zero {
+		// First touch: give the slot a private page. The shared zero page
+		// backs every untouched slot and must stay all-zero.
+		np := &page{seq: head.seq, words: make([]int64, h.pageWords)}
+		np.prev.Store(head.prev.Load())
+		h.slots[pi].Store(np)
+		head = np
+	}
+	head.words[off] = val
 }
 
 // ReadCommitted returns the committed value of addr at the newest version.
@@ -272,6 +328,13 @@ type CommitStats struct {
 	// twin diff, or the bitmap's population count under dirty tracking.
 	// The ratio WordsScanned/Words is the overhead of locating a change.
 	WordsScanned int64
+	// FrameHits/FrameMisses count dirty-page frames served from a view's
+	// free list vs freshly allocated (flat-table views only; flushed into
+	// the heap totals at each commit).
+	FrameHits, FrameMisses int64
+	// PageHits/PageMisses count published page frames served from the
+	// heap's trim-refilled pool vs freshly allocated.
+	PageHits, PageMisses int64
 }
 
 // Stats returns cumulative commit statistics.
@@ -281,6 +344,10 @@ func (h *Heap) Stats() CommitStats {
 		Pages:        h.pagesWritten.Load(),
 		Words:        h.wordsMerged.Load(),
 		WordsScanned: h.wordsScanned.Load(),
+		FrameHits:    h.frameHits.Load(),
+		FrameMisses:  h.frameMisses.Load(),
+		PageHits:     h.pageHits.Load(),
+		PageMisses:   h.pageMisses.Load(),
 	}
 }
 
@@ -301,11 +368,13 @@ func (h *Heap) LiveVersions() int {
 
 // Audit verifies the heap's structural invariants: every page version chain
 // is strictly decreasing in commit sequence, no version is newer than the
-// heap's committed sequence, and — with trimming enabled — the oldest
-// retained version of every chain is at or below the trim floor (the minimum
-// base of the live views), so no live view's base has been trimmed out from
-// under it. Returns a descriptive error on the first breach. Used by the
-// invariant checker (internal/invariant).
+// heap's committed sequence, with trimming enabled the oldest retained
+// version of every chain is at or below the trim floor (the minimum base of
+// the live views) so no live view's base has been trimmed out from under it,
+// and no pooled page frame is still reachable from a version chain (a
+// reachable frame would be overwritten by the commit that reuses it).
+// Returns a descriptive error on the first breach. Used by the invariant
+// checker (internal/invariant).
 func (h *Heap) Audit() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -321,14 +390,34 @@ func (h *Heap) Audit() error {
 			return fmt.Errorf("vheap: live view base %d is ahead of the newest commit %d", b, top)
 		}
 	}
+	pooled := make(map[*page]bool, len(h.pagePool))
+	for i, p := range h.pagePool {
+		if p == nil {
+			return fmt.Errorf("vheap: page pool entry %d is nil", i)
+		}
+		if p == h.zero {
+			return fmt.Errorf("vheap: the shared zero page was recycled into the page pool — other chains may still reference it")
+		}
+		if len(p.words) != h.pageWords {
+			return fmt.Errorf("vheap: pooled page frame %d has %d words, want the page size %d", i, len(p.words), h.pageWords)
+		}
+		if p.prev.Load() != nil {
+			return fmt.Errorf("vheap: pooled page frame %d still links to a version chain", i)
+		}
+		pooled[p] = true
+	}
 	for pi := range h.slots {
 		p := h.slots[pi].Load()
 		if p.seq > top {
 			return fmt.Errorf("vheap: page %d head version %d is ahead of the newest commit %d", pi, p.seq, top)
 		}
 		oldest := p.seq
-		for q := p.prev.Load(); q != nil; q = q.prev.Load() {
-			if q.seq >= oldest {
+		for q := p; q != nil; q = q.prev.Load() {
+			if pooled[q] {
+				return fmt.Errorf("vheap: page %d version %d is both pooled and reachable — its frame would be overwritten while live",
+					pi, q.seq)
+			}
+			if q != p && q.seq >= oldest {
 				return fmt.Errorf("vheap: page %d version chain is not strictly decreasing (%d then %d)", pi, oldest, q.seq)
 			}
 			oldest = q.seq
@@ -356,22 +445,71 @@ func (d *dirtyPage) mark(off int64) { d.dirty[off>>6] |= 1 << (uint(off) & 63) }
 // marked reports whether word i has been written.
 func (d *dirtyPage) marked(i int) bool { return d.dirty[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-// View is one thread's isolated window onto the heap.
-type View struct {
-	h     *Heap
-	base  atomic.Int64 // committed sequence the view reads at
+// newFrame allocates a dirty-page frame sized for the heap's pages.
+func (h *Heap) newFrame() *dirtyPage {
+	return &dirtyPage{
+		words: make([]int64, h.pageWords),
+		twin:  make([]int64, h.pageWords),
+		dirty: make([]uint64, (h.pageWords+63)/64),
+	}
+}
+
+// mapTables is the original map-backed view layout, kept behind
+// WithMapViews as the differential oracle for the flat page tables.
+type mapTables struct {
 	dirty map[int]*dirtyPage
-	// clean caches pages already resolved at the current base, so reads
-	// against a stale base (a speculating thread that has not re-based
-	// for a while) do not re-walk version chains. Page versions are
-	// immutable and trimming never cuts above a live base, so a cached
-	// resolution stays valid until the base moves.
 	clean map[int]*page
+}
+
+// View is one thread's isolated window onto the heap. Its page tables are
+// dense slices indexed by page number — the software analogue of the flat
+// per-thread page tables the paper's threads read and write through — with
+// a generation stamp validating clean-resolution entries, so re-basing
+// invalidates the whole cache in O(1).
+type View struct {
+	h    *Heap
+	base atomic.Int64 // committed sequence the view reads at
+
+	// dirtyTab[pi] is the private working copy of page pi, nil if the page
+	// is clean. dirtyIdx lists the dirty page numbers in first-write order
+	// (the deterministic iteration order for commits and snapshots).
+	dirtyTab []*dirtyPage
+	dirtyIdx []int
+
+	// cleanTab caches pages already resolved at the current base, so reads
+	// against a stale base (a speculating thread that has not re-based for
+	// a while) do not re-walk version chains. An entry is valid only while
+	// cleanGen[pi] == gen; moving the base bumps gen instead of clearing
+	// the table. Page versions are immutable and trimming never cuts above
+	// a live base, so a cached resolution stays valid until the base moves.
+	cleanTab []*page
+	cleanGen []uint64
+	gen      uint64
+
+	// free is the view's dirty-page frame pool: frames released by
+	// Commit/Revert, reused by the next first-write. Thread-local, so hit
+	// and miss counts stay deterministic (unlike a sync.Pool's).
+	free      []*dirtyPage
+	frameHits int64 // flushed into heap totals (and telemetry) at Commit
+	frameMiss int64
+	closed    bool // Close happened; further Closes are no-ops
+
+	// mt, when non-nil, holds the original map-backed tables and the view
+	// ignores the flat tables entirely (WithMapViews oracle).
+	mt *mapTables
 }
 
 // NewView creates a view based on the newest committed state.
 func (h *Heap) NewView() *View {
-	v := &View{h: h, dirty: make(map[int]*dirtyPage), clean: make(map[int]*page)}
+	v := &View{h: h}
+	if h.mapViews {
+		v.mt = &mapTables{dirty: make(map[int]*dirtyPage), clean: make(map[int]*page)}
+	} else {
+		v.dirtyTab = make([]*dirtyPage, h.npages)
+		v.cleanTab = make([]*page, h.npages)
+		v.cleanGen = make([]uint64, h.npages)
+		v.gen = 1 // so zero-valued cleanGen entries are invalid
+	}
 	h.mu.Lock()
 	v.base.Store(h.seq.Load())
 	h.views[v] = struct{}{}
@@ -380,11 +518,17 @@ func (h *Heap) NewView() *View {
 	return v
 }
 
-// Close unregisters the view so its base no longer pins old versions.
+// Close unregisters the view so its base no longer pins old versions. It is
+// idempotent: a second Close is a no-op, so an engine tearing down shared
+// thread state twice cannot invalidate the trim-floor cache spuriously or
+// unregister a recreated view by aliasing.
 func (v *View) Close() {
 	v.h.mu.Lock()
-	delete(v.h.views, v)
-	v.h.floorValid.Store(false)
+	if !v.closed {
+		v.closed = true
+		delete(v.h.views, v)
+		v.h.floorValid.Store(false)
+	}
 	v.h.mu.Unlock()
 }
 
@@ -392,16 +536,27 @@ func (v *View) Close() {
 func (v *View) BaseSeq() int64 { return v.base.Load() }
 
 // DirtyPages returns the number of privately modified pages.
-func (v *View) DirtyPages() int { return len(v.dirty) }
+func (v *View) DirtyPages() int {
+	if v.mt != nil {
+		return len(v.mt.dirty)
+	}
+	return len(v.dirtyIdx)
+}
 
 // DirtyWords returns the number of words that differ from the twins — the
 // "change set size" reported in the paper's Figure 12. Silent stores (marked
 // but equal to the twin) do not count, under either commit path.
 func (v *View) DirtyWords() int {
 	n := 0
-	//lazydet:nondeterministic order-independent sum over the dirty-page set
-	for _, d := range v.dirty {
-		n += diffWords(d)
+	if v.mt != nil {
+		//lazydet:nondeterministic order-independent sum over the dirty-page set
+		for _, d := range v.mt.dirty {
+			n += diffWords(d)
+		}
+		return n
+	}
+	for _, pi := range v.dirtyIdx {
+		n += diffWords(v.dirtyTab[pi])
 	}
 	return n
 }
@@ -429,26 +584,168 @@ func diffWords(d *dirtyPage) int {
 // view's owning thread, before Commit clears the dirty set. Used by the
 // invariant checker.
 func (v *View) AuditDirty() error {
-	//lazydet:nondeterministic order-independent audit: every page is checked, the first offender differs only in the error text
-	for pi, d := range v.dirty {
-		for i := range d.words {
-			if d.words[i] != d.twin[i] && !d.marked(i) {
-				return fmt.Errorf("vheap: page %d word %d differs from its twin (%d vs %d) but is not marked dirty — the bitmap commit would drop this write",
-					pi, i, d.words[i], d.twin[i])
+	if v.mt != nil {
+		//lazydet:nondeterministic order-independent audit: every page is checked, the first offender differs only in the error text
+		for pi, d := range v.mt.dirty {
+			if err := auditDirtyPage(pi, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, pi := range v.dirtyIdx {
+		if err := auditDirtyPage(pi, v.dirtyTab[pi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditDirtyPage checks one page's bitmap against its twin diff.
+func auditDirtyPage(pi int, d *dirtyPage) error {
+	for i := range d.words {
+		if d.words[i] != d.twin[i] && !d.marked(i) {
+			return fmt.Errorf("vheap: page %d word %d differs from its twin (%d vs %d) but is not marked dirty — the bitmap commit would drop this write",
+				pi, i, d.words[i], d.twin[i])
+		}
+	}
+	return nil
+}
+
+// AuditTables verifies the flat page tables and frame pool: dirtyIdx and
+// dirtyTab must agree exactly (every listed page has a frame, every frame is
+// listed once), clean-cache entries stamped with the current generation must
+// equal a fresh version-chain resolution at the view's base, and pooled
+// frames must be page-sized with cleared bitmaps and must not alias a live
+// dirty frame. Returns nil for map-backed views, which have no tables or
+// pools to audit. Used by the invariant checker at every publication.
+func (v *View) AuditTables() error {
+	if v.mt != nil {
+		return nil
+	}
+	if len(v.dirtyTab) != v.h.npages || len(v.cleanTab) != v.h.npages || len(v.cleanGen) != v.h.npages {
+		return fmt.Errorf("vheap: page tables sized %d/%d/%d, want the heap's %d pages",
+			len(v.dirtyTab), len(v.cleanTab), len(v.cleanGen), v.h.npages)
+	}
+	listed := make(map[int]bool, len(v.dirtyIdx))
+	live := make(map[*dirtyPage]bool, len(v.dirtyIdx))
+	for _, pi := range v.dirtyIdx {
+		if pi < 0 || pi >= v.h.npages {
+			return fmt.Errorf("vheap: dirty index lists page %d outside the heap's %d pages", pi, v.h.npages)
+		}
+		if listed[pi] {
+			return fmt.Errorf("vheap: dirty index lists page %d twice", pi)
+		}
+		listed[pi] = true
+		d := v.dirtyTab[pi]
+		if d == nil {
+			return fmt.Errorf("vheap: dirty index lists page %d but its table entry is nil", pi)
+		}
+		live[d] = true
+	}
+	dirty := 0
+	for pi, d := range v.dirtyTab {
+		if d == nil {
+			continue
+		}
+		dirty++
+		if !listed[pi] {
+			return fmt.Errorf("vheap: page %d has a dirty frame but is missing from the dirty index — commit would drop it", pi)
+		}
+	}
+	if dirty != len(v.dirtyIdx) {
+		return fmt.Errorf("vheap: %d dirty frames but %d dirty index entries", dirty, len(v.dirtyIdx))
+	}
+	base := v.base.Load()
+	for pi, g := range v.cleanGen {
+		if g > v.gen {
+			return fmt.Errorf("vheap: page %d clean stamp %d is ahead of the view generation %d", pi, g, v.gen)
+		}
+		if g != v.gen {
+			continue
+		}
+		p := v.cleanTab[pi]
+		if p == nil {
+			return fmt.Errorf("vheap: page %d clean stamp is current but the cached resolution is nil", pi)
+		}
+		if p != v.h.pageAt(pi, base) {
+			return fmt.Errorf("vheap: page %d cached clean resolution (seq %d) is stale for base %d — generation stamping failed to invalidate it",
+				pi, p.seq, base)
+		}
+	}
+	for i, d := range v.free {
+		if d == nil {
+			return fmt.Errorf("vheap: frame pool entry %d is nil", i)
+		}
+		if live[d] {
+			return fmt.Errorf("vheap: frame pool entry %d aliases a live dirty frame — its contents would be overwritten under the view", i)
+		}
+		if len(d.words) != v.h.pageWords || len(d.twin) != v.h.pageWords || len(d.dirty) != (v.h.pageWords+63)/64 {
+			return fmt.Errorf("vheap: frame pool entry %d sized %d/%d/%d, want %d-word pages",
+				i, len(d.words), len(d.twin), len(d.dirty), v.h.pageWords)
+		}
+		for bi, mask := range d.dirty {
+			if mask != 0 {
+				return fmt.Errorf("vheap: frame pool entry %d has residual dirty bits (word group %d) — a recycled frame must start clean", i, bi)
 			}
 		}
 	}
 	return nil
 }
 
+// frame takes a dirty-page frame from the view's free list, or allocates
+// one. Recycled frames have cleared bitmaps (releaseFrame's contract); words
+// and twin are fully overwritten by the caller.
+func (v *View) frame() *dirtyPage {
+	if n := len(v.free); n > 0 {
+		d := v.free[n-1]
+		v.free[n-1] = nil
+		v.free = v.free[:n-1]
+		v.frameHits++
+		return d
+	}
+	v.frameMiss++
+	return v.h.newFrame()
+}
+
+// releaseFrame returns a frame to the free list with its bitmap cleared.
+func (v *View) releaseFrame(d *dirtyPage) {
+	clear(d.dirty)
+	v.free = append(v.free, d)
+}
+
+// clearDirty recycles every dirty frame and empties the dirty index.
+func (v *View) clearDirty() {
+	for _, pi := range v.dirtyIdx {
+		v.releaseFrame(v.dirtyTab[pi])
+		v.dirtyTab[pi] = nil
+	}
+	v.dirtyIdx = v.dirtyIdx[:0]
+}
+
+// invalidateClean discards every cached clean resolution in O(1) by bumping
+// the generation stamp.
+func (v *View) invalidateClean() { v.gen++ }
+
 // resolve returns the committed page for pi at the view's base, caching the
-// resolution.
+// resolution under the current generation.
 func (v *View) resolve(pi int) *page {
-	if p, ok := v.clean[pi]; ok {
+	if v.cleanGen[pi] == v.gen {
+		return v.cleanTab[pi]
+	}
+	p := v.h.pageAt(pi, v.base.Load())
+	v.cleanTab[pi] = p
+	v.cleanGen[pi] = v.gen
+	return p
+}
+
+// resolveMap is resolve for the map-backed oracle.
+func (v *View) resolveMap(pi int) *page {
+	if p, ok := v.mt.clean[pi]; ok {
 		return p
 	}
 	p := v.h.pageAt(pi, v.base.Load())
-	v.clean[pi] = p
+	v.mt.clean[pi] = p
 	return p
 }
 
@@ -456,27 +753,47 @@ func (v *View) resolve(pi int) *page {
 // otherwise the newest committed version no newer than the base.
 func (v *View) Load(addr int64) int64 {
 	pi := int(addr >> v.h.pageShift)
-	if d, ok := v.dirty[pi]; ok {
-		return d.words[addr&v.h.pageMask]
+	off := addr & v.h.pageMask
+	if v.mt != nil {
+		if d, ok := v.mt.dirty[pi]; ok {
+			return d.words[off]
+		}
+		return v.resolveMap(pi).words[off]
 	}
-	return v.resolve(pi).words[addr&v.h.pageMask]
+	if d := v.dirtyTab[pi]; d != nil {
+		return d.words[off]
+	}
+	return v.resolve(pi).words[off]
 }
 
 // Store writes addr privately, creating a working copy, twin and dirty
-// bitmap on the first write to a page, and marking the written word.
+// bitmap on the first write to a page, and marking the written word. Flat
+// views draw the frame from the view's free list.
 func (v *View) Store(addr, val int64) {
 	pi := int(addr >> v.h.pageShift)
-	d, ok := v.dirty[pi]
-	if !ok {
-		base := v.resolve(pi)
-		w := make([]int64, v.h.pageWords)
-		copy(w, base.words)
-		t := make([]int64, v.h.pageWords)
-		copy(t, base.words)
-		d = &dirtyPage{words: w, twin: t, dirty: make([]uint64, (v.h.pageWords+63)/64)}
-		v.dirty[pi] = d
-	}
 	off := addr & v.h.pageMask
+	if v.mt != nil {
+		d, ok := v.mt.dirty[pi]
+		if !ok {
+			base := v.resolveMap(pi)
+			d = v.h.newFrame()
+			copy(d.words, base.words)
+			copy(d.twin, base.words)
+			v.mt.dirty[pi] = d
+		}
+		d.words[off] = val
+		d.mark(off)
+		return
+	}
+	d := v.dirtyTab[pi]
+	if d == nil {
+		base := v.resolve(pi)
+		d = v.frame()
+		copy(d.words, base.words)
+		copy(d.twin, base.words)
+		v.dirtyTab[pi] = d
+		v.dirtyIdx = append(v.dirtyIdx, pi)
+	}
 	d.words[off] = val
 	d.mark(off)
 }
@@ -490,9 +807,77 @@ func (v *View) StoreDirty(addr, val int64) {
 	v.Store(addr, val)
 	pi := int(addr >> v.h.pageShift)
 	off := addr & v.h.pageMask
-	if d := v.dirty[pi]; d.twin[off] == val {
+	var d *dirtyPage
+	if v.mt != nil {
+		d = v.mt.dirty[pi]
+	} else {
+		d = v.dirtyTab[pi]
+	}
+	if d.twin[off] == val {
 		d.twin[off] = ^val
 	}
+}
+
+// newPageLocked takes a published-page frame from the heap pool (refilled by
+// chain trimming) or allocates one, counting the outcome into hits/misses.
+// Caller holds h.mu; the returned frame's words are overwritten by the
+// caller before publication.
+func (h *Heap) newPageLocked(seq int64, hits, misses *int64) *page {
+	if n := len(h.pagePool); n > 0 {
+		p := h.pagePool[n-1]
+		h.pagePool[n-1] = nil
+		h.pagePool = h.pagePool[:n-1]
+		p.seq = seq
+		p.prev.Store(nil)
+		*hits++
+		return p
+	}
+	*misses++
+	return &page{seq: seq, words: make([]int64, h.pageWords)}
+}
+
+// commitPage merges one dirty page onto its head version and publishes the
+// result, returning the number of merged words (0 means every store was
+// silent and nothing was published). Caller holds h.mu.
+func (h *Heap) commitPage(pi int, d *dirtyPage, newSeq int64, scanned, pageHits, pageMisses *int64) int {
+	head := h.slots[pi].Load()
+	var merged *page
+	n := 0
+	if h.legacyDiff {
+		*scanned += int64(len(d.words))
+		for i, w := range d.words {
+			if w != d.twin[i] {
+				if merged == nil {
+					merged = h.newPageLocked(newSeq, pageHits, pageMisses)
+					copy(merged.words, head.words)
+				}
+				merged.words[i] = w
+				n++
+			}
+		}
+	} else {
+		for bi, mask := range d.dirty {
+			for mask != 0 {
+				i := bi<<6 + bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				*scanned++
+				if d.words[i] != d.twin[i] {
+					if merged == nil {
+						merged = h.newPageLocked(newSeq, pageHits, pageMisses)
+						copy(merged.words, head.words)
+					}
+					merged.words[i] = d.words[i]
+					n++
+				}
+			}
+		}
+	}
+	if merged == nil {
+		return 0 // page dirtied but all stores were silent
+	}
+	merged.prev.Store(head)
+	h.slots[pi].Store(merged)
+	return n
 }
 
 // Commit publishes the view's modifications: for every dirty page, the words
@@ -500,8 +885,9 @@ func (v *View) StoreDirty(addr, val int64) {
 // new page version is linked in. Under dirty tracking (the default) only the
 // bitmap's marked words are examined; under WithLegacyDiffCommit every word
 // of the page is. The view is re-based on the new committed state and its
-// dirty set cleared. Returns the new sequence number and the number of words
-// merged.
+// dirty set cleared — flat views recycle their frames, and trimmed-off page
+// versions refill the heap's published-page pool. Returns the new sequence
+// number and the number of words merged.
 //
 // Callers must serialize commits deterministically (all engines here commit
 // while holding the turn); the heap mutex only protects the data structures.
@@ -522,77 +908,87 @@ func (v *View) Commit() (seq int64, changed int) {
 	}
 	scanned := int64(0)
 	pages := int64(0)
-	//lazydet:nondeterministic pages publish independently into per-page slots; commit order within one commit is unobservable
-	for pi, d := range v.dirty {
-		head := h.slots[pi].Load()
-		var merged []int64
-		n := 0
-		if h.legacyDiff {
-			scanned += int64(len(d.words))
-			for i, w := range d.words {
-				if w != d.twin[i] {
-					if merged == nil {
-						merged = make([]int64, h.pageWords)
-						copy(merged, head.words)
-					}
-					merged[i] = w
-					n++
-				}
+	var pageHits, pageMisses int64
+	if v.mt != nil {
+		//lazydet:nondeterministic pages publish independently into per-page slots; commit order within one commit is unobservable
+		for pi, d := range v.mt.dirty {
+			n := h.commitPage(pi, d, newSeq, &scanned, &pageHits, &pageMisses)
+			if n == 0 {
+				continue
 			}
-		} else {
-			for bi, mask := range d.dirty {
-				for mask != 0 {
-					i := bi<<6 + bits.TrailingZeros64(mask)
-					mask &= mask - 1
-					scanned++
-					if d.words[i] != d.twin[i] {
-						if merged == nil {
-							merged = make([]int64, h.pageWords)
-							copy(merged, head.words)
-						}
-						merged[i] = d.words[i]
-						n++
-					}
-				}
+			pages++
+			changed += n
+			if h.trim {
+				h.trimChainLocked(h.slots[pi].Load(), floor)
 			}
 		}
-		if merged == nil {
-			continue // page dirtied but all stores were silent
-		}
-		np := &page{seq: newSeq, words: merged}
-		np.prev.Store(head)
-		h.slots[pi].Store(np)
-		h.pagesWritten.Add(1)
-		h.wordsMerged.Add(int64(n))
-		pages++
-		changed += n
-		if h.trim {
-			trimChain(np, floor)
+	} else {
+		for _, pi := range v.dirtyIdx {
+			n := h.commitPage(pi, v.dirtyTab[pi], newSeq, &scanned, &pageHits, &pageMisses)
+			if n == 0 {
+				continue
+			}
+			pages++
+			changed += n
+			if h.trim {
+				h.trimChainLocked(h.slots[pi].Load(), floor)
+			}
 		}
 	}
 	h.seq.Store(newSeq)
 	h.commits.Add(1)
+	h.pagesWritten.Add(pages)
+	h.wordsMerged.Add(int64(changed))
 	h.wordsScanned.Add(scanned)
 	h.mu.Unlock()
+	frameHits, frameMiss := v.frameHits, v.frameMiss
+	if frameHits != 0 || frameMiss != 0 {
+		h.frameHits.Add(frameHits)
+		h.frameMisses.Add(frameMiss)
+		v.frameHits, v.frameMiss = 0, 0
+	}
+	if pageHits != 0 || pageMisses != 0 {
+		h.pageHits.Add(pageHits)
+		h.pageMisses.Add(pageMisses)
+	}
 	if h.tel != nil {
 		h.tel.Count("vheap.commits", 1)
 		h.tel.Count("vheap.pages_committed", pages)
 		h.tel.Count("vheap.words_committed", int64(changed))
 		h.tel.Count("vheap.words_scanned", scanned)
 		h.tel.Observe("vheap.commit_words", int64(changed))
+		if frameHits != 0 {
+			h.tel.Count("vheap.frame_pool_hits", frameHits)
+		}
+		if frameMiss != 0 {
+			h.tel.Count("vheap.frame_pool_misses", frameMiss)
+		}
+		if pageHits != 0 {
+			h.tel.Count("vheap.page_pool_hits", pageHits)
+		}
+		if pageMisses != 0 {
+			h.tel.Count("vheap.page_pool_misses", pageMisses)
+		}
 	}
 	v.base.Store(newSeq)
 	h.noteRebase(oldBase)
-	clear(v.dirty)
-	clear(v.clean)
+	if v.mt != nil {
+		clear(v.mt.dirty)
+		clear(v.mt.clean)
+	} else {
+		v.clearDirty()
+		v.invalidateClean()
+	}
 	return newSeq, changed
 }
 
-// trimChain cuts the version chain below the newest version whose seq is
-// <= floor: no live view can need anything older. Readers concurrently
+// trimChainLocked cuts the version chain below the newest version whose seq
+// is <= floor: no live view can need anything older. Readers concurrently
 // walking the chain hold bases >= floor, so they never traverse past the new
-// terminal node.
-func trimChain(head *page, floor int64) {
+// terminal node — which is what makes the cut-off tail unreachable and its
+// frames safe to recycle into the page pool (the shared zero page excepted:
+// it can sit in many chains at once). Caller holds h.mu.
+func (h *Heap) trimChainLocked(head *page, floor int64) {
 	p := head
 	for p.seq > floor {
 		prev := p.prev.Load()
@@ -601,20 +997,37 @@ func trimChain(head *page, floor int64) {
 		}
 		p = prev
 	}
-	// p is the newest version <= floor; it becomes the terminal node.
+	// p is the newest version <= floor; it becomes the terminal node, and
+	// everything below it is unreachable from this chain.
+	tail := p.prev.Load()
 	p.prev.Store(nil)
+	if h.mapViews {
+		return // the oracle keeps the original non-pooling behavior
+	}
+	for q := tail; q != nil; {
+		next := q.prev.Load()
+		q.prev.Store(nil)
+		if q != h.zero {
+			h.pagePool = append(h.pagePool, q)
+		}
+		q = next
+	}
 }
 
 // Update re-bases the view on the newest committed state. The dirty set must
 // be empty (engines always commit or revert before updating).
 func (v *View) Update() {
-	if len(v.dirty) != 0 {
+	if v.DirtyPages() != 0 {
 		panic("vheap: Update with non-empty dirty set")
 	}
 	oldBase := v.base.Load()
 	v.base.Store(v.h.seq.Load())
 	v.h.noteRebase(oldBase)
-	clear(v.clean)
+	if v.mt != nil {
+		clear(v.mt.clean)
+	} else {
+		v.invalidateClean()
+	}
 }
 
 // UpdateTo re-bases the view on a specific committed sequence, used when a
@@ -622,7 +1035,7 @@ func (v *View) Update() {
 // releases, thread spawns): re-basing on "newest" at wake time would depend
 // on wall-clock timing and break determinism.
 func (v *View) UpdateTo(seq int64) {
-	if len(v.dirty) != 0 {
+	if v.DirtyPages() != 0 {
 		panic("vheap: UpdateTo with non-empty dirty set")
 	}
 	cur := v.base.Load()
@@ -631,7 +1044,11 @@ func (v *View) UpdateTo(seq int64) {
 	}
 	v.base.Store(seq)
 	v.h.noteRebase(cur)
-	clear(v.clean)
+	if v.mt != nil {
+		clear(v.mt.clean)
+	} else {
+		v.invalidateClean()
+	}
 }
 
 // Revert discards all private modifications and re-bases the view on the
@@ -639,43 +1056,90 @@ func (v *View) UpdateTo(seq int64) {
 // It returns the number of discarded (non-silent) dirty words.
 func (v *View) Revert() (discarded int) {
 	discarded = v.DirtyWords()
-	clear(v.dirty)
 	oldBase := v.base.Load()
 	v.base.Store(v.h.seq.Load())
 	v.h.noteRebase(oldBase)
-	clear(v.clean)
+	if v.mt != nil {
+		clear(v.mt.dirty)
+		clear(v.mt.clean)
+	} else {
+		v.clearDirty()
+		v.invalidateClean()
+	}
 	return discarded
 }
 
 // DirtySnapshot is a deep copy of a view's private modifications, taken when
 // a speculation run begins so that a revert can restore the thread's
 // pre-speculation writes (which were made before the run and must survive
-// its failure).
+// its failure). Snapshots are reusable: SnapshotDirtyInto recycles the
+// snapshot's frames across speculation runs, so steady-state BEGINs
+// allocate nothing.
 type DirtySnapshot struct {
-	pages map[int]*dirtyPage
+	pis   []int
+	pages []*dirtyPage // deep copies, parallel to pis
+	spare []*dirtyPage // retained frames not used by the current contents
 	words int
 }
 
 // Words returns the number of non-silent dirty words in the snapshot.
 func (s *DirtySnapshot) Words() int { return s.words }
 
-// copyDirtyPage deep-copies one dirty page, bitmap included.
-func copyDirtyPage(d *dirtyPage) *dirtyPage {
-	w := make([]int64, len(d.words))
-	copy(w, d.words)
-	tw := make([]int64, len(d.twin))
-	copy(tw, d.twin)
-	db := make([]uint64, len(d.dirty))
-	copy(db, d.dirty)
-	return &dirtyPage{words: w, twin: tw, dirty: db}
+// frame takes a snapshot-owned frame from the spare list or allocates one.
+func (s *DirtySnapshot) frame(h *Heap) *dirtyPage {
+	if n := len(s.spare); n > 0 {
+		d := s.spare[n-1]
+		s.spare[n-1] = nil
+		s.spare = s.spare[:n-1]
+		return d
+	}
+	return h.newFrame()
 }
 
-// SnapshotDirty deep-copies the view's dirty set.
-func (v *View) SnapshotDirty() *DirtySnapshot {
-	s := &DirtySnapshot{pages: make(map[int]*dirtyPage, len(v.dirty))}
-	//lazydet:nondeterministic order-independent deep copy into a map
-	for pi, d := range v.dirty {
-		s.pages[pi] = copyDirtyPage(d)
+// copyInto deep-copies src over dst, bitmap included.
+func copyInto(dst, src *dirtyPage) {
+	copy(dst.words, src.words)
+	copy(dst.twin, src.twin)
+	copy(dst.dirty, src.dirty)
+}
+
+// SnapshotDirty deep-copies the view's dirty set into a fresh snapshot.
+func (v *View) SnapshotDirty() *DirtySnapshot { return v.SnapshotDirtyInto(nil) }
+
+// SnapshotDirtyInto deep-copies the view's dirty set into s, reusing its
+// page frames and slices; a nil s allocates a fresh snapshot. The returned
+// snapshot is s (or the fresh one). Frames the previous contents used but
+// the new contents do not are retained on the snapshot's spare list, so
+// alternating between large and small dirty sets still reaches a
+// steady state with no allocation.
+func (v *View) SnapshotDirtyInto(s *DirtySnapshot) *DirtySnapshot {
+	if s == nil {
+		s = new(DirtySnapshot)
+	}
+	s.spare = append(s.spare, s.pages...)
+	for i := range s.pages {
+		s.pages[i] = nil
+	}
+	s.pages = s.pages[:0]
+	s.pis = s.pis[:0]
+	s.words = 0
+	if v.mt != nil {
+		//lazydet:nondeterministic order-independent deep copy; the snapshot order only decides which recycled frame holds which page, and RevertTo reinstates by page number
+		for pi, d := range v.mt.dirty {
+			dst := s.frame(v.h)
+			copyInto(dst, d)
+			s.pis = append(s.pis, pi)
+			s.pages = append(s.pages, dst)
+			s.words += diffWords(d)
+		}
+		return s
+	}
+	for _, pi := range v.dirtyIdx {
+		d := v.dirtyTab[pi]
+		dst := s.frame(v.h)
+		copyInto(dst, d)
+		s.pis = append(s.pis, pi)
+		s.pages = append(s.pages, dst)
 		s.words += diffWords(d)
 	}
 	return s
@@ -691,10 +1155,22 @@ func (v *View) RevertTo(s *DirtySnapshot) (discarded int) {
 	if discarded < 0 {
 		discarded = 0
 	}
-	v.dirty = make(map[int]*dirtyPage, len(s.pages))
-	//lazydet:nondeterministic order-independent deep copy into a map
-	for pi, d := range s.pages {
-		v.dirty[pi] = copyDirtyPage(d)
+	if v.mt != nil {
+		v.mt.dirty = make(map[int]*dirtyPage, len(s.pis))
+		for i, pi := range s.pis {
+			src := s.pages[i]
+			d := v.h.newFrame()
+			copyInto(d, src)
+			v.mt.dirty[pi] = d
+		}
+		return discarded
+	}
+	v.clearDirty()
+	for i, pi := range s.pis {
+		d := v.frame()
+		copyInto(d, s.pages[i])
+		v.dirtyTab[pi] = d
+		v.dirtyIdx = append(v.dirtyIdx, pi)
 	}
 	return discarded
 }

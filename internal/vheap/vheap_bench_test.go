@@ -81,6 +81,9 @@ func BenchmarkCommitDirtyFraction(b *testing.B) {
 			}{
 				{"bitmap", nil},
 				{"legacy", []Option{WithLegacyDiffCommit()}},
+				// The map-backed oracle also shows what the flat tables and
+				// pools save: compare its allocs/op against bitmap's.
+				{"mapviews", []Option{WithMapViews()}},
 			} {
 				name := fmt.Sprintf("page%d/%s/%s", pageWords, frac.name, path.name)
 				b.Run(name, func(b *testing.B) {
@@ -115,6 +118,23 @@ func BenchmarkSnapshotAndRevert(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		v.Store(int64(i)&0xffff, int64(i)|1)
 		snap := v.SnapshotDirty()
+		v.Store(int64(i+7)&0xffff, int64(i))
+		v.RevertTo(snap)
+		v.Revert()
+	}
+}
+
+// BenchmarkSnapshotIntoAndRevert is BenchmarkSnapshotAndRevert on the
+// buffer-reusing path the speculation engine drives: after warm-up the
+// whole begin/revert cycle must run allocation-free.
+func BenchmarkSnapshotIntoAndRevert(b *testing.B) {
+	h := New(1 << 16)
+	v := h.NewView()
+	var snap *DirtySnapshot
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Store(int64(i)&0xffff, int64(i)|1)
+		snap = v.SnapshotDirtyInto(snap)
 		v.Store(int64(i+7)&0xffff, int64(i))
 		v.RevertTo(snap)
 		v.Revert()

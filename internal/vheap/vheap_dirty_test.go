@@ -113,7 +113,7 @@ func TestAuditDirtyCatchesUnmarkedWord(t *testing.T) {
 	if err := v.AuditDirty(); err != nil {
 		t.Fatalf("clean dirty set audited dirty: %v", err)
 	}
-	d := v.dirty[0]
+	d := v.dirtyTab[0]
 	d.dirty[0] = 0 // word 3 differs from its twin but is no longer marked
 	if err := v.AuditDirty(); err == nil {
 		t.Fatal("unmarked modified word not caught by AuditDirty")

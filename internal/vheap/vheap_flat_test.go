@@ -1,0 +1,289 @@
+package vheap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// This file tests the flat per-view page tables, the generation-stamped
+// clean cache, and the frame/page pools against the map-backed view layout
+// they replaced (kept behind WithMapViews as the differential oracle): the
+// two must publish byte-identical heaps, identical commit results and dirty
+// counts, and the pooled fast path must reach an allocation-free steady
+// state.
+
+// TestQuickFlatMatchesMapViews drives a flat-table heap and a map-backed
+// heap through identical operation sequences, checking every observable
+// after every operation: Load results, dirty counts, commit sequence and
+// changed-word returns, revert discard counts, and the final heap hash and
+// statistics must all agree — the flat tables may only change how pages are
+// found, never which.
+func TestQuickFlatMatchesMapViews(t *testing.T) {
+	f := func(seed uint64) bool {
+		const words = 256
+		h1 := New(words, WithPageWords(32))
+		h2 := New(words, WithPageWords(32), WithMapViews())
+		v1 := h1.NewView()
+		v2 := h2.NewView()
+		var s1, s2 *DirtySnapshot
+		r := seed
+		next := func() uint64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return r
+		}
+		for i := 0; i < 300; i++ {
+			op := next() >> 60
+			addr := int64(next()>>32) % words
+			val := int64(next() >> 40)
+			switch {
+			case op < 8:
+				v1.Store(addr, val)
+				v2.Store(addr, val)
+			case op < 10:
+				v1.StoreDirty(addr, val)
+				v2.StoreDirty(addr, val)
+			case op < 12:
+				seq1, ch1 := v1.Commit()
+				seq2, ch2 := v2.Commit()
+				if seq1 != seq2 || ch1 != ch2 {
+					t.Logf("seed %d op %d: commit (%d,%d) flat vs (%d,%d) map", seed, i, seq1, ch1, seq2, ch2)
+					return false
+				}
+			case op < 13:
+				d1 := v1.Revert()
+				d2 := v2.Revert()
+				if d1 != d2 {
+					t.Logf("seed %d op %d: revert discarded %d flat vs %d map", seed, i, d1, d2)
+					return false
+				}
+			default:
+				s1 = v1.SnapshotDirtyInto(s1)
+				s2 = v2.SnapshotDirtyInto(s2)
+				if s1.Words() != s2.Words() {
+					t.Logf("seed %d op %d: snapshot %d words flat vs %d map", seed, i, s1.Words(), s2.Words())
+					return false
+				}
+				v1.Store((addr+1)%words, val+1)
+				v2.Store((addr+1)%words, val+1)
+				d1 := v1.RevertTo(s1)
+				d2 := v2.RevertTo(s2)
+				if d1 != d2 {
+					t.Logf("seed %d op %d: RevertTo discarded %d flat vs %d map", seed, i, d1, d2)
+					return false
+				}
+			}
+			if v1.Load(addr) != v2.Load(addr) {
+				t.Logf("seed %d op %d: Load(%d) = %d flat vs %d map", seed, i, addr, v1.Load(addr), v2.Load(addr))
+				return false
+			}
+			if v1.DirtyPages() != v2.DirtyPages() || v1.DirtyWords() != v2.DirtyWords() {
+				t.Logf("seed %d op %d: dirty (%d pages, %d words) flat vs (%d, %d) map",
+					seed, i, v1.DirtyPages(), v1.DirtyWords(), v2.DirtyPages(), v2.DirtyWords())
+				return false
+			}
+			if err := v1.AuditTables(); err != nil {
+				t.Logf("seed %d op %d: flat tables audit: %v", seed, i, err)
+				return false
+			}
+		}
+		v1.Commit()
+		v2.Commit()
+		if h1.Hash() != h2.Hash() {
+			t.Logf("seed %d: flat heap hash %x != map heap hash %x", seed, h1.Hash(), h2.Hash())
+			return false
+		}
+		st1, st2 := h1.Stats(), h2.Stats()
+		if st1.Commits != st2.Commits || st1.Pages != st2.Pages ||
+			st1.Words != st2.Words || st1.WordsScanned != st2.WordsScanned {
+			t.Logf("seed %d: stats diverge: flat (%d,%d,%d,%d) vs map (%d,%d,%d,%d)",
+				seed, st1.Commits, st1.Pages, st1.Words, st1.WordsScanned,
+				st2.Commits, st2.Pages, st2.Words, st2.WordsScanned)
+			return false
+		}
+		if err := h1.Audit(); err != nil {
+			t.Logf("seed %d: flat heap audit: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseIdempotent is the double-free regression test: closing a view
+// twice must be a no-op the second time — it must not unregister an aliased
+// later view or spuriously invalidate the trim-floor cache — and the heap
+// must audit clean afterwards.
+func TestCloseIdempotent(t *testing.T) {
+	h := New(32, WithPageWords(32))
+	v := h.NewView()
+	w := h.NewView()
+	w.Store(0, 1)
+	w.Commit()
+	v.Close()
+	v.Close() // second close: must be a no-op
+	w.Store(0, 2)
+	w.Commit()
+	if err := h.Audit(); err != nil {
+		t.Fatalf("audit after double close: %v", err)
+	}
+	if got := h.ReadCommitted(0); got != 2 {
+		t.Fatalf("word 0 = %d, want 2", got)
+	}
+	// The trim floor must reflect only the surviving view: after its
+	// commits, old versions pinned by nothing must have been trimmed.
+	if got := h.LiveVersions(); got > 2 {
+		t.Fatalf("%d versions survive after the pinning view closed twice, want <= 2", got)
+	}
+	w.Close()
+	w.Close()
+	if err := h.Audit(); err != nil {
+		t.Fatalf("audit after closing every view twice: %v", err)
+	}
+}
+
+// TestAuditTablesCatchesCorruption corrupts each flat-table invariant in
+// turn and checks AuditTables reports it: a frame missing from the dirty
+// index, a stale clean-cache stamp, and a pooled frame with residual dirty
+// bits.
+func TestAuditTablesCatchesCorruption(t *testing.T) {
+	fresh := func() (*Heap, *View) {
+		h := New(128, WithPageWords(32))
+		v := h.NewView()
+		v.Store(0, 1)
+		v.Load(40) // populate the clean cache for page 1
+		if err := v.AuditTables(); err != nil {
+			t.Fatalf("fresh view audited dirty: %v", err)
+		}
+		return h, v
+	}
+
+	h, v := fresh()
+	v.dirtyTab[2] = h.newFrame() // frame not listed in dirtyIdx
+	if err := v.AuditTables(); err == nil {
+		t.Fatal("unlisted dirty frame not caught")
+	}
+
+	_, v = fresh()
+	v.dirtyIdx = append(v.dirtyIdx, 3) // listed page without a frame
+	if err := v.AuditTables(); err == nil {
+		t.Fatal("dirty index entry without a frame not caught")
+	}
+
+	_, v = fresh()
+	v.cleanTab[1] = &page{seq: 99, words: make([]int64, 32)} // stale cached resolution
+	if err := v.AuditTables(); err == nil {
+		t.Fatal("stale clean-cache resolution not caught")
+	}
+
+	h, v = fresh()
+	d := h.newFrame()
+	d.mark(5) // a recycled frame must start with a clear bitmap
+	v.free = append(v.free, d)
+	if err := v.AuditTables(); err == nil {
+		t.Fatal("pooled frame with residual dirty bits not caught")
+	}
+
+	_, v = fresh()
+	v.free = append(v.free, v.dirtyTab[0]) // pool aliasing a live frame
+	if err := v.AuditTables(); err == nil {
+		t.Fatal("pool entry aliasing a live dirty frame not caught")
+	}
+}
+
+// TestCommitSteadyStateAllocFree is the pooling acceptance criterion as a
+// test: once the frame and page pools are warm, a store+commit sync epoch
+// must allocate nothing — the dirty-page frame comes from the view's free
+// list and the published page version from the trim-refilled heap pool.
+func TestCommitSteadyStateAllocFree(t *testing.T) {
+	h := New(64, WithPageWords(64))
+	v := h.NewView()
+	val := int64(0)
+	epoch := func() {
+		val++
+		v.Store(3, val)
+		v.Commit()
+	}
+	// Warm up: commit 1 publishes over the zero page (nothing trims),
+	// commit 2 cuts the zero page (never pooled), commit 3 refills the
+	// page pool for the first time.
+	for i := 0; i < 5; i++ {
+		epoch()
+	}
+	if allocs := testing.AllocsPerRun(100, epoch); allocs != 0 {
+		t.Fatalf("steady-state store+commit epoch allocates %.1f times, want 0", allocs)
+	}
+	st := h.Stats()
+	if st.FrameHits == 0 || st.PageHits == 0 {
+		t.Fatalf("pools never hit (frame hits %d, page hits %d) — the alloc-free epochs did not come from the pools",
+			st.FrameHits, st.PageHits)
+	}
+	if err := h.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AuditTables(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotIntoSteadyStateAllocFree: a speculation BEGIN's
+// SnapshotDirtyInto and a failed run's RevertTo must also reach an
+// allocation-free steady state, including when the dirty set shrinks (the
+// spare list must retain the unused frames rather than dropping them).
+func TestSnapshotIntoSteadyStateAllocFree(t *testing.T) {
+	h := New(256, WithPageWords(32))
+	v := h.NewView()
+	var s *DirtySnapshot
+	val := int64(0)
+	run := func(pages int) {
+		val++
+		for p := 0; p < pages; p++ {
+			v.Store(int64(p*32), val)
+		}
+		s = v.SnapshotDirtyInto(s)
+		v.Store(33, val+7) // the speculative write the revert discards
+		if d := v.RevertTo(s); d != 1 {
+			t.Fatalf("revert discarded %d words, want 1", d)
+		}
+		if got := v.Load(33); got != 0 {
+			t.Fatalf("speculative write survived the revert: word 33 = %d", got)
+		}
+		v.Revert()
+	}
+	run(6) // warm the frame pool and snapshot buffers at the largest size
+	run(6)
+	for _, pages := range []int{6, 2, 6, 1} {
+		p := pages
+		if allocs := testing.AllocsPerRun(50, func() { run(p) }); allocs != 0 {
+			t.Fatalf("steady-state snapshot/revert with %d dirty pages allocates %.1f times, want 0", p, allocs)
+		}
+	}
+	if err := v.AuditTables(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerationStampInvalidation: after a re-base the clean cache must not
+// serve resolutions cached at the old base, even though the table entries
+// are still physically present (only the generation moved).
+func TestGenerationStampInvalidation(t *testing.T) {
+	h := New(64, WithPageWords(32))
+	reader := h.NewView()
+	writer := h.NewView()
+	if got := reader.Load(5); got != 0 {
+		t.Fatalf("initial word 5 = %d, want 0", got)
+	}
+	writer.Store(5, 42)
+	writer.Commit()
+	if got := reader.Load(5); got != 0 {
+		t.Fatalf("un-rebased reader sees %d, want its base's 0 (isolation broken)", got)
+	}
+	reader.Update()
+	if got := reader.Load(5); got != 42 {
+		t.Fatalf("re-based reader sees %d, want 42 (stale clean cache survived the generation bump)", got)
+	}
+	if err := reader.AuditTables(); err != nil {
+		t.Fatal(err)
+	}
+}
