@@ -57,6 +57,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate table N (1, 2)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	versions := flag.Bool("versions", false, "run the §4.2 version-count experiment")
+	arbsweep := flag.Bool("arbsweep", false, "run the arbiter-cost-vs-threads sweep (tournament tree vs flat scan)")
 	reps := flag.Int("reps", 3, "repetitions per data point (paper: 5)")
 	threads := flag.Int("threads", 0, "override the experiment's thread count")
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
@@ -163,6 +164,7 @@ func main() {
 		add("table 2", experiments.Table2)
 		add("figure 12", experiments.Fig12)
 		add("versions", experiments.Versions)
+		add("arbsweep", experiments.ArbiterSweep)
 	case *fig != 0:
 		f, ok := figs[*fig]
 		if !ok {
@@ -179,6 +181,8 @@ func main() {
 		add(fmt.Sprintf("table %d", *table), f)
 	case *versions:
 		add("versions", experiments.Versions)
+	case *arbsweep:
+		add("arbsweep", experiments.ArbiterSweep)
 	default:
 		flag.Usage()
 		os.Exit(2)

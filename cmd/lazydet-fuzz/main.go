@@ -29,12 +29,18 @@
 // differentially checks the two commit paths against each other. With
 // -mapviews, thread views track pages in Go maps instead of the flat
 // page-number-indexed tables, differentially checking the flat-table fast
-// path the same way.
+// path the same way. -flatarb arbitrates turns with the flat O(threads)
+// scans instead of the tournament tree, and -shards overrides the heap's
+// shard count — and independently of those flags, every seed cross-checks
+// the strong engines against the opposite arbiter and the single-shard
+// heap: traces and final memory must be bit-identical, because grant and
+// publication order are specified by (DLC, tid) alone.
 //
 //	lazydet-fuzz -seeds 100 -threads 4
 //	lazydet-fuzz -seeds 1000 -ops 120 -start 42
 //	lazydet-fuzz -seeds 50 -invariants -legacydiff
 //	lazydet-fuzz -seeds 50 -invariants -mapviews
+//	lazydet-fuzz -seeds 5 -threads 256 -ops 8 -invariants
 package main
 
 import (
@@ -92,6 +98,8 @@ func main() {
 	vet := flag.Bool("vet", true, "cross-check progcheck static verdicts against runtime outcomes")
 	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
 	mapViews := flag.Bool("mapviews", false, "track view pages in maps instead of flat page tables")
+	flatArb := flag.Bool("flatarb", false, "arbitrate turns with flat O(threads) scans instead of the tournament tree")
+	shards := flag.Int("shards", 0, "versioned heap shard count (0 = default, 1 = single-lock oracle)")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -110,7 +118,10 @@ func main() {
 		}
 		ok := true
 		var violations []*invariant.Violation
-		baseOpt := harness.Options{Threads: *threads, LegacyDiffCommit: *legacyDiff, MapViews: *mapViews}
+		baseOpt := harness.Options{
+			Threads: *threads, LegacyDiffCommit: *legacyDiff, MapViews: *mapViews,
+			FlatArbiter: *flatArb, HeapShards: *shards,
+		}
 		if *invariants {
 			baseOpt.CheckInvariants = true
 			baseOpt.OnViolation = func(v *invariant.Violation) { violations = append(violations, v) }
@@ -192,6 +203,35 @@ func main() {
 						seed, va.name, commits, reverts, runs)
 					ok = false
 				}
+			}
+		}
+		// Property 7: arbitration and sharding oracles. The tournament
+		// tree vs the flat scan, and the sharded heap vs the single-lock
+		// layout, must be unobservable: grant order and publication order
+		// are specified by (DLC, tid) alone, so the strong engines must
+		// produce bit-identical traces and final memory either way.
+		for _, eng := range []harness.EngineKind{harness.Consequence, harness.LazyDet} {
+			opt := baseOpt
+			opt.Engine = eng
+			opt.Trace = true
+			ref, err := harness.Run(w, opt)
+			alt := opt
+			alt.FlatArbiter = !opt.FlatArbiter
+			if opt.HeapShards == 1 {
+				alt.HeapShards = 0 // oracle run was requested; compare against default sharding
+			} else {
+				alt.HeapShards = 1
+			}
+			res, err2 := harness.Run(w, alt)
+			if err != nil || err2 != nil {
+				fmt.Printf("seed %d: %s arbiter/shard oracle: %v %v\n", seed, eng, err, err2)
+				ok = false
+				continue
+			}
+			if ref.TraceSig != res.TraceSig || ref.HeapHash != res.HeapHash {
+				fmt.Printf("seed %d: %s DIVERGES from arbiter/shard oracle (trace %x/%x heap %x/%x)\n",
+					seed, eng, ref.TraceSig, res.TraceSig, ref.HeapHash, res.HeapHash)
+				ok = false
 			}
 		}
 		// Property 4: zero invariant violations across all of the above.

@@ -84,6 +84,8 @@ func main() {
 	trace := flag.Bool("trace", false, "record and print determinism fingerprints")
 	legacyDiff := flag.Bool("legacydiff", false, "commit via legacy full-page twin scans instead of dirty-word bitmaps")
 	mapViews := flag.Bool("mapviews", false, "track view pages in maps instead of flat page tables")
+	flatArb := flag.Bool("flatarb", false, "arbitrate turns with flat O(threads) scans instead of the tournament tree")
+	shards := flag.Int("shards", 0, "versioned heap shard count (0 = default, 1 = single-lock oracle)")
 	reportPath := flag.String("report", "", "write a single-run structured JSON run report to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -115,6 +117,8 @@ func main() {
 		CountLocks:       ek == harness.Pthreads,
 		LegacyDiffCommit: *legacyDiff,
 		MapViews:         *mapViews,
+		FlatArbiter:      *flatArb,
+		HeapShards:       *shards,
 		Telemetry:        *reportPath != "",
 	}
 	if *cpuprofile != "" {

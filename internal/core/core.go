@@ -250,6 +250,12 @@ func New(cfg Config, d Deps) *Engine {
 	} else {
 		e.pipe = mempipe.NewFlat(d.Mem)
 	}
+	if d.Tel != nil {
+		// A pure function of the heap configuration, so a gated metric: a
+		// run that silently changed its publication sharding should fail
+		// the perf gate's comparison, not pass with different plumbing.
+		d.Tel.SetGauge("mempipe.shards", float64(e.pipe.Shards()))
+	}
 	if cfg.CheckInvariants {
 		e.audit = invariant.New(d.Arb, d.Tbl, d.Heap, d.OnViolation)
 	}
@@ -310,16 +316,16 @@ type tstate struct {
 	// so recycling cannot perturb deterministic allocation-order counts).
 	snapScratch  *dvm.Snapshot
 	dirtyScratch *vheap.DirtySnapshot
-	logLocks     []int64              // L_i: locks touched, in first-acquisition order
-	logCount     map[int64]int        // acquisitions per logged lock
-	logWrite     map[int64]bool       // logged lock was taken exclusively at least once
-	heldSpecRead []int64              // locks currently held speculatively in shared mode
-	atomLog      []int64              // atomically accessed locations (§7 extension)
-	atomCount    map[int64]int        // accesses per logged location
-	wroteUnder   map[int64]bool       // locks held during a store (WriteAware mode)
-	heldSpec     []int64              // locks currently held speculatively
-	runCS        int                  // critical sections in the current run
-	noSpecNext   bool                 // progress guarantee after a revert (§3.2)
+	logLocks     []int64        // L_i: locks touched, in first-acquisition order
+	logCount     map[int64]int  // acquisitions per logged lock
+	logWrite     map[int64]bool // logged lock was taken exclusively at least once
+	heldSpecRead []int64        // locks currently held speculatively in shared mode
+	atomLog      []int64        // atomically accessed locations (§7 extension)
+	atomCount    map[int64]int  // accesses per logged location
+	wroteUnder   map[int64]bool // locks held during a store (WriteAware mode)
+	heldSpec     []int64        // locks currently held speculatively
+	runCS        int            // critical sections in the current run
+	noSpecNext   bool           // progress guarantee after a revert (§3.2)
 
 	// Per-thread speculation history, used when PerLockStats is off.
 	threadHist     uint64

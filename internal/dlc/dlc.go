@@ -13,8 +13,35 @@
 // Waiting is blocking, not spinning: a thread that wants the turn publishes
 // itself as a waiter and sleeps on a condition variable. Running threads
 // advance their clocks with Tick; when a tick moves a thread's clock past the
-// minimum waiter's clock the runner wakes the waiters, because the set of
-// threads that could be blocking them has shrunk.
+// minimum waiter's clock the runner wakes the waiter, because the set of
+// threads that could be blocking it has shrunk.
+//
+// # Tournament arbitration
+//
+// The default arbiter resolves turns with a pair of tournament trees —
+// complete binary trees whose leaves are threads and whose internal nodes
+// each hold the winner (minimum (DLC, tid) key) of their two children. A
+// state change updates one leaf and replays the O(log n) matches on its
+// root path; the root is then the global minimum without any scan. One tree
+// ranks all arbitration-eligible threads (the turn predicate), the other
+// ranks only the waiters (the targeted-wakeup choice).
+//
+// The trees rank *published* clock snapshots, not the live atomics: Tick
+// advances a thread's clock without the arbiter mutex, so the tree entry for
+// a running thread may lag its true clock. That staleness is safe for the
+// same reason TickWindow batching is: clocks only advance, so a lagging
+// published clock can only make its thread look earlier than it is — which
+// delays other threads' grants but never produces a wrong one. Liveness is
+// lazy: when a waiter finds the tree root is a stale runner, the waiter
+// itself re-publishes that runner's clock and replays its path, repeating
+// until the root is either fresh (waiter sleeps; a later tick crossing the
+// min-waiter clock wakes it) or the waiter itself (grant).
+//
+// The previous flat implementation — O(n) scans over the live atomics for
+// every grant, notify and deadlock check — is preserved behind
+// WithFlatArbiter as a differential oracle: both arbiters grant identical
+// bit-deterministic schedules, and the test suite and fuzzer cross-check
+// them against each other.
 //
 // The arbiter also supports a nondeterministic mode, used to implement the
 // TotalOrder-Weak-Nondet engine from the paper's evaluation: the turn becomes
@@ -25,6 +52,7 @@ package dlc
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -96,6 +124,29 @@ type slot struct {
 	_      [48]byte // pad to a cache line to avoid false sharing
 }
 
+// isLive reports whether the status counts as live for deadlock detection:
+// the thread either can run or will be granted a turn eventually.
+func isLive(st Status) bool {
+	return st == StatusRunning || st == StatusWaiting || st == StatusTurn
+}
+
+// eligible reports whether the status participates in turn arbitration.
+func eligible(st Status) bool {
+	return st != StatusParked && st != StatusExited
+}
+
+// Option configures an Arbiter at construction.
+type Option func(*Arbiter)
+
+// WithFlatArbiter selects the original flat implementation: O(n) scans over
+// the live clock atomics for every grant check, waiter notification and
+// deadlock check. It grants the same bit-deterministic schedule as the
+// tournament arbiter and exists as its differential oracle, mirroring the
+// -mapviews/-legacydiff pattern elsewhere in the repository.
+func WithFlatArbiter() Option {
+	return func(a *Arbiter) { a.flat = true }
+}
+
 // Arbiter arbitrates the deterministic turn between a fixed set of threads.
 //
 // Wakeups are targeted: only the minimum waiter can ever be granted the
@@ -108,6 +159,33 @@ type Arbiter struct {
 	slots     []slot
 	wake      []chan struct{} // per-thread wakeup tokens, buffered 1
 	minWaiter atomic.Int64    // min DLC among StatusWaiting threads, noWaiter if none
+
+	// flat selects the O(n)-scan oracle implementation; the tournament
+	// state below is then left nil.
+	flat bool
+
+	// Tournament state, all guarded by mu. size is the leaf span (next
+	// power of two >= len(slots)); both trees are laid out as implicit
+	// binary heaps of length 2*size with leaves at [size, 2*size), the
+	// root at [1], and -1 marking an empty slot. pub[i] is thread i's
+	// published clock snapshot — the key its leaves are ranked by.
+	size     int
+	depth    int // internal levels above a leaf == log2(size)
+	pub      []int64
+	minTree  []int32 // ranks arbitration-eligible threads (turn predicate)
+	waitTree []int32 // ranks StatusWaiting threads (targeted wakeup)
+
+	// Incremental deadlock state, guarded by mu: live counts
+	// Running/Waiting/Turn threads, parked counts Parked. Deadlock is the
+	// O(1) test live == 0 && parked > 0.
+	live   int
+	parked int
+
+	// Cumulative cost counters, guarded by mu. wakes counts wakeup tokens
+	// delivered; grantWork counts per-thread key inspections (scan length
+	// in flat mode, match replays and lazy refreshes in tree mode).
+	wakes     int64
+	grantWork int64
 
 	// nondet switches the arbiter to nondeterministic total ordering:
 	// WaitTurn/ReleaseTurn degenerate to a mutex and clocks are unused.
@@ -122,12 +200,37 @@ type Arbiter struct {
 
 // New returns an arbiter for n threads, all starting at DLC 0 in
 // StatusRunning. Thread IDs are 0..n-1.
-func New(n int) *Arbiter {
+func New(n int, opts ...Option) *Arbiter {
 	a := &Arbiter{slots: make([]slot, n), wake: make([]chan struct{}, n)}
 	for i := range a.wake {
 		a.wake[i] = make(chan struct{}, 1)
 	}
 	a.minWaiter.Store(noWaiter)
+	for _, o := range opts {
+		o(a)
+	}
+	a.live = n
+	if !a.flat {
+		size := 1
+		for size < n {
+			size <<= 1
+		}
+		a.size = size
+		a.depth = bits.Len(uint(size)) - 1
+		a.pub = make([]int64, n)
+		a.minTree = make([]int32, 2*size)
+		a.waitTree = make([]int32, 2*size)
+		for i := range a.minTree {
+			a.minTree[i] = -1
+			a.waitTree[i] = -1
+		}
+		for i := 0; i < n; i++ {
+			a.minTree[size+i] = int32(i)
+		}
+		for i := size - 1; i >= 1; i-- {
+			a.minTree[i] = a.match(a.minTree[2*i], a.minTree[2*i+1])
+		}
+	}
 	return a
 }
 
@@ -143,6 +246,9 @@ func NewNondet(n int) *Arbiter {
 // Nondet reports whether the arbiter orders turns nondeterministically.
 func (a *Arbiter) Nondet() bool { return a.nondet }
 
+// Flat reports whether the arbiter uses the flat O(n)-scan implementation.
+func (a *Arbiter) Flat() bool { return a.flat }
+
 // SetDeadlockHandler installs a callback invoked (once, on the parking or
 // exiting thread) when every non-exited thread has parked — a state nothing
 // can undo, since wakeups only come from running threads. The default
@@ -150,21 +256,33 @@ func (a *Arbiter) Nondet() bool { return a.nondet }
 // deadlocks perfectly repeatable.
 func (a *Arbiter) SetDeadlockHandler(f func()) { a.onDeadlock = f }
 
-// checkDeadlockLocked fires the deadlock handler if no thread can run.
+// setStatusLocked transitions thread tid's status, maintaining the
+// incremental live/parked counts. Caller holds a.mu. All status stores go
+// through here so the counts can never drift from the statuses.
+func (a *Arbiter) setStatusLocked(tid int, st Status) {
+	old := Status(a.slots[tid].status.Load())
+	if old == st {
+		return
+	}
+	a.slots[tid].status.Store(int32(st))
+	if isLive(old) && !isLive(st) {
+		a.live--
+	} else if !isLive(old) && isLive(st) {
+		a.live++
+	}
+	if old == StatusParked {
+		a.parked--
+	}
+	if st == StatusParked {
+		a.parked++
+	}
+}
+
+// checkDeadlockLocked fires the deadlock handler if no thread can run:
+// every non-exited thread is parked. The incremental counts make this O(1).
 // Caller holds a.mu.
 func (a *Arbiter) checkDeadlockLocked() {
-	anyLive := false
-	anyParked := false
-	for i := range a.slots {
-		switch Status(a.slots[i].status.Load()) {
-		case StatusParked:
-			anyParked = true
-		case StatusExited:
-		default:
-			anyLive = true
-		}
-	}
-	if anyLive || !anyParked {
+	if a.live > 0 || a.parked == 0 {
 		return
 	}
 	if a.onDeadlock != nil {
@@ -180,12 +298,62 @@ func (a *Arbiter) N() int { return len(a.slots) }
 // DLC returns the current logical clock of thread tid.
 func (a *Arbiter) DLC(tid int) int64 { return a.slots[tid].dlc.Load() }
 
+// match returns the winner of a tournament match: the child with the lower
+// (published DLC, tid) key, -1 beaten by anything. Caller holds a.mu.
+func (a *Arbiter) match(x, y int32) int32 {
+	if x < 0 {
+		return y
+	}
+	if y < 0 {
+		return x
+	}
+	if dx, dy := a.pub[x], a.pub[y]; dx < dy || (dx == dy && x < y) {
+		return x
+	}
+	return y
+}
+
+// replayLocked re-seats thread tid's leaf in tree (present iff active) and
+// replays the O(log n) matches on its root path. Caller holds a.mu.
+func (a *Arbiter) replayLocked(tree []int32, tid int, active bool) {
+	i := a.size + tid
+	if active {
+		tree[i] = int32(tid)
+	} else {
+		tree[i] = -1
+	}
+	for i >>= 1; i >= 1; i >>= 1 {
+		tree[i] = a.match(tree[2*i], tree[2*i+1])
+	}
+	a.grantWork += int64(a.depth)
+}
+
+// publishLocked snapshots thread tid's live clock into pub and replays its
+// arbitration leaf if the snapshot changed. Caller holds a.mu; tree mode
+// only. The wait tree never needs a replay here: a Waiting thread's clock is
+// frozen, so publication only ever changes runners' keys.
+func (a *Arbiter) publishLocked(tid int) {
+	if cur := a.slots[tid].dlc.Load(); cur != a.pub[tid] {
+		a.pub[tid] = cur
+		a.replayLocked(a.minTree, tid, eligible(Status(a.slots[tid].status.Load())))
+	}
+}
+
 // Tick advances thread tid's logical clock by cost. If the clock crosses the
-// minimum waiter's clock, waiters are woken so they can re-evaluate the turn
+// minimum waiter's clock, the waiter is woken so it can re-evaluate the turn
 // predicate. Tick must only be called by thread tid itself while running.
 // cost may be a multi-instruction batch (see TickWindow): the crossing test
 // below brackets the minimum waiter between the old and new clock, so a
 // batch that jumps past the waiter still wakes it.
+//
+// The minWaiter load is deliberately outside a.mu. The resulting race with a
+// registering waiter is benign — see TestTickWaiterRegistrationRace for the
+// pinned argument: Tick's clock advance (atomic Add) is sequenced before its
+// minWaiter load, the waiter's minWaiter store is sequenced before its clock
+// reads, and Go's sync/atomic operations are sequentially consistent, so in
+// any interleaving at least one side observes the other (the store-buffer
+// litmus shape) — either the ticker sees the waiter's clock and wakes it, or
+// the waiter sees the ticker's advanced clock and never blocks on it.
 func (a *Arbiter) Tick(tid int, cost int64) {
 	if a.nondet || cost == 0 {
 		return
@@ -199,6 +367,9 @@ func (a *Arbiter) Tick(tid int, cost int64) {
 		// is unblocked at clock equality (tie-break), one with a higher
 		// ID once we strictly exceed it. Wake it to re-check.
 		a.mu.Lock()
+		if !a.flat {
+			a.publishLocked(tid)
+		}
 		a.notifyMinWaiterLocked()
 		a.mu.Unlock()
 	}
@@ -210,61 +381,121 @@ func (a *Arbiter) Tick(tid int, cost int64) {
 // thread itself before it starts running.
 func (a *Arbiter) SetDLC(tid int, v int64) {
 	a.slots[tid].dlc.Store(v)
-}
-
-// isMinLocked reports whether tid holds the global minimum (DLC, tid) among
-// threads that are not parked or exited. Caller holds a.mu.
-func (a *Arbiter) isMinLocked(tid int) bool {
-	my := a.slots[tid].dlc.Load()
-	for i := range a.slots {
-		if i == tid {
-			continue
-		}
-		st := Status(a.slots[i].status.Load())
-		if st == StatusParked || st == StatusExited {
-			continue
-		}
-		d := a.slots[i].dlc.Load()
-		if d < my || (d == my && i < tid) {
-			return false
-		}
+	if a.nondet || a.flat {
+		return
 	}
-	return true
+	a.mu.Lock()
+	a.publishLocked(tid)
+	a.mu.Unlock()
 }
 
-// recomputeMinWaiterLocked refreshes the cached minimum waiter clock.
-// Caller holds a.mu.
-func (a *Arbiter) recomputeMinWaiterLocked() {
-	min := int64(noWaiter)
-	for i := range a.slots {
-		if Status(a.slots[i].status.Load()) == StatusWaiting {
-			if d := a.slots[i].dlc.Load(); d < min {
-				min = d
+// isMinLocked reports whether tid may be granted the turn: its (DLC, tid)
+// pair is the global minimum among threads that are not parked or exited.
+// Caller holds a.mu; tid must be Waiting (its published clock exact).
+//
+// Tree mode resolves this at the root, refreshing lazily: if the root is
+// another thread, that thread either genuinely precedes tid (its published
+// key is fresh — since published clocks never lead true clocks and clocks
+// only advance, a fresh smaller key proves the true key is smaller too, so
+// tid is not the minimum), or its snapshot is stale — then tid re-publishes
+// it and replays its path. Each iteration either returns or strictly
+// advances one runner's published clock, so the loop terminates; its work is
+// exactly the publication debt runners skipped by ticking lock-free, paid by
+// the thread that is blocked anyway.
+func (a *Arbiter) isMinLocked(tid int) bool {
+	if a.flat {
+		a.grantWork += int64(len(a.slots) - 1)
+		my := a.slots[tid].dlc.Load()
+		for i := range a.slots {
+			if i == tid {
+				continue
+			}
+			st := Status(a.slots[i].status.Load())
+			if st == StatusParked || st == StatusExited {
+				continue
+			}
+			d := a.slots[i].dlc.Load()
+			if d < my || (d == my && i < tid) {
+				return false
 			}
 		}
+		return true
 	}
-	a.minWaiter.Store(min)
+	for {
+		a.grantWork++
+		w := int(a.minTree[1])
+		if w == tid {
+			return true
+		}
+		if w < 0 {
+			panic("dlc: waiting thread absent from the arbitration tree")
+		}
+		cur := a.slots[w].dlc.Load()
+		if cur == a.pub[w] {
+			// Fresh snapshot: w won the tournament against tid's exact
+			// key, so tid is genuinely not the minimum.
+			return false
+		}
+		a.pub[w] = cur
+		a.replayLocked(a.minTree, w, true)
+	}
+}
+
+// refreshMinWaiterLocked recomputes the cached minimum-waiter clock that
+// Tick's crossing test reads. Caller holds a.mu.
+func (a *Arbiter) refreshMinWaiterLocked() {
+	if a.flat {
+		a.grantWork += int64(len(a.slots))
+		min := int64(noWaiter)
+		for i := range a.slots {
+			if Status(a.slots[i].status.Load()) == StatusWaiting {
+				if d := a.slots[i].dlc.Load(); d < min {
+					min = d
+				}
+			}
+		}
+		a.minWaiter.Store(min)
+		return
+	}
+	a.grantWork++
+	if w := a.waitTree[1]; w >= 0 {
+		a.minWaiter.Store(a.pub[w])
+	} else {
+		a.minWaiter.Store(noWaiter)
+	}
 }
 
 // notifyMinWaiterLocked drops a wakeup token for the waiter with the
 // minimum (DLC, tid) — the only waiter whose turn predicate can have become
 // true. Caller holds a.mu.
+//
+// The flat scan keeps the first thread at the minimum clock, which under
+// in-order iteration is the lowest tid among equal-DLC waiters — the same
+// waiter the wait tree's (DLC, tid) tie-break elects, and the only one of
+// them the turn predicate can accept.
 func (a *Arbiter) notifyMinWaiterLocked() {
 	best := -1
-	var bestDLC int64
-	for i := range a.slots {
-		if Status(a.slots[i].status.Load()) != StatusWaiting {
-			continue
+	if a.flat {
+		a.grantWork += int64(len(a.slots))
+		var bestDLC int64
+		for i := range a.slots {
+			if Status(a.slots[i].status.Load()) != StatusWaiting {
+				continue
+			}
+			d := a.slots[i].dlc.Load()
+			if best == -1 || d < bestDLC {
+				best, bestDLC = i, d
+			}
 		}
-		d := a.slots[i].dlc.Load()
-		if best == -1 || d < bestDLC {
-			best, bestDLC = i, d
-		}
+	} else {
+		a.grantWork++
+		best = int(a.waitTree[1])
 	}
 	if best >= 0 {
 		//lazydet:nondeterministic non-blocking token send; a pending token and a fresh one are indistinguishable to the receiver
 		select {
 		case a.wake[best] <- struct{}{}:
+			a.wakes++
 		default: // a token is already pending; one is enough to re-check
 		}
 	}
@@ -277,17 +508,26 @@ func (a *Arbiter) WaitTurn(tid int) {
 		a.turnMu.Lock()
 		return
 	}
-	s := &a.slots[tid]
 	a.mu.Lock()
-	s.status.Store(int32(StatusWaiting))
-	a.recomputeMinWaiterLocked()
+	a.setStatusLocked(tid, StatusWaiting)
+	if !a.flat {
+		// Publish the exact clock before registering as a waiter: grants
+		// compare waiters by published key, which must be exact for the
+		// schedule to match the flat oracle bit for bit.
+		a.publishLocked(tid)
+		a.replayLocked(a.waitTree, tid, true)
+	}
+	a.refreshMinWaiterLocked()
 	for !a.isMinLocked(tid) {
 		a.mu.Unlock()
 		<-a.wake[tid]
 		a.mu.Lock()
 	}
-	s.status.Store(int32(StatusTurn))
-	a.recomputeMinWaiterLocked()
+	a.setStatusLocked(tid, StatusTurn)
+	if !a.flat {
+		a.replayLocked(a.waitTree, tid, false)
+	}
+	a.refreshMinWaiterLocked()
 	// Drain a stale token so a future wait does not wake spuriously.
 	//lazydet:nondeterministic non-blocking drain; waking with or without a stale token pending is behaviorally identical
 	select {
@@ -307,7 +547,10 @@ func (a *Arbiter) ReleaseTurn(tid int, cost int64) {
 	s := &a.slots[tid]
 	a.mu.Lock()
 	s.dlc.Add(cost)
-	s.status.Store(int32(StatusRunning))
+	a.setStatusLocked(tid, StatusRunning)
+	if !a.flat {
+		a.publishLocked(tid)
+	}
 	a.notifyMinWaiterLocked()
 	a.mu.Unlock()
 }
@@ -319,12 +562,19 @@ func (a *Arbiter) ReleaseTurn(tid int, cost int64) {
 // channel).
 func (a *Arbiter) Park(tid int) {
 	if a.nondet {
-		a.slots[tid].status.Store(int32(StatusParked))
+		// No clock discipline to maintain, but the live/parked counts
+		// feeding Exit's deadlock check must stay coherent.
+		a.mu.Lock()
+		a.setStatusLocked(tid, StatusParked)
+		a.mu.Unlock()
 		a.turnMu.Unlock()
 		return
 	}
 	a.mu.Lock()
-	a.slots[tid].status.Store(int32(StatusParked))
+	a.setStatusLocked(tid, StatusParked)
+	if !a.flat {
+		a.replayLocked(a.minTree, tid, false)
+	}
 	a.notifyMinWaiterLocked()
 	a.checkDeadlockLocked()
 	a.mu.Unlock()
@@ -336,7 +586,11 @@ func (a *Arbiter) Park(tid int) {
 func (a *Arbiter) Unpark(tid int, newDLC int64) {
 	a.mu.Lock()
 	a.slots[tid].dlc.Store(newDLC)
-	a.slots[tid].status.Store(int32(StatusRunning))
+	a.setStatusLocked(tid, StatusRunning)
+	if !a.flat && !a.nondet {
+		a.pub[tid] = newDLC
+		a.replayLocked(a.minTree, tid, true)
+	}
 	a.notifyMinWaiterLocked()
 	a.mu.Unlock()
 }
@@ -347,7 +601,11 @@ func (a *Arbiter) Unpark(tid int, newDLC int64) {
 // or while running.
 func (a *Arbiter) Exit(tid int) {
 	a.mu.Lock()
-	a.slots[tid].status.Store(int32(StatusExited))
+	a.setStatusLocked(tid, StatusExited)
+	if !a.flat && !a.nondet {
+		a.replayLocked(a.minTree, tid, false)
+		a.replayLocked(a.waitTree, tid, false)
+	}
 	a.notifyMinWaiterLocked()
 	a.checkDeadlockLocked()
 	a.mu.Unlock()
@@ -355,11 +613,18 @@ func (a *Arbiter) Exit(tid int) {
 
 // SetParked marks a thread parked before it has ever run: the state of a
 // suspended (not yet spawned) thread, which must not participate in turn
-// arbitration until Unpark.
+// arbitration until Unpark. Like Park and Exit it must check for deadlock:
+// a suspended thread parks itself from its own goroutine, so the program's
+// last live thread can exit before its peers reach this point, making the
+// SetParked here the transition into the all-parked state.
 func (a *Arbiter) SetParked(tid int) {
 	a.mu.Lock()
-	a.slots[tid].status.Store(int32(StatusParked))
+	a.setStatusLocked(tid, StatusParked)
+	if !a.flat && !a.nondet {
+		a.replayLocked(a.minTree, tid, false)
+	}
 	a.notifyMinWaiterLocked()
+	a.checkDeadlockLocked()
 	a.mu.Unlock()
 }
 
@@ -368,15 +633,45 @@ func (a *Arbiter) Status(tid int) Status {
 	return Status(a.slots[tid].status.Load())
 }
 
+// Stats is a snapshot of the arbiter's cumulative cost counters. Wakes and
+// GrantWork depend on wall-clock interleaving (how often runners catch
+// waiters mid-registration, how stale snapshots get) and are therefore
+// reporting-only: deterministic metric gates must not include them.
+type Stats struct {
+	// Wakes counts wakeup tokens actually delivered to waiters (sends
+	// that found the buffer empty).
+	Wakes int64
+	// GrantWork counts per-thread key inspections performed by the
+	// arbiter: full scan lengths in flat mode, tournament match replays
+	// and lazy snapshot refreshes in tree mode. The tentpole scaling
+	// claim is this quantity growing sub-linearly in thread count.
+	GrantWork int64
+	// Depth is the tournament tree's match depth (0 for the flat oracle
+	// and nondeterministic mode).
+	Depth int
+}
+
+// Stats returns the arbiter's cumulative cost counters.
+func (a *Arbiter) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := 0
+	if !a.flat && !a.nondet {
+		d = a.depth
+	}
+	return Stats{Wakes: a.wakes, GrantWork: a.grantWork, Depth: d}
+}
+
 // AuditTurn verifies the turn-discipline invariant from the perspective of
 // thread tid, which must currently hold the turn: no other thread is in
 // StatusTurn, and tid's (DLC, tid) pair is the minimum over all threads that
-// are neither parked nor exited. It must be called by tid itself between
-// WaitTurn and ReleaseTurn — while tid holds the turn, other threads' clocks
-// only advance and park/exit transitions cannot happen, so any violation
-// observed under the arbiter mutex is genuine, not transient. Returns a
-// descriptive error on breach, nil otherwise. In nondeterministic mode there
-// is no clock discipline to audit.
+// are neither parked nor exited. It also cross-checks the incremental
+// live/parked counts against a status scan. It must be called by tid itself
+// between WaitTurn and ReleaseTurn — while tid holds the turn, other
+// threads' clocks only advance and park/exit transitions cannot happen, so
+// any violation observed under the arbiter mutex is genuine, not transient.
+// Returns a descriptive error on breach, nil otherwise. In nondeterministic
+// mode there is no clock discipline to audit.
 func (a *Arbiter) AuditTurn(tid int) error {
 	if a.nondet {
 		return nil
@@ -387,11 +682,18 @@ func (a *Arbiter) AuditTurn(tid int) error {
 		return fmt.Errorf("dlc: thread %d audits the turn with status %v, want turn", tid, st)
 	}
 	my := a.slots[tid].dlc.Load()
+	live, parked := 1, 0 // tid itself, in StatusTurn, is live
 	for i := range a.slots {
+		st := Status(a.slots[i].status.Load())
 		if i == tid {
 			continue
 		}
-		st := Status(a.slots[i].status.Load())
+		if isLive(st) {
+			live++
+		}
+		if st == StatusParked {
+			parked++
+		}
 		if st == StatusTurn {
 			return fmt.Errorf("dlc: threads %d and %d hold the turn simultaneously", tid, i)
 		}
@@ -402,6 +704,77 @@ func (a *Arbiter) AuditTurn(tid int) error {
 			return fmt.Errorf("dlc: turn holder %d @ DLC %d is not the (DLC, tid) minimum: thread %d (%v) is at DLC %d",
 				tid, my, i, st, d)
 		}
+	}
+	if live != a.live || parked != a.parked {
+		return fmt.Errorf("dlc: incremental deadlock counts (live %d, parked %d) disagree with status scan (live %d, parked %d)",
+			a.live, a.parked, live, parked)
+	}
+	return nil
+}
+
+// AuditTree verifies the tournament state against first principles: every
+// published clock trails its thread's true clock (and equals it for frozen
+// Waiting/Turn threads), leaf occupancy matches thread statuses, every
+// internal node holds the match of its children, and both roots agree with
+// direct scans over the published keys — the tree-vs-scan minimum agreement
+// the invariant checker audits at every granted turn. Returns nil in flat
+// and nondeterministic modes, where there is no tree.
+//
+// Like AuditTurn it must be called by a thread holding the turn, so that
+// park/exit transitions and waiter registrations are quiescent; concurrent
+// runners only advance their clocks, which cannot invalidate the trailing
+// checks below.
+func (a *Arbiter) AuditTree() error {
+	if a.nondet || a.flat {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.slots)
+	for i := 0; i < n; i++ {
+		st := Status(a.slots[i].status.Load())
+		d := a.slots[i].dlc.Load()
+		if a.pub[i] > d {
+			return fmt.Errorf("dlc: thread %d published clock %d leads its true clock %d", i, a.pub[i], d)
+		}
+		if (st == StatusWaiting || st == StatusTurn) && a.pub[i] != d {
+			return fmt.Errorf("dlc: frozen thread %d (%v) published clock %d != true clock %d", i, st, a.pub[i], d)
+		}
+		if got, want := a.minTree[a.size+i] >= 0, eligible(st); got != want {
+			return fmt.Errorf("dlc: thread %d (%v) arbitration leaf occupancy %v, want %v", i, st, got, want)
+		}
+		if got, want := a.waitTree[a.size+i] >= 0, st == StatusWaiting; got != want {
+			return fmt.Errorf("dlc: thread %d (%v) wait leaf occupancy %v, want %v", i, st, got, want)
+		}
+	}
+	for i := n; i < a.size; i++ {
+		if a.minTree[a.size+i] != -1 || a.waitTree[a.size+i] != -1 {
+			return fmt.Errorf("dlc: phantom thread in padding leaf %d", i)
+		}
+	}
+	for i := a.size - 1; i >= 1; i-- {
+		if got, want := a.minTree[i], a.match(a.minTree[2*i], a.minTree[2*i+1]); got != want {
+			return fmt.Errorf("dlc: arbitration tree node %d holds %d, match of children gives %d", i, got, want)
+		}
+		if got, want := a.waitTree[i], a.match(a.waitTree[2*i], a.waitTree[2*i+1]); got != want {
+			return fmt.Errorf("dlc: wait tree node %d holds %d, match of children gives %d", i, got, want)
+		}
+	}
+	minScan, waitScan := int32(-1), int32(-1)
+	for i := 0; i < n; i++ {
+		st := Status(a.slots[i].status.Load())
+		if eligible(st) {
+			minScan = a.match(minScan, int32(i))
+		}
+		if st == StatusWaiting {
+			waitScan = a.match(waitScan, int32(i))
+		}
+	}
+	if a.minTree[1] != minScan {
+		return fmt.Errorf("dlc: arbitration tree root %d disagrees with published-key scan %d", a.minTree[1], minScan)
+	}
+	if a.waitTree[1] != waitScan {
+		return fmt.Errorf("dlc: wait tree root %d disagrees with published-key scan %d", a.waitTree[1], waitScan)
 	}
 	return nil
 }

@@ -6,13 +6,14 @@ import (
 	"testing/quick"
 )
 
-// TestQuickGrantOrderMatchesModel verifies the arbiter against a host-side
-// model: each thread runs a scripted loop of (tick, take turn, release)
-// with per-thread costs derived from a seed. The model computes the grant
-// sequence by always admitting the minimum (clock, tid); the live arbiter,
-// under real goroutine scheduling, must produce exactly that sequence.
+// TestQuickGrantOrderMatchesModel verifies both arbiter implementations
+// against a host-side model: each thread runs a scripted loop of (tick,
+// take turn, release) with per-thread costs derived from a seed. The model
+// computes the grant sequence by always admitting the minimum (clock, tid);
+// the live arbiters — tournament tree and flat-scan oracle alike, under
+// real goroutine scheduling — must produce exactly that sequence.
 func TestQuickGrantOrderMatchesModel(t *testing.T) {
-	run := func(seed uint64) ([]int, []int) {
+	run := func(seed uint64, opts ...Option) ([]int, []int) {
 		const threads = 4
 		const rounds = 30
 		r := seed
@@ -62,7 +63,7 @@ func TestQuickGrantOrderMatchesModel(t *testing.T) {
 		}
 
 		// Live arbiter.
-		a := New(threads)
+		a := New(threads, opts...)
 		var mu sync.Mutex
 		var got []int
 		var wg sync.WaitGroup
@@ -86,16 +87,18 @@ func TestQuickGrantOrderMatchesModel(t *testing.T) {
 	}
 
 	f := func(seed uint64) bool {
-		want, got := run(seed)
-		if len(want) != len(got) {
-			t.Logf("seed %x: grant counts differ: %d vs %d", seed, len(want), len(got))
-			return false
-		}
-		for i := range want {
-			if want[i] != got[i] {
-				t.Logf("seed %x: grant %d: model %d, arbiter %d\nmodel:   %v\narbiter: %v",
-					seed, i, want[i], got[i], want, got)
+		for _, v := range arbVariants {
+			want, got := run(seed, v.opts...)
+			if len(want) != len(got) {
+				t.Logf("seed %x %s: grant counts differ: %d vs %d", seed, v.name, len(want), len(got))
 				return false
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Logf("seed %x %s: grant %d: model %d, arbiter %d\nmodel:   %v\narbiter: %v",
+						seed, v.name, i, want[i], got[i], want, got)
+					return false
+				}
 			}
 		}
 		return true

@@ -521,6 +521,66 @@ func Fig12(cfg Config) error {
 // against a trimming heap (DDRF) and a full-retention heap (the
 // DLRC-accounting mode), and the surviving page-version counts are
 // compared against the heap's page population.
+// ArbiterSweep measures how arbitration cost scales with thread count: the
+// ht microbenchmark at t = 4…1024 (total operation count held constant)
+// under the tournament-tree arbiter and under the flat O(threads)-scan
+// oracle. For each point it reports wall time and the arbiter's own cost
+// counters — wakes sent and election key comparisons — whose ratio is the
+// per-grant arbitration work. Every point is cross-checked: the two
+// arbiters must produce bit-identical traces and final memory, so the sweep
+// can never trade determinism for speed silently.
+func ArbiterSweep(cfg Config) error {
+	cfg = cfg.withDefaults()
+	counts := []int{4, 16, 64, 256, 1024}
+	if cfg.Quick {
+		counts = []int{4, 64, 256}
+	}
+	if cfg.Threads > 0 {
+		counts = []int{cfg.Threads}
+	}
+	csvf, err := cfg.csvFile("arbsweep", "threads", "arbiter", "wall_s", "wakes", "grant_work", "work_per_grant")
+	if err != nil {
+		return err
+	}
+	defer csvf.close()
+	cfg.printf("arbiter cost vs threads: ht, constant total ops, LazyDet\n")
+	cfg.printf("%8s %6s %12s %12s %14s %16s\n", "threads", "arb", "wall", "wakes", "grant work", "work/grant")
+	for _, threads := range counts {
+		htCfg := workloads.DefaultHTConfig(workloads.HT)
+		htCfg.OpsPerThread = 16384 / threads
+		if htCfg.OpsPerThread < 1 {
+			htCfg.OpsPerThread = 1
+		}
+		var sigs [2]*harness.Result
+		for i, flat := range []bool{false, true} {
+			w := workloads.NewHashTable(htCfg)
+			opt := harness.Options{
+				Engine: harness.LazyDet, Threads: threads,
+				FlatArbiter: flat, Trace: true,
+			}
+			mean, _, last, err := measure(w, opt, cfg.Reps)
+			if err != nil {
+				return err
+			}
+			sigs[i] = last
+			name := "tree"
+			if flat {
+				name = "flat"
+			}
+			perGrant := float64(last.ArbiterGrantWork) / float64(max(last.SyncEvents, 1))
+			cfg.printf("%8d %6s %12.4fs %12d %14d %16.1f\n",
+				threads, name, mean, last.ArbiterWakes, last.ArbiterGrantWork, perGrant)
+			csvf.row(threads, name, mean, last.ArbiterWakes, last.ArbiterGrantWork, perGrant)
+		}
+		if sigs[0].TraceSig != sigs[1].TraceSig || sigs[0].HeapHash != sigs[1].HeapHash {
+			return fmt.Errorf("arbsweep: t=%d: tree and flat arbiters diverge (trace %x/%x heap %x/%x)",
+				threads, sigs[0].TraceSig, sigs[1].TraceSig, sigs[0].HeapHash, sigs[1].HeapHash)
+		}
+	}
+	cfg.printf("all points: tree and flat schedules bit-identical\n")
+	return nil
+}
+
 func Versions(cfg Config) error {
 	cfg = cfg.withDefaults()
 	w := workloads.NewHashTable(workloads.DefaultHTConfig(workloads.HT))

@@ -52,5 +52,34 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 			cfg.printf("%-28s wall %-12v %d deterministic metrics\n", r.Key(), res.Wall, len(r.Metrics))
 		}
 	}
+	// Scale rows: the ht microbenchmark at high thread counts (total
+	// operation count held constant), pinning the tournament arbiter's and
+	// sharded heap's deterministic metrics — DLC totals, commit counts,
+	// arbiter depth, shard count — where regressions in turn arbitration
+	// at scale would surface. Only run when cfg.Threads doesn't already
+	// override the suite's thread count.
+	if cfg.Threads == 0 {
+		for _, scaleThreads := range []int{64, 256} {
+			htCfg := workloads.DefaultHTConfig(workloads.HT)
+			htCfg.OpsPerThread = 2048 / scaleThreads
+			w := workloads.NewHashTable(htCfg)
+			for _, e := range []harness.EngineKind{harness.Consequence, harness.LazyDet} {
+				opt := harness.Options{
+					Engine:      e,
+					Threads:     scaleThreads,
+					Telemetry:   true,
+					Trace:       true,
+					CollectSpec: e == harness.LazyDet,
+				}
+				res, err := harness.Run(w, opt)
+				if err != nil {
+					return nil, fmt.Errorf("report suite: %s under %s at t=%d: %w", w.Name, e, scaleThreads, err)
+				}
+				r := harness.BuildReport(res)
+				suite.Runs = append(suite.Runs, r)
+				cfg.printf("%-28s wall %-12v %d deterministic metrics\n", r.Key(), res.Wall, len(r.Metrics))
+			}
+		}
+	}
 	return suite, nil
 }

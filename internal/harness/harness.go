@@ -124,6 +124,16 @@ type Options struct {
 	// The differential oracle for the flat-table fast path: both must
 	// publish byte-identical heaps, traces, and commit statistics.
 	MapViews bool
+	// FlatArbiter makes the deterministic engines arbitrate turns with the
+	// original flat O(threads) scans instead of the tournament tree. The
+	// differential oracle for the tree arbiter: both must produce
+	// bit-identical grant orders, traces, and final heaps.
+	FlatArbiter bool
+	// HeapShards overrides the versioned heap's shard count (page-range
+	// partitions of the commit lock, page pool and trim floor). Zero means
+	// the heap's default; 1 collapses to the single-lock layout, the
+	// differential oracle for sharding.
+	HeapShards int
 	// Telemetry enables the unified metrics registry
 	// (internal/telemetry): the engine, versioned heap and memory pipeline
 	// publish counters and histograms into one recorder, available as
@@ -181,6 +191,11 @@ type Result struct {
 	// LiveVersions counts page versions still reachable after the run
 	// (strong engines only).
 	LiveVersions int
+	// ArbiterWakes/ArbiterGrantWork are the turn arbiter's cost counters
+	// (deterministic engines only): targeted waiter wakeups sent, and
+	// key-comparison work done electing minimum turns. Scheduling-
+	// dependent — informational, not deterministic machine state.
+	ArbiterWakes, ArbiterGrantWork int64
 	// Spec carries speculation statistics when collected.
 	Spec *stats.Spec
 	// Times carries per-thread blocked-time accounting when measured.
@@ -290,6 +305,9 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		if opt.MapViews {
 			hopts = append(hopts, vheap.WithMapViews())
 		}
+		if opt.HeapShards > 0 {
+			hopts = append(hopts, vheap.WithShards(opt.HeapShards))
+		}
 		if tel != nil {
 			hopts = append(hopts, vheap.WithTelemetry(tel))
 		}
@@ -303,8 +321,10 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			Spec:            opt.Spec,
 			CheckInvariants: opt.CheckInvariants,
 		}
+		arb := dlc.New(opt.Threads, arbOpts(opt)...)
+		defer publishArbStats(tel, arb, res)
 		eng = core.New(cfg, core.Deps{
-			Arb:         dlc.New(opt.Threads),
+			Arb:         arb,
 			Tbl:         detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, opt.Engine == LazyDet),
 			Heap:        heap,
 			Rec:         rec,
@@ -328,11 +348,12 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			w.Init(mem.SetInitial, opt.Threads)
 		}
 		mode := core.ModeWeak
-		arb := dlc.New(opt.Threads)
+		arb := dlc.New(opt.Threads, arbOpts(opt)...)
 		if opt.Engine == TotalOrderWeakNondet {
 			mode = core.ModeWeakNondet
 			arb = dlc.NewNondet(opt.Threads)
 		}
+		defer publishArbStats(tel, arb, res)
 		eng = core.New(core.Config{Mode: mode, CheckInvariants: opt.CheckInvariants}, core.Deps{
 			Arb:         arb,
 			Tbl:         detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, false),
@@ -397,4 +418,27 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// arbOpts maps run options onto deterministic-arbiter construction options.
+func arbOpts(opt Options) []dlc.Option {
+	if opt.FlatArbiter {
+		return []dlc.Option{dlc.WithFlatArbiter()}
+	}
+	return nil
+}
+
+// publishArbStats records the arbiter's cost counters after a run. Wakes and
+// grant work depend on which threads happened to be blocked when clocks
+// advanced — real goroutine scheduling — so they are routed into the
+// never-gated Timing section (see timingCounters); the tournament depth is a
+// pure function of the thread count and stays a gated metric.
+func publishArbStats(tel *telemetry.Recorder, arb *dlc.Arbiter, res *Result) {
+	st := arb.Stats()
+	res.ArbiterWakes, res.ArbiterGrantWork = st.Wakes, st.GrantWork
+	if tel != nil {
+		tel.Count("dlc.wakes", st.Wakes)
+		tel.Count("dlc.grant_work", st.GrantWork)
+		tel.SetGauge("dlc.arbiter_depth", float64(st.Depth))
+	}
 }

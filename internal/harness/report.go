@@ -49,6 +49,12 @@ var timingCounters = map[string]bool{
 	"vheap.frame_pool_misses": true,
 	"vheap.page_pool_hits":    true,
 	"vheap.page_pool_misses":  true,
+	// Arbiter wakes and grant work count how often clock advances found a
+	// blocked waiter and how many key comparisons elections cost — both a
+	// function of which threads the runtime scheduler had blocked at each
+	// instant, not of the deterministic schedule.
+	"dlc.wakes":      true,
+	"dlc.grant_work": true,
 }
 
 // BuildReport converts one run's measurements into a report entry.

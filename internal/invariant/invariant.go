@@ -8,13 +8,20 @@
 //
 //  1. Turn discipline (internal/dlc): at most one thread holds StatusTurn,
 //     and the holder is the (DLC, thread-id) minimum over all threads that
-//     are neither parked nor exited.
+//     are neither parked nor exited. Under the tournament arbiter, the
+//     trees themselves are audited: published clocks never lead the true
+//     clocks, every internal node is the match of its children, and both
+//     roots agree with a direct flat scan — the tree's answer is the scan's
+//     answer.
 //  2. Versioned-heap integrity (internal/vheap): commit sequences are
 //     strictly monotone, page version chains are strictly decreasing in
 //     sequence, trimming never cuts a version a live view's base still
 //     needs, and — checked at each publication, before the commit consumes
 //     the dirty set — the dirty-word bitmaps agree with the twin diffs, so
 //     the bitmap commit path publishes exactly what the full scan would.
+//     Per shard, the sequence of trim floors never decreases and never
+//     passes the newest commit — stale floor caches may trim less, never
+//     more.
 //  3. Lock-table consistency (internal/detsync): a lock is never held
 //     exclusively and shared at the same time, reader counts are
 //     non-negative, and the per-lock logical timestamps — ReleaseDLC,
@@ -92,6 +99,11 @@ type Checker struct {
 	// has seen, for strict-monotonicity checking.
 	lastCommitSeq int64
 
+	// shardFloors shadows each heap shard's last trim floor, for the
+	// per-shard floor-monotonicity check. Sized lazily at the first
+	// AtCommit (the shard count is a heap construction detail).
+	shardFloors []int64
+
 	// Shadow copies of each lock's monotone timestamps, updated at every
 	// turn-grant audit. A value that moves backwards between two audits
 	// was corrupted (the fields are only allowed to advance, and only at
@@ -138,6 +150,9 @@ func (c *Checker) AtTurn(tid int) {
 	}
 	if err := c.arb.AuditTurn(tid); err != nil {
 		c.violate(tid, -1, "turn-minimum", err.Error())
+	}
+	if err := c.arb.AuditTree(); err != nil {
+		c.violate(tid, -1, "arbiter-tree-min", err.Error())
 	}
 	c.auditLocks(tid)
 }
@@ -237,6 +252,24 @@ func (c *Checker) AtCommit(tid int, seq int64) {
 	c.lastCommitSeq = seq
 	if err := c.heap.Audit(); err != nil {
 		c.violate(tid, -1, "heap-chain", err.Error())
+	}
+	floors := c.heap.ShardTrimFloors()
+	if c.shardFloors == nil {
+		c.shardFloors = make([]int64, len(floors))
+		for i := range c.shardFloors {
+			c.shardFloors[i] = -1 // matches a shard's pre-first-trim floor
+		}
+	}
+	for si, f := range floors {
+		if f < c.shardFloors[si] {
+			c.violate(tid, -1, "shard-trim-floor",
+				fmt.Sprintf("shard %d trim floor moved backwards: %d -> %d", si, c.shardFloors[si], f))
+		}
+		if f > seq {
+			c.violate(tid, -1, "shard-trim-floor",
+				fmt.Sprintf("shard %d trim floor %d is ahead of commit %d", si, f, seq))
+		}
+		c.shardFloors[si] = f
 	}
 }
 

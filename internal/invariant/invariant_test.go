@@ -236,3 +236,80 @@ func TestEndToEndDirtyAuditClean(t *testing.T) {
 		t.Fatalf("cell 0 = %d, want %d", got, 3*40)
 	}
 }
+
+// TestCheckerShardTrimFloor: the checker rejects a shard trim floor that is
+// ahead of the commit it is audited at — the shape an over-trim (or a
+// corrupted floor) produces — and accepts real trims, whose floors only
+// rise with the commits.
+func TestCheckerShardTrimFloor(t *testing.T) {
+	arb := dlc.New(1)
+	tbl := detsync.NewTable(1, 1, 0, 0, false)
+	heap := vheap.New(1024)
+	var got []*invariant.Violation
+	c := invariant.New(arb, tbl, heap, func(v *invariant.Violation) { got = append(got, v) })
+
+	// Real commits with a single live view: every chain trims up to the
+	// previous commit, so floors chase the sequence and must audit clean.
+	v := heap.NewView()
+	for round := 0; round < 6; round++ {
+		for pi := int64(0); pi < 4; pi++ {
+			v.Store(pi*256, int64(round))
+		}
+		seq, _ := v.Commit()
+		c.AtCommit(0, seq)
+	}
+	if len(got) != 0 {
+		t.Fatalf("clean trims flagged: %v", got[0])
+	}
+
+	// A fresh checker told commit 1 just published must reject the trim
+	// floors already sitting near commit 6.
+	var got2 []*invariant.Violation
+	c2 := invariant.New(arb, tbl, heap, func(v *invariant.Violation) { got2 = append(got2, v) })
+	c2.AtCommit(0, 1)
+	found := false
+	for _, v := range got2 {
+		if v.Rule == "shard-trim-floor" && strings.Contains(v.Detail, "ahead of commit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trim floor ahead of the audited commit not flagged as shard-trim-floor: %v", got2)
+	}
+	v.Close()
+}
+
+// TestCleanRunNoViolationsFlatArbiter: the audit layer (including the
+// tree-audit hook, which is a no-op on the flat oracle) stays clean when the
+// engine runs on the flat-scan arbiter.
+func TestCleanRunNoViolationsFlatArbiter(t *testing.T) {
+	const threads = 4
+	arb := dlc.New(threads, dlc.WithFlatArbiter())
+	tbl := detsync.NewTable(threads, 2, 0, 0, true)
+	heap := vheap.New(256)
+	var violations []*invariant.Violation
+	eng := core.New(
+		core.Config{Mode: core.ModeStrong, Speculation: true, CheckInvariants: true},
+		core.Deps{Arb: arb, Tbl: tbl, Heap: heap,
+			OnViolation: func(v *invariant.Violation) { violations = append(violations, v) }},
+	)
+	progs := make([]*dvm.Program, threads)
+	for tid := range progs {
+		b := dvm.NewBuilder("flat-arb-audit")
+		i, v := b.Reg(), b.Reg()
+		b.ForN(i, 30, func() {
+			b.Lock(dvm.Const(0))
+			b.Load(v, dvm.Const(0))
+			b.Store(dvm.Const(0), dvm.Dyn(func(th *dvm.Thread) int64 { return th.R(v) + 1 }))
+			b.Unlock(dvm.Const(0))
+		})
+		progs[tid] = b.Build()
+	}
+	dvm.Run(eng, progs)
+	if len(violations) != 0 {
+		t.Fatalf("clean flat-arbiter run reported %d violations, first: %v", len(violations), violations[0])
+	}
+	if got := heap.ReadCommitted(0); got != threads*30 {
+		t.Fatalf("cell 0 = %d, want %d", got, threads*30)
+	}
+}

@@ -1,0 +1,252 @@
+package vheap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestShardCountRounding pins how New maps the requested shard count onto
+// page ranges: pages-per-shard is the smallest power of two that keeps the
+// shard count at or under the request, and heaps with fewer pages than
+// shards collapse to one page per shard.
+func TestShardCountRounding(t *testing.T) {
+	cases := []struct {
+		words  int64
+		pw     int
+		want   int // requested shards (0 = default)
+		shards int
+	}{
+		{1024, 16, 1, 1},    // oracle layout: one shard regardless of pages
+		{1024, 16, 0, 8},    // 64 pages / default 8 -> 8 pages per shard
+		{1024, 16, 64, 64},  // one page per shard
+		{1024, 16, 100, 64}, // request above page count clamps to npages
+		{1024, 16, 3, 3},    // 64 pages, want 3 -> pps 32 -> 2... check below
+		{64, 16, 8, 4},      // 4 pages, want 8 -> clamp to 4 shards
+	}
+	for _, c := range cases {
+		opts := []Option{WithPageWords(c.pw)}
+		if c.want > 0 {
+			opts = append(opts, WithShards(c.want))
+		}
+		h := New(c.words, opts...)
+		got := h.Shards()
+		if got > max(c.want, 1) && c.want > 0 {
+			t.Errorf("New(%d words, pw %d, WithShards(%d)): %d shards, exceeds request",
+				c.words, c.pw, c.want, got)
+		}
+		// Shard ranges must tile the page space exactly.
+		covered := 0
+		for si := 0; si < got; si++ {
+			lo, hi := h.shardRange(si)
+			if lo != covered {
+				t.Fatalf("shard %d starts at page %d, want %d (gap or overlap)", si, lo, covered)
+			}
+			covered = hi
+		}
+		if covered != h.npages {
+			t.Fatalf("shards cover %d pages, heap has %d", covered, h.npages)
+		}
+	}
+	// Explicit check of the non-exact case: 64 pages with WithShards(3)
+	// rounds pages-per-shard up to a power of two (32), giving 2 shards.
+	if got := New(1024, WithPageWords(16), WithShards(3)).Shards(); got != 2 {
+		t.Fatalf("64 pages, WithShards(3): %d shards, want 2 (pps rounds to 32)", got)
+	}
+}
+
+// TestShardedMatchesUnshardedOracle is the differential test for the
+// sharding tentpole: the same serialized commit script replayed against the
+// default sharded heap and the WithShards(1) single-lock oracle must yield
+// identical sequence numbers, identical content hashes, and identical
+// commit statistics.
+func TestShardedMatchesUnshardedOracle(t *testing.T) {
+	script := func(h *Heap) (hashes []uint64, seqs []int64, st CommitStats) {
+		a := h.NewView()
+		b := h.NewView()
+		// Writes span several shards (64 pages of 16 words; default
+		// sharding puts 8 pages in each shard).
+		for round := 0; round < 6; round++ {
+			for k := 0; k < 20; k++ {
+				addr := int64((round*131 + k*67) % 1024)
+				a.Store(addr, int64(round*1000+k))
+			}
+			seq, _ := a.Commit()
+			seqs = append(seqs, seq)
+			b.Update()
+			for k := 0; k < 10; k++ {
+				addr := int64((round*29 + k*251) % 1024)
+				b.Store(addr, int64(-round*100-k))
+			}
+			seq, _ = b.Commit()
+			seqs = append(seqs, seq)
+			a.Update()
+			hashes = append(hashes, h.Hash())
+		}
+		b.Close()
+		a.Close()
+		return hashes, seqs, h.Stats()
+	}
+
+	sharded := New(1024, WithPageWords(16))
+	oracle := New(1024, WithPageWords(16), WithShards(1))
+	if sharded.Shards() <= 1 {
+		t.Fatalf("default heap has %d shards; the differential test needs > 1", sharded.Shards())
+	}
+	if oracle.Shards() != 1 {
+		t.Fatalf("WithShards(1) heap has %d shards, want 1", oracle.Shards())
+	}
+	sh, ss, sst := script(sharded)
+	oh, os, ost := script(oracle)
+	for i := range sh {
+		if sh[i] != oh[i] {
+			t.Fatalf("hash after round %d: sharded %x, unsharded oracle %x", i, sh[i], oh[i])
+		}
+	}
+	for i := range ss {
+		if ss[i] != os[i] {
+			t.Fatalf("commit %d: sharded seq %d, oracle seq %d", i, ss[i], os[i])
+		}
+	}
+	// PageHits/PageMisses are excluded: they count published-frame pool
+	// reuse, and the pool is per-shard, so reuse locality is a function of
+	// the shard layout (deterministic for a given layout, but not across
+	// layouts). Everything visible to the program must agree.
+	sst.PageHits, sst.PageMisses = 0, 0
+	ost.PageHits, ost.PageMisses = 0, 0
+	if sst != ost {
+		t.Fatalf("commit stats diverge:\nsharded:  %+v\noracle:   %+v", sst, ost)
+	}
+	if err := sharded.Audit(); err != nil {
+		t.Fatalf("sharded heap audit: %v", err)
+	}
+	if err := oracle.Audit(); err != nil {
+		t.Fatalf("oracle heap audit: %v", err)
+	}
+}
+
+// TestQuickShardedHashMatchesOracle drives random store/commit/update
+// scripts through the sharded heap and the single-shard oracle and checks
+// the final content hash and live-version count agree.
+func TestQuickShardedHashMatchesOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func(opts ...Option) (uint64, int64) {
+			h := New(512, append([]Option{WithPageWords(8)}, opts...)...)
+			views := []*View{h.NewView(), h.NewView(), h.NewView()}
+			r := seed
+			next := func(n uint64) uint64 {
+				r = r*6364136223846793005 + 1442695040888963407
+				return (r >> 33) % n
+			}
+			for step := 0; step < 200; step++ {
+				v := views[next(uint64(len(views)))]
+				switch next(4) {
+				case 0, 1:
+					v.Store(int64(next(512)), int64(next(1<<20)))
+				case 2:
+					v.Commit()
+				case 3:
+					if v.DirtyPages() == 0 { // Update requires a clean view
+						v.Update()
+					} else {
+						v.Revert()
+					}
+				}
+			}
+			for _, v := range views {
+				v.Commit()
+				v.Close()
+			}
+			return h.Hash(), h.Seq()
+		}
+		h1, s1 := run()
+		h2, s2 := run(WithShards(1))
+		if h1 != h2 || s1 != s2 {
+			t.Logf("seed %x: sharded (hash %x, seq %d) vs oracle (hash %x, seq %d)", seed, h1, s1, h2, s2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardTrimFloorsMonotone pins the per-shard trim-floor invariant: as
+// views commit, re-base and close, the floor each shard trims at never
+// decreases, and never exceeds the newest committed sequence.
+func TestShardTrimFloorsMonotone(t *testing.T) {
+	h := New(1024, WithPageWords(16))
+	prev := h.ShardTrimFloors()
+	check := func(stage string) {
+		cur := h.ShardTrimFloors()
+		for si := range cur {
+			if cur[si] < prev[si] {
+				t.Fatalf("%s: shard %d trim floor went backwards: %d -> %d", stage, si, prev[si], cur[si])
+			}
+			if cur[si] > h.Seq() {
+				t.Fatalf("%s: shard %d trim floor %d ahead of newest commit %d", stage, si, cur[si], h.Seq())
+			}
+		}
+		prev = cur
+	}
+
+	a := h.NewView()
+	b := h.NewView()
+	for round := 0; round < 8; round++ {
+		for pi := 0; pi < 64; pi += 3 {
+			a.Store(int64(pi*16), int64(round))
+		}
+		a.Commit()
+		check("after a.Commit")
+		b.Update() // b's base advances: floors may rise
+		for pi := 1; pi < 64; pi += 5 {
+			b.Store(int64(pi*16), int64(-round))
+		}
+		b.Commit()
+		check("after b.Commit")
+		a.Update()
+	}
+	b.Close()
+	check("after b.Close")
+	// With only one live view at the newest base, another commit trims
+	// every touched chain up to that base.
+	for pi := 0; pi < 64; pi++ {
+		a.Store(int64(pi*16+1), 7)
+	}
+	a.Commit()
+	check("after full-heap commit")
+	if err := h.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+}
+
+// TestShardPoolsRecycleFrames checks trimming refills the owning shard's
+// pool: steady-state commits on a trimmed heap reuse frames rather than
+// allocating fresh pages without bound.
+func TestShardPoolsRecycleFrames(t *testing.T) {
+	h := New(1024, WithPageWords(16))
+	v := h.NewView()
+	for round := 0; round < 50; round++ {
+		for pi := 0; pi < 64; pi++ {
+			v.Store(int64(pi*16), int64(round))
+		}
+		v.Commit()
+	}
+	// One live view at the newest base: every chain should have been
+	// trimmed to ~1 version + the shared zero tail.
+	if live := h.LiveVersions(); live > 2*64 {
+		t.Fatalf("%d live versions after steady-state commits on 64 pages; trimming is not recycling", live)
+	}
+	pooled := 0
+	for si := range h.shards {
+		s := &h.shards[si]
+		s.mu.Lock()
+		pooled += len(s.pagePool)
+		s.mu.Unlock()
+	}
+	if pooled == 0 {
+		t.Fatal("no frames in any shard pool after heavy trimming")
+	}
+	v.Close()
+}

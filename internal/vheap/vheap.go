@@ -41,6 +41,16 @@
 // as a differential oracle for the flat tables, exactly as
 // WithLegacyDiffCommit preserves the full twin scan for the bitmap commit.
 //
+// The heap is sharded by contiguous page range: each shard owns its pages'
+// commit lock, published-page pool and trim-floor cache, so commits touching
+// disjoint page ranges contend on nothing global — the hierarchical scaling
+// structure the tournament arbiter (internal/dlc) applies to turn grants,
+// applied to publication. Sharding is invisible to determinism: commit
+// sequence numbers and publication order are still derived solely from the
+// (DLC, tid) turn order that serializes Commit calls, and a shard only
+// partitions which mutex guards which page chains. WithShards(1) collapses
+// the heap to the original single-lock layout as the differential oracle.
+//
 // Version chains are trimmed below the oldest base sequence still referenced
 // by a live view. This is the space advantage the paper ascribes to DDRF
 // (§4.2): the heap holds one version per page plus short tails for in-flight
@@ -70,6 +80,12 @@ import (
 // DefaultPageWords is the default page size in 64-bit words (2 KiB pages).
 const DefaultPageWords = 256
 
+// DefaultShards is the shard count New aims for when WithShards is not
+// given: enough to spread commit traffic, few enough that per-shard state
+// (a mutex, a pool, a floor cache) stays negligible. Heaps with fewer pages
+// than shards get one shard per page.
+const DefaultShards = 8
+
 // page is one immutable version of one page, linked into that slot's
 // version list. Only the prev pointer mutates (for trimming), hence atomic.
 type page struct {
@@ -78,9 +94,42 @@ type page struct {
 	words []int64
 }
 
+// heapShard owns one contiguous page range of the heap: the mutex guarding
+// those pages' version chains, the published-page pool their trims refill,
+// and a cache of the trim floor. Lock order, where both are held: a shard
+// mutex before viewMu (and shards in index order before viewMu when a
+// whole-heap operation locks several).
+type heapShard struct {
+	mu sync.Mutex // guards this shard's chains, pool and trims
+
+	// pagePool is this shard's free list of published page frames, refilled
+	// by chain trimming: a version cut below the trim floor is unreachable
+	// by every live view (their bases are at or above the floor, so no
+	// chain walk descends past the floor's terminal node), which makes its
+	// frame safe to overwrite in a later commit. Guarded by mu.
+	pagePool []*page
+
+	// Trim-floor cache: recomputing the floor is an O(views) map scan under
+	// viewMu, so commits into this shard reuse the last computed value
+	// until it is invalidated — by view registration/unregistration, or by
+	// a re-base of a view that sat at (or below) the cached floor. View
+	// bases only move forward, and NewView bases at the newest commit
+	// (>= every floor), so a cached floor is always a lower bound of the
+	// true floor: stale only ever means trimming less, never over-trimming.
+	floorCache atomic.Int64
+	floorValid atomic.Bool
+
+	// lastFloor is the floor the shard's most recent trim used, -1 before
+	// any. The true floor is monotone (bases only move forward, new views
+	// base at the newest commit) and caches revalidate against the current
+	// view set, so the sequence of floors a shard trims at must never
+	// decrease — the per-shard monotonicity invariant the checker audits.
+	// Guarded by mu.
+	lastFloor int64
+}
+
 // Heap is the shared versioned memory.
 type Heap struct {
-	mu        sync.Mutex // serializes commits, trims and view registration
 	pageWords int
 	pageShift uint
 	pageMask  int64
@@ -92,24 +141,14 @@ type Heap struct {
 	// appear in many chains at once, so trimming must never recycle it.
 	zero *page
 
-	views map[*View]struct{} // live views, for trim floor computation
+	// Shards partition the page slots into contiguous ranges of 2^ppsShift
+	// pages: page pi belongs to shards[pi>>ppsShift]. Each shard's mutex
+	// serializes commits and trims on its own pages only.
+	ppsShift uint
+	shards   []heapShard
 
-	// Trim-floor cache: recomputing the floor is an O(views) map scan under
-	// mu on every commit, so Commit reuses the last computed value until it
-	// is invalidated — by view registration/unregistration, or by a re-base
-	// of a view that sat at (or below) the cached floor. View bases only
-	// move forward, and NewView bases at the newest commit (>= every floor),
-	// so a cached floor is always a lower bound of the true floor: stale
-	// only ever means trimming less, never over-trimming.
-	floorCache atomic.Int64
-	floorValid atomic.Bool
-
-	// pagePool is the per-heap free list of published page frames, refilled
-	// by chain trimming: a version cut below the trim floor is unreachable
-	// by every live view (their bases are at or above the floor, so no
-	// chain walk descends past the floor's terminal node), which makes its
-	// frame safe to overwrite in a later commit. Guarded by mu.
-	pagePool []*page
+	viewMu sync.Mutex         // guards the live-view registry
+	views  map[*View]struct{} // live views, for trim floor computation
 
 	commits      atomic.Int64 // total commits (stats)
 	pagesWritten atomic.Int64 // total page versions published (stats)
@@ -135,6 +174,7 @@ type Option func(*heapConfig)
 
 type heapConfig struct {
 	pageWords  int
+	shards     int
 	keepChains bool
 	legacyDiff bool
 	mapViews   bool
@@ -143,6 +183,15 @@ type heapConfig struct {
 
 // WithPageWords sets the page size in words; it must be a power of two.
 func WithPageWords(n int) Option { return func(c *heapConfig) { c.pageWords = n } }
+
+// WithShards sets the target shard count (default DefaultShards). The heap
+// rounds pages-per-shard up to a power of two, so the realized count (see
+// Shards) can be lower; it never exceeds the page count. WithShards(1)
+// restores the original single-lock heap and is kept as the differential
+// oracle the sharded layout is tested against: shard boundaries are pure
+// lock partitioning, so every shard count publishes byte-identical heaps,
+// sequences and commit statistics.
+func WithShards(n int) Option { return func(c *heapConfig) { c.shards = n } }
 
 // WithFullVersionChains retains every page version rather than trimming
 // chains to the versions still reachable by a live view. Used by the
@@ -166,8 +215,10 @@ func WithLegacyDiffCommit() Option { return func(c *heapConfig) { c.legacyDiff =
 func WithMapViews() Option { return func(c *heapConfig) { c.mapViews = true } }
 
 // WithTelemetry publishes the heap's commit-path measurements into rec:
-// cumulative "vheap.commits", "vheap.pages_committed", "vheap.words_committed"
-// and "vheap.words_scanned" counters, a "vheap.commit_words" histogram of
+// cumulative "vheap.commits", "vheap.pages_committed", "vheap.words_committed",
+// "vheap.words_scanned" and "vheap.shard_batches" (shard lock acquisitions
+// across commits, a deterministic function of each commit's dirty-page set)
+// counters, a "vheap.commit_words" histogram of
 // per-commit merged word counts, and the pool counters
 // "vheap.frame_pool_hits"/"vheap.frame_pool_misses" (dirty-page frames) and
 // "vheap.page_pool_hits"/"vheap.page_pool_misses" (published page frames).
@@ -198,23 +249,70 @@ func New(words int64, opts ...Option) *Heap {
 	if np == 0 {
 		np = 1
 	}
+	want := cfg.shards
+	if want <= 0 {
+		want = DefaultShards
+	}
+	if want > np {
+		want = np
+	}
+	pps := 1
+	for pps < (np+want-1)/want {
+		pps <<= 1
+	}
 	h := &Heap{
 		pageWords:  cfg.pageWords,
 		pageShift:  shift,
 		pageMask:   int64(cfg.pageWords - 1),
 		npages:     np,
 		slots:      make([]atomic.Pointer[page], np),
+		ppsShift:   uint(bits.TrailingZeros(uint(pps))),
+		shards:     make([]heapShard, (np+pps-1)/pps),
 		views:      make(map[*View]struct{}),
 		trim:       !cfg.keepChains,
 		legacyDiff: cfg.legacyDiff,
 		mapViews:   cfg.mapViews,
 		tel:        cfg.tel,
 	}
+	for i := range h.shards {
+		h.shards[i].lastFloor = -1
+	}
 	h.zero = &page{seq: 0, words: make([]int64, cfg.pageWords)}
 	for i := range h.slots {
 		h.slots[i].Store(h.zero) // shared zero page; copied on first write
 	}
 	return h
+}
+
+// Shards returns the realized shard count.
+func (h *Heap) Shards() int { return len(h.shards) }
+
+// shardOf returns the shard owning page pi.
+func (h *Heap) shardOf(pi int) *heapShard { return &h.shards[pi>>h.ppsShift] }
+
+// shardRange returns the page range [lo, hi) shard si owns.
+func (h *Heap) shardRange(si int) (lo, hi int) {
+	lo = si << h.ppsShift
+	hi = lo + 1<<h.ppsShift
+	if hi > h.npages {
+		hi = h.npages
+	}
+	return lo, hi
+}
+
+// ShardTrimFloors returns, per shard, the trim floor its most recent trim
+// used (-1 for shards that never trimmed). The true floor is monotone, so
+// each entry must never decrease across calls — the invariant checker's
+// per-shard trim-floor rule.
+func (h *Heap) ShardTrimFloors() []int64 {
+	floors := make([]int64, len(h.shards))
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		floors[i] = s.lastFloor
+		s.mu.Unlock()
+	}
+	return floors
 }
 
 // Words returns the heap size in words.
@@ -233,8 +331,9 @@ func (h *Heap) Seq() int64 { return h.seq.Load() }
 func (h *Heap) SetInitial(addr, val int64) {
 	pi := addr >> h.pageShift
 	off := addr & h.pageMask
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	s := h.shardOf(int(pi))
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	head := h.slots[pi].Load()
 	if head == h.zero {
 		// First touch: give the slot a private page. The shared zero page
@@ -268,7 +367,7 @@ func (h *Heap) pageAt(pi int, base int64) *page {
 }
 
 // trimFloorLocked returns the oldest base sequence referenced by any live
-// view. Caller holds h.mu.
+// view. Caller holds h.viewMu.
 func (h *Heap) trimFloorLocked() int64 {
 	floor := int64(math.MaxInt64)
 	//lazydet:nondeterministic order-independent min-reduction over the live-view set
@@ -280,36 +379,68 @@ func (h *Heap) trimFloorLocked() int64 {
 	return floor
 }
 
-// noteRebase invalidates the cached trim floor when a view moves its base
-// forward from oldBase: if that view sat at (or below) the cached floor it
-// may have been the floor holder, so the next commit must recompute. Views
-// strictly above the cached floor cannot lower it by moving forward.
+// noteRebase invalidates every shard's cached trim floor when a view moves
+// its base forward from oldBase: if that view sat at (or below) a shard's
+// cached floor it may have been the floor holder, so that shard's next
+// commit must recompute. Views strictly above a cached floor cannot lower
+// it by moving forward.
 func (h *Heap) noteRebase(oldBase int64) {
-	if h.floorValid.Load() && oldBase <= h.floorCache.Load() {
-		h.floorValid.Store(false)
+	for i := range h.shards {
+		s := &h.shards[i]
+		if s.floorValid.Load() && oldBase <= s.floorCache.Load() {
+			s.floorValid.Store(false)
+		}
 	}
 }
 
+// invalidateFloors drops every shard's cached trim floor (view set changed).
+func (h *Heap) invalidateFloors() {
+	for i := range h.shards {
+		h.shards[i].floorValid.Store(false)
+	}
+}
+
+// shardFloor returns the shard's cached trim floor, recomputing it from the
+// live-view registry when invalid. Caller holds s.mu (lock order: a shard
+// mutex before viewMu).
+func (h *Heap) shardFloor(s *heapShard) int64 {
+	if s.floorValid.Load() {
+		return s.floorCache.Load()
+	}
+	h.viewMu.Lock()
+	floor := h.trimFloorLocked()
+	h.viewMu.Unlock()
+	s.floorCache.Store(floor)
+	s.floorValid.Store(true)
+	return floor
+}
+
 // Hash returns an FNV-1a hash of the newest committed heap contents. Two
-// deterministic runs of the same program must produce equal hashes.
+// deterministic runs of the same program must produce equal hashes. Each
+// shard is locked while its range is hashed; page order (and so the hash)
+// is independent of the shard layout.
 func (h *Heap) Hash() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	f := fnv.New64a()
 	var buf [8]byte
-	for i := range h.slots {
-		p := h.slots[i].Load()
-		for _, w := range p.words {
-			buf[0] = byte(w)
-			buf[1] = byte(w >> 8)
-			buf[2] = byte(w >> 16)
-			buf[3] = byte(w >> 24)
-			buf[4] = byte(w >> 32)
-			buf[5] = byte(w >> 40)
-			buf[6] = byte(w >> 48)
-			buf[7] = byte(w >> 56)
-			f.Write(buf[:])
+	for si := range h.shards {
+		s := &h.shards[si]
+		s.mu.Lock()
+		lo, hi := h.shardRange(si)
+		for i := lo; i < hi; i++ {
+			p := h.slots[i].Load()
+			for _, w := range p.words {
+				buf[0] = byte(w)
+				buf[1] = byte(w >> 8)
+				buf[2] = byte(w >> 16)
+				buf[3] = byte(w >> 24)
+				buf[4] = byte(w >> 32)
+				buf[5] = byte(w >> 40)
+				buf[6] = byte(w >> 48)
+				buf[7] = byte(w >> 56)
+				f.Write(buf[:])
+			}
 		}
+		s.mu.Unlock()
 	}
 	return f.Sum64()
 }
@@ -355,13 +486,17 @@ func (h *Heap) Stats() CommitStats {
 // lists. With full chains retained this measures the cost that DLRC-style
 // systems pay (paper §4.2).
 func (h *Heap) LiveVersions() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	n := 0
-	for i := range h.slots {
-		for p := h.slots[i].Load(); p != nil; p = p.prev.Load() {
-			n++
+	for si := range h.shards {
+		s := &h.shards[si]
+		s.mu.Lock()
+		lo, hi := h.shardRange(si)
+		for i := lo; i < hi; i++ {
+			for p := h.slots[i].Load(); p != nil; p = p.prev.Load() {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
@@ -371,40 +506,52 @@ func (h *Heap) LiveVersions() int {
 // heap's committed sequence, with trimming enabled the oldest retained
 // version of every chain is at or below the trim floor (the minimum base of
 // the live views) so no live view's base has been trimmed out from under it,
-// and no pooled page frame is still reachable from a version chain (a
-// reachable frame would be overwritten by the commit that reuses it).
+// no pooled page frame is still reachable from a version chain (a reachable
+// frame would be overwritten by the commit that reuses it), and every
+// shard's cached and last-used trim floors are at or below the true floor.
 // Returns a descriptive error on the first breach. Used by the invariant
 // checker (internal/invariant).
 func (h *Heap) Audit() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+		defer h.shards[i].mu.Unlock()
+	}
+	h.viewMu.Lock()
+	defer h.viewMu.Unlock()
 	top := h.seq.Load()
 	floor := h.trimFloorLocked()
-	if h.floorValid.Load() && h.floorCache.Load() > floor {
-		return fmt.Errorf("vheap: cached trim floor %d is above the true floor %d — trimming could cut a live view's base",
-			h.floorCache.Load(), floor)
-	}
 	//lazydet:nondeterministic order-independent audit: every view is checked, the first offender differs only in the error text
 	for v := range h.views {
 		if b := v.base.Load(); b > top {
 			return fmt.Errorf("vheap: live view base %d is ahead of the newest commit %d", b, top)
 		}
 	}
-	pooled := make(map[*page]bool, len(h.pagePool))
-	for i, p := range h.pagePool {
-		if p == nil {
-			return fmt.Errorf("vheap: page pool entry %d is nil", i)
+	pooled := make(map[*page]bool)
+	for si := range h.shards {
+		s := &h.shards[si]
+		if s.floorValid.Load() && s.floorCache.Load() > floor {
+			return fmt.Errorf("vheap: shard %d cached trim floor %d is above the true floor %d — trimming could cut a live view's base",
+				si, s.floorCache.Load(), floor)
 		}
-		if p == h.zero {
-			return fmt.Errorf("vheap: the shared zero page was recycled into the page pool — other chains may still reference it")
+		if s.lastFloor > floor {
+			return fmt.Errorf("vheap: shard %d last trimmed at floor %d, above the true floor %d — trimming could have cut a live view's base",
+				si, s.lastFloor, floor)
 		}
-		if len(p.words) != h.pageWords {
-			return fmt.Errorf("vheap: pooled page frame %d has %d words, want the page size %d", i, len(p.words), h.pageWords)
+		for i, p := range s.pagePool {
+			if p == nil {
+				return fmt.Errorf("vheap: shard %d page pool entry %d is nil", si, i)
+			}
+			if p == h.zero {
+				return fmt.Errorf("vheap: the shared zero page was recycled into shard %d's page pool — other chains may still reference it", si)
+			}
+			if len(p.words) != h.pageWords {
+				return fmt.Errorf("vheap: shard %d pooled page frame %d has %d words, want the page size %d", si, i, len(p.words), h.pageWords)
+			}
+			if p.prev.Load() != nil {
+				return fmt.Errorf("vheap: shard %d pooled page frame %d still links to a version chain", si, i)
+			}
+			pooled[p] = true
 		}
-		if p.prev.Load() != nil {
-			return fmt.Errorf("vheap: pooled page frame %d still links to a version chain", i)
-		}
-		pooled[p] = true
 	}
 	for pi := range h.slots {
 		p := h.slots[pi].Load()
@@ -510,11 +657,11 @@ func (h *Heap) NewView() *View {
 		v.cleanGen = make([]uint64, h.npages)
 		v.gen = 1 // so zero-valued cleanGen entries are invalid
 	}
-	h.mu.Lock()
+	h.viewMu.Lock()
 	v.base.Store(h.seq.Load())
 	h.views[v] = struct{}{}
-	h.floorValid.Store(false)
-	h.mu.Unlock()
+	h.viewMu.Unlock()
+	h.invalidateFloors()
 	return v
 }
 
@@ -523,13 +670,17 @@ func (h *Heap) NewView() *View {
 // thread state twice cannot invalidate the trim-floor cache spuriously or
 // unregister a recreated view by aliasing.
 func (v *View) Close() {
-	v.h.mu.Lock()
+	v.h.viewMu.Lock()
+	unregistered := false
 	if !v.closed {
 		v.closed = true
 		delete(v.h.views, v)
-		v.h.floorValid.Store(false)
+		unregistered = true
 	}
-	v.h.mu.Unlock()
+	v.h.viewMu.Unlock()
+	if unregistered {
+		v.h.invalidateFloors()
+	}
 }
 
 // BaseSeq returns the committed sequence the view is based on.
@@ -818,15 +969,15 @@ func (v *View) StoreDirty(addr, val int64) {
 	}
 }
 
-// newPageLocked takes a published-page frame from the heap pool (refilled by
-// chain trimming) or allocates one, counting the outcome into hits/misses.
-// Caller holds h.mu; the returned frame's words are overwritten by the
-// caller before publication.
-func (h *Heap) newPageLocked(seq int64, hits, misses *int64) *page {
-	if n := len(h.pagePool); n > 0 {
-		p := h.pagePool[n-1]
-		h.pagePool[n-1] = nil
-		h.pagePool = h.pagePool[:n-1]
+// newPageLocked takes a published-page frame from the shard's pool
+// (refilled by chain trimming) or allocates one, counting the outcome into
+// hits/misses. Caller holds s.mu; the returned frame's words are
+// overwritten by the caller before publication.
+func (h *Heap) newPageLocked(s *heapShard, seq int64, hits, misses *int64) *page {
+	if n := len(s.pagePool); n > 0 {
+		p := s.pagePool[n-1]
+		s.pagePool[n-1] = nil
+		s.pagePool = s.pagePool[:n-1]
 		p.seq = seq
 		p.prev.Store(nil)
 		*hits++
@@ -838,8 +989,9 @@ func (h *Heap) newPageLocked(seq int64, hits, misses *int64) *page {
 
 // commitPage merges one dirty page onto its head version and publishes the
 // result, returning the number of merged words (0 means every store was
-// silent and nothing was published). Caller holds h.mu.
-func (h *Heap) commitPage(pi int, d *dirtyPage, newSeq int64, scanned, pageHits, pageMisses *int64) int {
+// silent and nothing was published). Caller holds the mutex of page pi's
+// shard s.
+func (h *Heap) commitPage(s *heapShard, pi int, d *dirtyPage, newSeq int64, scanned, pageHits, pageMisses *int64) int {
 	head := h.slots[pi].Load()
 	var merged *page
 	n := 0
@@ -848,7 +1000,7 @@ func (h *Heap) commitPage(pi int, d *dirtyPage, newSeq int64, scanned, pageHits,
 		for i, w := range d.words {
 			if w != d.twin[i] {
 				if merged == nil {
-					merged = h.newPageLocked(newSeq, pageHits, pageMisses)
+					merged = h.newPageLocked(s, newSeq, pageHits, pageMisses)
 					copy(merged.words, head.words)
 				}
 				merged.words[i] = w
@@ -863,7 +1015,7 @@ func (h *Heap) commitPage(pi int, d *dirtyPage, newSeq int64, scanned, pageHits,
 				*scanned++
 				if d.words[i] != d.twin[i] {
 					if merged == nil {
-						merged = h.newPageLocked(newSeq, pageHits, pageMisses)
+						merged = h.newPageLocked(s, newSeq, pageHits, pageMisses)
 						copy(merged.words, head.words)
 					}
 					merged.words[i] = d.words[i]
@@ -886,53 +1038,66 @@ func (h *Heap) commitPage(pi int, d *dirtyPage, newSeq int64, scanned, pageHits,
 // bitmap's marked words are examined; under WithLegacyDiffCommit every word
 // of the page is. The view is re-based on the new committed state and its
 // dirty set cleared — flat views recycle their frames, and trimmed-off page
-// versions refill the heap's published-page pool. Returns the new sequence
-// number and the number of words merged.
+// versions refill their shards' published-page pools. Returns the new
+// sequence number and the number of words merged.
+//
+// Publication locks one shard at a time: each dirty page is merged and
+// trimmed under the mutex of the shard owning it, with consecutive dirty
+// pages in the same shard sharing one acquisition. The committed sequence is
+// advanced only after every page is published, so a view registering
+// concurrently still bases on a fully published state.
 //
 // Callers must serialize commits deterministically (all engines here commit
-// while holding the turn); the heap mutex only protects the data structures.
+// while holding the turn); the shard mutexes only protect the data
+// structures.
 func (v *View) Commit() (seq int64, changed int) {
 	h := v.h
 	oldBase := v.base.Load()
-	h.mu.Lock()
 	newSeq := h.seq.Load() + 1
-	var floor int64 = -1
-	if h.trim {
-		if h.floorValid.Load() {
-			floor = h.floorCache.Load()
-		} else {
-			floor = h.trimFloorLocked()
-			h.floorCache.Store(floor)
-			h.floorValid.Store(true)
-		}
-	}
 	scanned := int64(0)
 	pages := int64(0)
+	batches := int64(0)
 	var pageHits, pageMisses int64
 	if v.mt != nil {
 		//lazydet:nondeterministic pages publish independently into per-page slots; commit order within one commit is unobservable
 		for pi, d := range v.mt.dirty {
-			n := h.commitPage(pi, d, newSeq, &scanned, &pageHits, &pageMisses)
-			if n == 0 {
-				continue
+			s := h.shardOf(pi)
+			s.mu.Lock()
+			batches++
+			n := h.commitPage(s, pi, d, newSeq, &scanned, &pageHits, &pageMisses)
+			if n != 0 {
+				pages++
+				changed += n
+				if h.trim {
+					h.trimChainLocked(s, h.slots[pi].Load(), h.shardFloor(s))
+				}
 			}
-			pages++
-			changed += n
-			if h.trim {
-				h.trimChainLocked(h.slots[pi].Load(), floor)
-			}
+			s.mu.Unlock()
 		}
 	} else {
+		cur := -1
 		for _, pi := range v.dirtyIdx {
-			n := h.commitPage(pi, v.dirtyTab[pi], newSeq, &scanned, &pageHits, &pageMisses)
+			if si := pi >> h.ppsShift; si != cur {
+				if cur >= 0 {
+					h.shards[cur].mu.Unlock()
+				}
+				h.shards[si].mu.Lock()
+				cur = si
+				batches++
+			}
+			s := &h.shards[cur]
+			n := h.commitPage(s, pi, v.dirtyTab[pi], newSeq, &scanned, &pageHits, &pageMisses)
 			if n == 0 {
 				continue
 			}
 			pages++
 			changed += n
 			if h.trim {
-				h.trimChainLocked(h.slots[pi].Load(), floor)
+				h.trimChainLocked(s, h.slots[pi].Load(), h.shardFloor(s))
 			}
+		}
+		if cur >= 0 {
+			h.shards[cur].mu.Unlock()
 		}
 	}
 	h.seq.Store(newSeq)
@@ -940,7 +1105,6 @@ func (v *View) Commit() (seq int64, changed int) {
 	h.pagesWritten.Add(pages)
 	h.wordsMerged.Add(int64(changed))
 	h.wordsScanned.Add(scanned)
-	h.mu.Unlock()
 	frameHits, frameMiss := v.frameHits, v.frameMiss
 	if frameHits != 0 || frameMiss != 0 {
 		h.frameHits.Add(frameHits)
@@ -956,6 +1120,7 @@ func (v *View) Commit() (seq int64, changed int) {
 		h.tel.Count("vheap.pages_committed", pages)
 		h.tel.Count("vheap.words_committed", int64(changed))
 		h.tel.Count("vheap.words_scanned", scanned)
+		h.tel.Count("vheap.shard_batches", batches)
 		h.tel.Observe("vheap.commit_words", int64(changed))
 		if frameHits != 0 {
 			h.tel.Count("vheap.frame_pool_hits", frameHits)
@@ -986,9 +1151,12 @@ func (v *View) Commit() (seq int64, changed int) {
 // is <= floor: no live view can need anything older. Readers concurrently
 // walking the chain hold bases >= floor, so they never traverse past the new
 // terminal node — which is what makes the cut-off tail unreachable and its
-// frames safe to recycle into the page pool (the shared zero page excepted:
-// it can sit in many chains at once). Caller holds h.mu.
-func (h *Heap) trimChainLocked(head *page, floor int64) {
+// frames safe to recycle into the shard's page pool (the shared zero page
+// excepted: it can sit in many chains at once). The floor is recorded as the
+// shard's lastFloor for the monotonicity audit. Caller holds s.mu; head must
+// belong to shard s.
+func (h *Heap) trimChainLocked(s *heapShard, head *page, floor int64) {
+	s.lastFloor = floor
 	p := head
 	for p.seq > floor {
 		prev := p.prev.Load()
@@ -1008,7 +1176,7 @@ func (h *Heap) trimChainLocked(head *page, floor int64) {
 		next := q.prev.Load()
 		q.prev.Store(nil)
 		if q != h.zero {
-			h.pagePool = append(h.pagePool, q)
+			s.pagePool = append(s.pagePool, q)
 		}
 		q = next
 	}
