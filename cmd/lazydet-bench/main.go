@@ -58,6 +58,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	versions := flag.Bool("versions", false, "run the §4.2 version-count experiment")
 	arbsweep := flag.Bool("arbsweep", false, "run the arbiter-cost-vs-threads sweep (tournament tree vs flat scan)")
+	dispatchsweep := flag.Bool("dispatchsweep", false, "run the dispatch-cost sweep (interpreter vs threaded code vs direct, per program shape)")
+	compiled := flag.Bool("compiled", false, "run the deterministic engines on the threaded-code backend; with -report and -baseline, the interpreter baseline's gated metrics act as the differential oracle")
 	reps := flag.Int("reps", 3, "repetitions per data point (paper: 5)")
 	threads := flag.Int("threads", 0, "override the experiment's thread count")
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
@@ -102,12 +104,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Out:     os.Stdout,
-		Reps:    *reps,
-		Threads: *threads,
-		Scale:   *scale,
-		Quick:   *quick,
-		CSVDir:  *csvDir,
+		Out:      os.Stdout,
+		Reps:     *reps,
+		Threads:  *threads,
+		Scale:    *scale,
+		Quick:    *quick,
+		CSVDir:   *csvDir,
+		Compiled: *compiled,
 	}
 
 	if *compare != "" {
@@ -165,6 +168,7 @@ func main() {
 		add("figure 12", experiments.Fig12)
 		add("versions", experiments.Versions)
 		add("arbsweep", experiments.ArbiterSweep)
+		add("dispatchsweep", experiments.DispatchSweep)
 	case *fig != 0:
 		f, ok := figs[*fig]
 		if !ok {
@@ -183,6 +187,8 @@ func main() {
 		add("versions", experiments.Versions)
 	case *arbsweep:
 		add("arbsweep", experiments.ArbiterSweep)
+	case *dispatchsweep:
+		add("dispatchsweep", experiments.DispatchSweep)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -34,7 +34,11 @@
 // shard count — and independently of those flags, every seed cross-checks
 // the strong engines against the opposite arbiter and the single-shard
 // heap: traces and final memory must be bit-identical, because grant and
-// publication order are specified by (DLC, tid) alone.
+// publication order are specified by (DLC, tid) alone. -compiled runs every
+// engine on the threaded-code backend (fused superinstructions) instead of
+// the interpreter — and independently of the flag, every seed cross-checks
+// the strong engines against the opposite backend, the interpreter serving
+// as the differential oracle for the lowering pass.
 //
 //	lazydet-fuzz -seeds 100 -threads 4
 //	lazydet-fuzz -seeds 1000 -ops 120 -start 42
@@ -100,6 +104,7 @@ func main() {
 	mapViews := flag.Bool("mapviews", false, "track view pages in maps instead of flat page tables")
 	flatArb := flag.Bool("flatarb", false, "arbitrate turns with flat O(threads) scans instead of the tournament tree")
 	shards := flag.Int("shards", 0, "versioned heap shard count (0 = default, 1 = single-lock oracle)")
+	compiled := flag.Bool("compiled", false, "run the threaded-code backend instead of the interpreter")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -120,7 +125,7 @@ func main() {
 		var violations []*invariant.Violation
 		baseOpt := harness.Options{
 			Threads: *threads, LegacyDiffCommit: *legacyDiff, MapViews: *mapViews,
-			FlatArbiter: *flatArb, HeapShards: *shards,
+			FlatArbiter: *flatArb, HeapShards: *shards, Compiled: *compiled,
 		}
 		if *invariants {
 			baseOpt.CheckInvariants = true
@@ -231,6 +236,23 @@ func main() {
 			if ref.TraceSig != res.TraceSig || ref.HeapHash != res.HeapHash {
 				fmt.Printf("seed %d: %s DIVERGES from arbiter/shard oracle (trace %x/%x heap %x/%x)\n",
 					seed, eng, ref.TraceSig, res.TraceSig, ref.HeapHash, res.HeapHash)
+				ok = false
+			}
+			// Property 8: execution-backend oracle. The threaded-code
+			// backend and the interpreter publish identical clocks at
+			// every sync point, so the schedule — and with it the trace
+			// and the final memory — must be bit-identical per seed.
+			bopt := opt
+			bopt.Compiled = !opt.Compiled
+			bres, err4 := harness.Run(w, bopt)
+			if err4 != nil {
+				fmt.Printf("seed %d: %s backend oracle: %v\n", seed, eng, err4)
+				ok = false
+				continue
+			}
+			if ref.TraceSig != bres.TraceSig || ref.HeapHash != bres.HeapHash {
+				fmt.Printf("seed %d: %s DIVERGES from backend oracle (trace %x/%x heap %x/%x)\n",
+					seed, eng, ref.TraceSig, bres.TraceSig, ref.HeapHash, bres.HeapHash)
 				ok = false
 			}
 		}

@@ -86,6 +86,7 @@ func main() {
 	mapViews := flag.Bool("mapviews", false, "track view pages in maps instead of flat page tables")
 	flatArb := flag.Bool("flatarb", false, "arbitrate turns with flat O(threads) scans instead of the tournament tree")
 	shards := flag.Int("shards", 0, "versioned heap shard count (0 = default, 1 = single-lock oracle)")
+	compiled := flag.Bool("compiled", false, "run the threaded-code backend instead of the interpreter")
 	reportPath := flag.String("report", "", "write a single-run structured JSON run report to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -119,6 +120,7 @@ func main() {
 		MapViews:         *mapViews,
 		FlatArbiter:      *flatArb,
 		HeapShards:       *shards,
+		Compiled:         *compiled,
 		Telemetry:        *reportPath != "",
 	}
 	if *cpuprofile != "" {
@@ -142,7 +144,11 @@ func main() {
 	}
 
 	fmt.Printf("workload:    %s (scale %d)\n", w.Name, *scale)
-	fmt.Printf("engine:      %s, %d threads\n", ek, *threads)
+	backend := "interpreter"
+	if *compiled {
+		backend = "threaded code"
+	}
+	fmt.Printf("engine:      %s, %d threads, %s backend\n", ek, *threads, backend)
 	fmt.Printf("wall time:   %v\n", res.Wall)
 	fmt.Printf("utilization: %.1f%%\n", res.UtilizationPct)
 	if res.Commits > 0 {

@@ -349,6 +349,12 @@ func (e *Engine) ThreadStart(t *dvm.Thread) {
 		ts.logWrite = make(map[int64]bool)
 	}
 	t.EngineData = ts
+	if e.tel != nil {
+		// Per-opcode retired-instruction counters: the opcode mix is a
+		// function of the deterministic schedule under this engine, so it
+		// is published as gateable metrics at thread exit.
+		t.EnableRetiredCounts()
+	}
 	if t.Prog().StartSuspended {
 		e.arb.SetParked(t.ID)
 	}
@@ -381,6 +387,14 @@ func (e *Engine) ThreadExit(t *dvm.Thread) bool {
 		// How many batched flushes delivered it (see dlc.TickWindow):
 		// dlc.total / dlc.tick_flushes is the realized batching factor.
 		e.tel.Count("dlc.tick_flushes", ts.tickFlushes)
+		// The retired opcode mix, summed across threads. Re-executions
+		// after speculation reverts retire again, exactly as the thread
+		// re-ran them; both backends count identically.
+		for op, n := range t.RetiredCounts() {
+			if n != 0 {
+				e.tel.Count("dvm.retired."+dvm.Opcode(op).String(), n)
+			}
+		}
 	}
 	e.arb.Exit(t.ID)
 	ts.mem.Close()

@@ -75,7 +75,34 @@ const (
 	OpJoin
 	// OpHalt terminates the thread.
 	OpHalt
+
+	// numOpcodes sizes per-opcode tables (retired-instruction counters,
+	// lowering dispatch).
+	numOpcodes = int(OpHalt) + 1
 )
+
+// opcodeNames are the short names used in telemetry keys and diagnostics.
+var opcodeNames = [numOpcodes]string{
+	OpDo: "do", OpLoad: "load", OpStore: "store", OpJump: "jump",
+	OpBranchUnless: "branch_unless", OpLock: "lock", OpUnlock: "unlock",
+	OpRLock: "rlock", OpRUnlock: "runlock", OpCondWait: "cond_wait",
+	OpCondSignal: "cond_signal", OpCondBroadcast: "cond_broadcast",
+	OpBarrier: "barrier", OpSyscall: "syscall", OpAtomic: "atomic",
+	OpSpawn: "spawn", OpJoin: "join", OpHalt: "halt",
+}
+
+// String returns the opcode's short name (used in telemetry counter keys
+// like "dvm.retired.lock").
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// NumOpcodes returns the number of defined opcodes; RetiredCounts slices
+// have this length, indexed by Opcode.
+func NumOpcodes() int { return numOpcodes }
 
 // AtomicKind selects the read-modify-write operation of OpAtomic.
 type AtomicKind uint8
@@ -266,6 +293,14 @@ type Thread struct {
 	rng    uint64 // deterministic per-thread PRNG state; part of snapshots
 	halted bool
 
+	// retired, when non-nil, counts executed instructions per opcode —
+	// including re-executions after speculation reverts, so the counts are
+	// the exact per-opcode decomposition of the retired-instruction stream
+	// that feeds the DLC. Engines enable it (EnableRetiredCounts) when
+	// telemetry is recording; nil keeps the dispatch loop branch-free of
+	// counter updates beyond one nil compare.
+	retired []int64
+
 	prog *Program
 	eng  Engine
 	grp  *Group
@@ -305,6 +340,20 @@ func (t *Thread) Prog() *Program { return t.prog }
 
 // Halt stops the thread after the current instruction.
 func (t *Thread) Halt() { t.halted = true }
+
+// EnableRetiredCounts turns on per-opcode retired-instruction counting for
+// the thread. Call it from Engine.ThreadStart (before the first
+// instruction); the counts are deterministic because the instruction stream
+// is.
+func (t *Thread) EnableRetiredCounts() {
+	if t.retired == nil {
+		t.retired = make([]int64, numOpcodes)
+	}
+}
+
+// RetiredCounts returns the per-opcode executed-instruction counts (indexed
+// by Opcode), or nil when counting was not enabled.
+func (t *Thread) RetiredCounts() []int64 { return t.retired }
 
 // Rand returns the next value of the thread's deterministic PRNG
 // (xorshift64*). The state is part of snapshots, so replayed code re-draws
@@ -404,7 +453,30 @@ func (t *Thread) MatchesSnapshot(s *Snapshot) error {
 	return nil
 }
 
-// run interprets the thread's program to completion.
+// Exec is one execution backend for validated programs: the interpreter
+// (Interp) or the threaded-code backend (Compile). Implementations must be
+// safe for concurrent use by multiple threads running the same program —
+// they hold only immutable per-program data, never per-thread state. The
+// interface is sealed: an execution backend participates in the VM's tick
+// batching and revert protocol, whose invariants (see Compile) outside
+// packages cannot uphold.
+type Exec interface {
+	// run executes the thread's program until it halts. It must be
+	// resumable: after an engine revert at thread exit, run is called
+	// again with the PC the engine restored.
+	run(t *Thread)
+}
+
+// interp is the switch-dispatch Exec backend: Thread.runInterp.
+type interp struct{}
+
+func (interp) run(t *Thread) { t.runInterp() }
+
+// Interp returns the interpreter backend — the differential oracle the
+// compiled backend is checked against.
+func Interp() Exec { return interp{} }
+
+// runInterp interprets the thread's program to completion.
 //
 // Retired-instruction cost is not ticked into the engine per instruction:
 // local instructions accumulate their cost thread-locally and flush every
@@ -416,14 +488,28 @@ func (t *Thread) MatchesSnapshot(s *Snapshot) error {
 // revert can only happen inside an engine operation, where the pending
 // batch is always zero, so rewinding the PC never double-charges or loses
 // accumulated cost.
-func (t *Thread) run() {
+//
+// The loop has exactly one exit protocol: the thread halts (OpHalt, a Do
+// closure calling Halt, or the PC running off the end of the code — the
+// latter possible only for hand-built unvalidated programs, and treated as
+// an implicit halt), and then the tail batch flushes. Both exit paths are
+// deliberately identical: ThreadExit must always observe a published clock
+// and t.halted set, whichever way the program ended.
+func (t *Thread) runInterp() {
 	code := t.prog.Code
 	eng := t.eng
 	var pend int64 // local-instruction cost accumulated since the last flush
 	steps := 0     // local instructions accumulated since the last flush
-	for !t.halted && t.PC < len(code) {
+	for !t.halted {
+		if t.PC >= len(code) {
+			t.halted = true // off-the-end exit halts exactly like OpHalt
+			break
+		}
 		in := &code[t.PC]
 		t.PC++
+		if t.retired != nil {
+			t.retired[in.Op]++
+		}
 		switch in.Op {
 		case OpDo:
 			in.Do(t)
@@ -491,11 +577,55 @@ func (t *Thread) run() {
 	}
 }
 
+// RunOption configures Run.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	execs   []Exec
+	compile bool
+}
+
+// WithExecs supplies one pre-built execution backend per thread (index i
+// runs thread i). Nil entries fall back to the interpreter. The harness
+// uses this to pass pre-compiled programs so it can time and deduplicate
+// compilation itself.
+func WithExecs(execs []Exec) RunOption {
+	return func(c *runConfig) { c.execs = execs }
+}
+
+// WithCompiledPrograms makes Run lower every program to the threaded-code
+// backend (Compile), deduplicating identical *Program values. The programs
+// must be valid (Program.Validate); a compile failure panics, since it can
+// only mean an unvalidated program reached Run.
+func WithCompiledPrograms() RunOption {
+	return func(c *runConfig) { c.compile = true }
+}
+
 // Run executes one program per thread under the given engine and blocks
 // until every thread exits. Thread i runs progs[i] with ID i. Threads whose
 // program is marked StartSuspended wait (registered with the engine, so
 // they do not block deterministic turn arbitration) until spawned.
-func Run(eng Engine, progs []*Program) {
+func Run(eng Engine, progs []*Program, opts ...RunOption) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	execs := cfg.execs
+	if cfg.compile && execs == nil {
+		execs = make([]Exec, len(progs))
+		cache := make(map[*Program]*Compiled, 1)
+		for i, p := range progs {
+			c := cache[p]
+			if c == nil {
+				var err error
+				if c, err = Compile(p); err != nil {
+					panic(fmt.Sprintf("dvm: WithCompiledPrograms on invalid program: %v", err))
+				}
+				cache[p] = c
+			}
+			execs[i] = c
+		}
+	}
 	grp := &Group{
 		start: make([]chan struct{}, len(progs)),
 		done:  make([]chan struct{}, len(progs)),
@@ -519,8 +649,12 @@ func Run(eng Engine, progs []*Program) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(threads))
-	for _, t := range threads {
-		go func(t *Thread) {
+	for i, t := range threads {
+		x := Exec(interp{})
+		if execs != nil && execs[i] != nil {
+			x = execs[i]
+		}
+		go func(t *Thread, x Exec) {
 			defer wg.Done()
 			defer close(t.grp.done[t.ID])
 			t.eng.ThreadStart(t)
@@ -534,12 +668,12 @@ func Run(eng Engine, progs []*Program) {
 				}
 			}
 			for {
-				t.run()
+				x.run(t)
 				if t.eng.ThreadExit(t) {
 					return
 				}
 			}
-		}(t)
+		}(t, x)
 	}
 	wg.Wait()
 }

@@ -2,20 +2,59 @@ package dvm
 
 import "testing"
 
-// BenchmarkDispatch measures raw interpreter throughput on a compute loop.
-func BenchmarkDispatch(b *testing.B) {
-	bld := NewBuilder("spin")
-	i := bld.Reg()
-	bld.ForN(i, 1_000_000, func() {
-		bld.Do(func(t *Thread) {})
+// dispatchPrograms are the shapes BenchmarkDispatch measures: a pure
+// compute loop (straight dispatch), a fused load-modify-store loop, and a
+// branch-dense loop of one-instruction blocks.
+func dispatchPrograms() map[string]*Program {
+	spin := NewBuilder("spin")
+	i := spin.Reg()
+	spin.ForN(i, 1_000_000, func() {
+		spin.Do(func(t *Thread) {})
 	})
-	p := bld.Build()
+
+	ls := NewBuilder("loadstore")
+	i2 := ls.Reg()
+	r := ls.Reg()
+	ls.ForN(i2, 1_000_000, func() {
+		ls.Load(r, Const(8))
+		ls.Do(func(t *Thread) { t.SetR(r, t.R(r)+1) })
+		ls.Store(Const(8), FromReg(r))
+	})
+
+	br := NewBuilder("branchy")
+	i3 := br.Reg()
+	acc := br.Reg()
+	br.Set(acc, 0)
+	br.ForN(i3, 1_000_000, func() {
+		br.IfElse(func(t *Thread) bool { return t.R(i3)&1 == 0 },
+			func() { br.Do(func(t *Thread) { t.SetR(acc, t.R(acc)+2) }) },
+			func() { br.Do(func(t *Thread) { t.SetR(acc, t.R(acc)-1) }) })
+	})
+
+	return map[string]*Program{"spin": spin.Build(), "loadstore": ls.Build(), "branchy": br.Build()}
+}
+
+// BenchmarkDispatch measures raw dispatch throughput per program shape, for
+// the interpreter and the threaded-code backend.
+func BenchmarkDispatch(b *testing.B) {
 	e := newNullEngineB()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for n := 0; n < b.N; n++ {
-		t := &Thread{ID: 0, Regs: make([]int64, p.NumRegs), Mem: e, prog: p, eng: e}
-		t.run()
+	for name, p := range dispatchPrograms() {
+		compiled, err := Compile(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bk := range []struct {
+			name string
+			x    Exec
+		}{{"interp", Interp()}, {"compiled", compiled}} {
+			b.Run(name+"/"+bk.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for n := 0; n < b.N; n++ {
+					t := &Thread{ID: 0, Regs: make([]int64, p.NumRegs), Mem: e, prog: p, eng: e}
+					bk.x.run(t)
+				}
+			})
+		}
 	}
 }
 

@@ -96,7 +96,58 @@ func (p *Program) Validate() error {
 			return fail("unknown opcode")
 		}
 	}
-	return p.validateFlow()
+	if err := p.validateFlow(); err != nil {
+		return err
+	}
+	// Every control transfer must land on a fusion-block entry point (see
+	// blockLeaders and Compile): the threaded-code backend re-enters the
+	// compiled stream through the entry map, both on ordinary jumps and
+	// when a speculation revert restores a snapshot PC. Targets are leaders
+	// by construction today; checking it here pins the contract so the
+	// block-formation rules cannot drift away from what Validate admits.
+	leaders := p.blockLeaders()
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if (in.Op == OpJump || in.Op == OpBranchUnless) && !leaders[in.Target] {
+			return fmt.Errorf("dvm: program %q, instruction %d (op %d): target %d is not a fusion-block entry point",
+				p.Name, pc, in.Op, in.Target)
+		}
+	}
+	return nil
+}
+
+// blockLeaders computes the fusion-block entry points of the threaded-code
+// backend (see Compile): instruction 0, every jump and branch target, every
+// engine operation, and every instruction following an engine operation,
+// jump, branch, or halt. A pc outside the leader set can only be reached by
+// falling through from its predecessor, which is what lets Compile fuse
+// straight-line runs into superinstructions without breaking control
+// transfers — including the PCs that speculation reverts restore, which are
+// always engine-operation pcs and therefore always leaders.
+func (p *Program) blockLeaders() []bool {
+	n := len(p.Code)
+	leader := make([]bool, n+1)
+	if n == 0 {
+		return leader
+	}
+	leader[0] = true
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case OpJump, OpBranchUnless:
+			if in.Target >= 0 && in.Target <= n {
+				leader[in.Target] = true
+			}
+			leader[pc+1] = true
+		case OpHalt:
+			leader[pc+1] = true
+		case OpDo, OpLoad, OpStore:
+		default: // engine operation: its own block
+			leader[pc] = true
+			leader[pc+1] = true
+		}
+	}
+	return leader
 }
 
 // validateFlow checks the control-flow graph: every instruction must be

@@ -42,6 +42,7 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 				MeasureTimes: true,
 				Trace:        e != harness.Pthreads,
 				CollectSpec:  e == harness.LazyDet,
+				Compiled:     cfg.Compiled,
 			}
 			res, err := harness.Run(w, opt)
 			if err != nil {
@@ -50,6 +51,24 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 			r := harness.BuildReport(res)
 			suite.Runs = append(suite.Runs, r)
 			cfg.printf("%-28s wall %-12v %d deterministic metrics\n", r.Key(), res.Wall, len(r.Metrics))
+
+			// Threaded-code rows for the strong engines, keyed
+			// <workload>/compiled so the baseline pins both backends. Their
+			// gated metrics must stay bit-identical to the interpreter rows
+			// above; the Timing section carries the wall-time difference the
+			// backend actually buys.
+			if e == harness.Consequence || e == harness.LazyDet {
+				copt := opt
+				copt.Compiled = true
+				cres, err := harness.Run(w, copt)
+				if err != nil {
+					return nil, fmt.Errorf("report suite: %s/compiled under %s: %w", w.Name, e, err)
+				}
+				cr := harness.BuildReport(cres)
+				cr.Workload += "/compiled"
+				suite.Runs = append(suite.Runs, cr)
+				cfg.printf("%-28s wall %-12v %d deterministic metrics\n", cr.Key(), cres.Wall, len(cr.Metrics))
+			}
 		}
 	}
 	// Scale rows: the ht microbenchmark at high thread counts (total
@@ -70,6 +89,7 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 					Telemetry:   true,
 					Trace:       true,
 					CollectSpec: e == harness.LazyDet,
+					Compiled:    cfg.Compiled,
 				}
 				res, err := harness.Run(w, opt)
 				if err != nil {
@@ -78,6 +98,19 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 				r := harness.BuildReport(res)
 				suite.Runs = append(suite.Runs, r)
 				cfg.printf("%-28s wall %-12v %d deterministic metrics\n", r.Key(), res.Wall, len(r.Metrics))
+
+				// Compiled scale rows: schedule equivalence of the two
+				// backends is pinned at high thread counts too.
+				copt := opt
+				copt.Compiled = true
+				cres, err := harness.Run(w, copt)
+				if err != nil {
+					return nil, fmt.Errorf("report suite: %s/compiled under %s at t=%d: %w", w.Name, e, scaleThreads, err)
+				}
+				cr := harness.BuildReport(cres)
+				cr.Workload += "/compiled"
+				suite.Runs = append(suite.Runs, cr)
+				cfg.printf("%-28s wall %-12v %d deterministic metrics\n", cr.Key(), cres.Wall, len(cr.Metrics))
 			}
 		}
 	}

@@ -55,6 +55,13 @@ var timingCounters = map[string]bool{
 	// instant, not of the deterministic schedule.
 	"dlc.wakes":      true,
 	"dlc.grant_work": true,
+	// Threaded-code lowering cost is wall time; the fusion statistics
+	// depend only on the compiler's pattern tables, which may change
+	// between versions without affecting the deterministic schedule, so
+	// all three stay out of the gated metrics.
+	"dvm.compile_ns":        true,
+	"dvm.fused_blocks":      true,
+	"dvm.superinstructions": true,
 }
 
 // BuildReport converts one run's measurements into a report entry.
