@@ -1,0 +1,117 @@
+// Command lazydet-sim runs declarative open-loop simulation grids: the
+// experiment-grid front end for internal/opensim.
+//
+//	lazydet-sim -grid bench/ci-grid.json                  # timestamped output folder
+//	lazydet-sim -grid sweep.json -out runs/try3           # fixed output folder
+//	lazydet-sim -grid bench/ci-grid.json -out a \
+//	    -baseline bench/baseline.json -gate 25            # gate sim/* rows
+//	lazydet-sim -compare a/report.json -baseline bench/baseline.json -gate 25
+//
+// The output folder holds the resolved grid config (grid.json), the run
+// report (report.json), the merged deterministic summary
+// (<grid>-summary.csv — two runs of the same grid are byte-identical, the
+// CI determinism check), the machine-dependent timing twin
+// (<grid>-timing.csv, excluded from byte-diffs by design), and with
+// per_request_csv the raw per-cell stamp dumps under cells/.
+//
+// Gating (-baseline/-gate) filters the baseline to sim/* rows first, so a
+// grid run is compared only against the simulation slice of the full
+// bench/baseline.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lazydet/internal/experiments"
+	"lazydet/internal/telemetry"
+)
+
+// diffSim gates the sim/* slice of both reports and returns the exit code.
+func diffSim(basePath, curPath string, gatePct float64) int {
+	base, err := telemetry.ReadReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cur, err := telemetry.ReadReport(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	c := telemetry.Compare(base.FilterPrefix("sim/"), cur.FilterPrefix("sim/"), gatePct)
+	c.Format(os.Stdout)
+	if !c.Ok() {
+		fmt.Printf("sim gate FAILED: %d regression(s), %d missing run(s) (gate %.1f%%)\n",
+			len(c.Regressions), len(c.MissingRuns), gatePct)
+		return 1
+	}
+	fmt.Printf("sim gate passed (gate %.1f%%)\n", gatePct)
+	return 0
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	grid := flag.String("grid", "", "grid config file (JSON; see bench/ci-grid.json)")
+	out := flag.String("out", "", "output folder (default sim-runs/<UTC timestamp>)")
+	baseline := flag.String("baseline", "", "baseline report to gate the sim/* rows against")
+	gate := flag.Float64("gate", 0, "fail when a gated sim metric regresses more than this percent; 0 reports without failing")
+	compare := flag.String("compare", "", "diff this existing report's sim/* rows against -baseline without running anything")
+	flag.Parse()
+
+	if *compare != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "-compare requires -baseline")
+			os.Exit(2)
+		}
+		os.Exit(diffSim(*baseline, *compare, *gate))
+	}
+	if *grid == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := experiments.LoadGrid(*grid)
+	if err != nil {
+		fail(err)
+	}
+	dir := *out
+	if dir == "" {
+		dir = filepath.Join("sim-runs", time.Now().UTC().Format("20060102T150405Z"))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	// The resolved config rides along with the results, so a folder is
+	// self-describing and re-runnable.
+	resolved, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "grid.json"), append(resolved, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+
+	cfg := experiments.Config{Out: os.Stdout, CSVDir: dir}
+	suite, err := experiments.RunGrid(cfg, g)
+	if err != nil {
+		fail(err)
+	}
+	reportPath := filepath.Join(dir, "report.json")
+	if err := suite.WriteFile(reportPath); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d cell runs to %s\n", len(suite.Runs), dir)
+
+	if *baseline != "" {
+		os.Exit(diffSim(*baseline, reportPath, *gate))
+	}
+}

@@ -349,6 +349,12 @@ func (e *Engine) ThreadStart(t *dvm.Thread) {
 		ts.logWrite = make(map[int64]bool)
 	}
 	t.EngineData = ts
+	// The thread's logical-clock reader: arb.DLC is this thread's own
+	// clock, so the read is exact at every published flush point and
+	// needs no arbitration. Deterministic by the same argument as the
+	// tick stream itself.
+	tid := t.ID
+	t.Clock = func() int64 { return e.arb.DLC(tid) }
 	if e.tel != nil {
 		// Per-opcode retired-instruction counters: the opcode mix is a
 		// function of the deterministic schedule under this engine, so it

@@ -289,6 +289,15 @@ type Thread struct {
 	// Mem is the thread's window onto shared memory, installed by the
 	// engine in ThreadStart. OpLoad and OpStore dispatch to it directly.
 	Mem MemWindow
+	// Clock, when installed by the engine in ThreadStart, reads this
+	// thread's deterministic logical clock (DLC). Operand closures use it
+	// to stamp values in logical time — the basis of internal/opensim's
+	// schedule-stable latency measurements. The published clock advances
+	// at tick-batch flush points, which both backends place identically,
+	// so a stamp read mid-stream is the same value under the interpreter
+	// and the threaded-code backend. Nil on engines without a logical
+	// clock (pthreads); programs that stamp must check.
+	Clock func() int64
 
 	rng    uint64 // deterministic per-thread PRNG state; part of snapshots
 	halted bool

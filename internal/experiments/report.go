@@ -114,5 +114,20 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 			}
 		}
 	}
+	// Open-loop simulation rows: the CI smoke grid's cells, keyed sim/*.
+	// Their latency percentiles are deterministic, so they are gated like
+	// every other sim metric; the grid's own Verify double-run cross-checks
+	// each cell's schedule first. Skipped when cfg.Threads overrides the
+	// suite (the grid carries its own worker dimension). The grid's CSV
+	// output is suppressed here — lazydet-sim is the CSV front end.
+	if cfg.Threads == 0 {
+		gridCfg := cfg
+		gridCfg.CSVDir = ""
+		simSuite, err := RunGrid(gridCfg, CIGrid())
+		if err != nil {
+			return nil, fmt.Errorf("report suite: %w", err)
+		}
+		suite.Runs = append(suite.Runs, simSuite.Runs...)
+	}
 	return suite, nil
 }

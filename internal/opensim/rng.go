@@ -1,0 +1,88 @@
+// Seeded, per-source partitioned randomness for the open-loop simulation.
+//
+// Every random decision the simulation makes — arrival gaps, workload-mix
+// draws, key choices, read/write coin flips — comes from its own named
+// stream, derived from (seed, source name). Partitioning by source keeps the
+// streams independent of consumption order: adding a draw to one source
+// never perturbs another, so grid cells stay comparable across config
+// changes (the inference-sim determinism recipe from SNIPPETS.md).
+//
+// All sampling is integer-only — splitmix64 states, 64-bit uniform
+// comparisons — so every draw is bit-identical on every host and Go
+// version. No floating point enters the arrival process.
+package opensim
+
+// stream is one named splitmix64 sequence.
+type stream struct {
+	state uint64
+}
+
+// fnv64 hashes a source name (FNV-1a), salting the seed per stream.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newStream derives the named stream from the run seed. The salt is mixed
+// through one splitmix64 step so adjacent seeds do not yield adjacent
+// states.
+func newStream(seed uint64, source string) *stream {
+	s := &stream{state: seed ^ fnv64(source)}
+	s.next()
+	return s
+}
+
+// next returns the next 64-bit draw (splitmix64).
+func (s *stream) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform draw in [0, n). n must be positive. The modulo
+// bias at n ≪ 2^64 is negligible for simulation purposes and keeps the
+// draw a single deterministic operation.
+func (s *stream) intn(n int64) int64 {
+	return int64(s.next() % uint64(n))
+}
+
+// expGap samples round(mean · Exp(1)) with von Neumann's comparison method:
+// repeatedly draw a maximal strictly-decreasing run of uniforms U1 > U2 >
+// ... > Uk; if the run length is odd, accept X = rejectedRounds + U1,
+// otherwise reject the round. Only uniform draws and comparisons are used,
+// so the sample is exact integer arithmetic — the arrival process is
+// Poisson-like yet bit-stable across hosts. The fractional part scales mean
+// by the top 32 bits of U1 in fixed point. Gaps are floored at 1: two
+// requests never share an admission instant.
+func (s *stream) expGap(mean int64) int64 {
+	if mean <= 0 {
+		return 1
+	}
+	for rounds := int64(0); ; rounds++ {
+		u1 := s.next()
+		prev := u1
+		runLen := 1
+		for {
+			u := s.next()
+			if u >= prev {
+				break
+			}
+			prev = u
+			runLen++
+		}
+		if runLen%2 == 1 {
+			frac := int64((uint64(mean) * (u1 >> 32)) >> 32)
+			g := rounds*mean + frac
+			if g < 1 {
+				g = 1
+			}
+			return g
+		}
+	}
+}

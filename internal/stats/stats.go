@@ -244,6 +244,21 @@ func LinReg(xs, ys []float64) (slope, intercept float64) {
 	return slope, intercept
 }
 
+// DLCPercentiles computes nearest-rank percentiles of a set of DLC
+// durations in one pass: vs is copied and sorted once, then each requested
+// percentile is read with Percentile. Used for the open-loop simulation's
+// latency summaries, where the values are exact deterministic counts (not
+// histogram buckets), so the percentiles are exact and bit-stable too.
+func DLCPercentiles(vs []int64, ps ...float64) []int64 {
+	sorted := append([]int64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]int64, len(ps))
+	for i, p := range ps {
+		out[i] = Percentile(sorted, p)
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean of vs, or NaN if empty.
 func Mean(vs []float64) float64 {
 	if len(vs) == 0 {

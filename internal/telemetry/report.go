@@ -79,6 +79,20 @@ func (s *SuiteReport) WriteFile(path string) error {
 	return f.Close()
 }
 
+// FilterPrefix returns a copy of the suite containing only runs whose
+// workload name starts with prefix. The sim-smoke CI job uses it to gate a
+// grid run against the sim/* slice of the full baseline without tripping
+// MissingRuns on the microbenchmark rows the grid never executes.
+func (s *SuiteReport) FilterPrefix(prefix string) *SuiteReport {
+	out := &SuiteReport{Schema: s.Schema, Suite: s.Suite}
+	for _, r := range s.Runs {
+		if len(r.Workload) >= len(prefix) && r.Workload[:len(prefix)] == prefix {
+			out.Runs = append(out.Runs, r)
+		}
+	}
+	return out
+}
+
 // ReadReport loads a report file.
 func ReadReport(path string) (*SuiteReport, error) {
 	b, err := os.ReadFile(path)
@@ -112,6 +126,16 @@ var gatedMetrics = map[string]bool{
 	"spec.reverts":          true,
 	"spec.reverted_words":   true,
 	"spec.success_pct":      false,
+	// Open-loop simulation latency metrics (internal/opensim): DLC-stamped
+	// percentiles and queue statistics are functions of the deterministic
+	// schedule alone, so a movement is a behavioral change in arbitration
+	// or commit cost, never machine noise.
+	"sim.latency_p50":  true,
+	"sim.latency_p95":  true,
+	"sim.latency_p99":  true,
+	"sim.wait_p95":     true,
+	"sim.qdepth_max":   true,
+	"sim.makespan_dlc": true,
 }
 
 // GatedMetric reports whether the named metric participates in the gate,

@@ -227,4 +227,35 @@ func TestGatedMetric(t *testing.T) {
 	if g, _ := GatedMetric("nope"); g {
 		t.Fatal("unknown metric gated")
 	}
+	// The open-loop simulation's latency metrics are cost-like: higher is
+	// worse, and they participate in the gate.
+	for _, m := range []string{"sim.latency_p50", "sim.latency_p95", "sim.latency_p99",
+		"sim.wait_p95", "sim.qdepth_max", "sim.makespan_dlc"} {
+		if g, hw := GatedMetric(m); !g || !hw {
+			t.Fatalf("%s should be gated higher-is-worse", m)
+		}
+	}
+}
+
+// FilterPrefix keeps only the matching workload slice — the sim-smoke job
+// gates a grid run against the sim/* rows of the full baseline without
+// reporting the microbenchmark rows as missing.
+func TestFilterPrefix(t *testing.T) {
+	s := sampleReport()
+	s.Runs = append(s.Runs, RunReport{Workload: "sim/c4/g48/w3/r0", Engine: "LazyDet", Threads: 4,
+		Metrics: map[string]float64{"sim.latency_p99": 500}})
+	sim := s.FilterPrefix("sim/")
+	if len(sim.Runs) != 1 || sim.Runs[0].Workload != "sim/c4/g48/w3/r0" {
+		t.Fatalf("FilterPrefix kept %v", sim.Runs)
+	}
+	if sim.Schema != s.Schema || sim.Suite != s.Suite {
+		t.Fatal("FilterPrefix dropped header fields")
+	}
+	if got := s.FilterPrefix("zzz/"); len(got.Runs) != 0 {
+		t.Fatalf("non-matching prefix kept %d runs", len(got.Runs))
+	}
+	c := Compare(sim, sim, 25)
+	if !c.Ok() || len(c.MissingRuns) != 0 {
+		t.Fatal("self-compare of the filtered slice should pass")
+	}
 }
