@@ -24,6 +24,16 @@
 // prefixed with a lock acquisition that is never released) the analyzer
 // must flag it, or it has a soundness hole.
 //
+// Unless -nohints is given, every seed also runs LazyDet with the static
+// speculation hints (harness.Options.SpecHints) and checks the hint
+// properties: the hinted run is deterministic, its final memory is
+// bit-identical to the unhinted run's (hints steer speculation, never
+// committed state), and every lock the footprint analysis proved Disjoint
+// observes zero conflict-attributed reverts — if a "can never fail
+// validation" lock reverts even once, the static proof is unsound.
+// -nohints drops the hinted runs, making the unhinted policy the
+// differential baseline.
+//
 // With -legacydiff, the strong engines commit via the legacy full-page twin
 // scan instead of the dirty-word bitmaps — running the suite both ways
 // differentially checks the two commit paths against each other. With
@@ -105,6 +115,7 @@ func main() {
 	flatArb := flag.Bool("flatarb", false, "arbitrate turns with flat O(threads) scans instead of the tournament tree")
 	shards := flag.Int("shards", 0, "versioned heap shard count (0 = default, 1 = single-lock oracle)")
 	compiled := flag.Bool("compiled", false, "run the threaded-code backend instead of the interpreter")
+	noHints := flag.Bool("nohints", false, "skip the statically hinted LazyDet runs (unhinted differential baseline only)")
 	verbose := flag.Bool("v", false, "print every seed")
 	flag.Parse()
 
@@ -173,18 +184,25 @@ func main() {
 			name       string
 			engine     harness.EngineKind
 			writeAware bool
+			hints      bool
 		}
 		variants := []variant{
-			{"Consequence", harness.Consequence, false},
-			{"TotalOrder-Weak", harness.TotalOrderWeak, false},
-			{"LazyDet", harness.LazyDet, false},
-			{"LazyDet-WriteAware", harness.LazyDet, true},
+			{"Consequence", harness.Consequence, false, false},
+			{"TotalOrder-Weak", harness.TotalOrderWeak, false, false},
+			{"LazyDet", harness.LazyDet, false, false},
+			{"LazyDet-WriteAware", harness.LazyDet, true, false},
+			{"LazyDet-Hints", harness.LazyDet, false, true},
 		}
+		var lazyRef *harness.Result // the unhinted LazyDet run, property 9's oracle
 		for _, va := range variants {
+			if va.hints && *noHints {
+				continue
+			}
 			opt := baseOpt
 			opt.Engine = va.engine
 			opt.Trace = true
 			opt.CollectSpec = va.engine == harness.LazyDet
+			opt.SpecHints = va.hints
 			if va.writeAware {
 				opt.Spec = core.DefaultSpecConfig()
 				opt.Spec.WriteAware = true
@@ -207,6 +225,36 @@ func main() {
 					fmt.Printf("seed %d: %s speculation accounting broken: %d commits + %d reverts != %d runs\n",
 						seed, va.name, commits, reverts, runs)
 					ok = false
+				}
+			}
+			if va.name == "LazyDet" {
+				lazyRef = r1
+			}
+			// Property 9: static speculation hints. The hinted schedule may
+			// differ (hints change when the engine speculates), but the
+			// committed state may not — the generator's programs have
+			// schedule-independent finals — and a statically Disjoint lock
+			// must never be charged a conflict revert.
+			if va.hints {
+				if lazyRef != nil && r1.HeapHash != lazyRef.HeapHash {
+					fmt.Printf("seed %d: hinted LazyDet heap %x != unhinted %x\n",
+						seed, r1.HeapHash, lazyRef.HeapHash)
+					ok = false
+				}
+				if r1.Hints == nil {
+					fmt.Printf("seed %d: SpecHints requested but no verdict table on the result\n", seed)
+					ok = false
+				} else {
+					for _, l := range r1.Hints.Locks() {
+						if r1.Hints.Verdicts[l] != progcheck.VerdictDisjoint {
+							continue
+						}
+						if l < int64(len(r1.LockReverts)) && r1.LockReverts[l] != 0 {
+							fmt.Printf("seed %d: statically Disjoint lock %d charged %d conflict revert(s): %s\n",
+								seed, l, r1.LockReverts[l], r1.Hints.Reasons[l])
+							ok = false
+						}
+					}
 				}
 			}
 		}

@@ -1,16 +1,24 @@
 // Command lazydet-vet runs the internal/progcheck static analyzer over dvm
 // program sets: per-thread control-flow graphs, a forward abstract
-// interpretation of lock/barrier state, cross-program deadlock cycles and
-// static data-race candidates.
+// interpretation of lock/barrier state, cross-program deadlock cycles,
+// static data-race candidates, and per-lock critical-section footprints —
+// the speculation-hint verdicts (disjoint / conflicting / commutative /
+// unknown) that harness.Options.SpecHints feeds back into the LazyDet
+// engine. The open-loop service simulation's program set is vetted too
+// (target "opensim"), so its hint verdicts are visible and pinned the same
+// way as the benchmark workloads'.
 //
 //	lazydet-vet -all                    # vet every built-in workload
 //	lazydet-vet -workload barnes        # vet one workload
+//	lazydet-vet -workload opensim       # vet the service simulation's programs
 //	lazydet-vet -litmus                 # run the known-bad corpus
 //	lazydet-vet -all -json              # machine-readable reports
 //	lazydet-vet -all -werror            # exit nonzero on warnings too
 //
 // Exit status: 0 when every analyzed set is clean, 1 when any set has
 // error-severity findings (or warnings under -werror), 2 on usage errors.
+// Litmus targets also fail on drift between the analyzer's verdicts — the
+// finding classes or the speculation hints — and the corpus expectations.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"os"
 
 	"lazydet/internal/dvm"
+	"lazydet/internal/opensim"
 	"lazydet/internal/progcheck"
 	"lazydet/internal/workloads"
 )
@@ -30,23 +39,26 @@ type target struct {
 	progs []*dvm.Program
 	// want lists the finding classes a litmus target must produce; nil for
 	// workloads, which must be clean.
-	want     []progcheck.Class
-	isLitmus bool
+	want []progcheck.Class
+	// wantHints pins the litmus target's speculation verdicts when non-nil.
+	wantHints map[int64]progcheck.SpecVerdict
+	isLitmus  bool
 }
 
 // jsonReport is the machine-readable per-target output.
 type jsonReport struct {
-	Target   string            `json:"target"`
-	Report   *progcheck.Report `json:"report"`
-	Expected []progcheck.Class `json:"expected,omitempty"`
-	Verdict  string            `json:"verdict"` // "clean", "findings", "as-expected", "mismatch"
+	Target        string                          `json:"target"`
+	Report        *progcheck.Report               `json:"report"`
+	Expected      []progcheck.Class               `json:"expected,omitempty"`
+	ExpectedHints map[int64]progcheck.SpecVerdict `json:"expected_hints,omitempty"`
+	Verdict       string                          `json:"verdict"` // "clean", "findings", "as-expected", "mismatch"
 }
 
 func buildTargets(workload string, all, litmus bool, threads, scale int) ([]target, error) {
 	var ts []target
 	if litmus {
 		for _, c := range progcheck.Litmus() {
-			ts = append(ts, target{name: "litmus/" + c.Name, progs: c.Build(), want: c.Want, isLitmus: true})
+			ts = append(ts, target{name: "litmus/" + c.Name, progs: c.Build(), want: c.Want, wantHints: c.WantHints, isLitmus: true})
 		}
 		return ts, nil
 	}
@@ -59,6 +71,7 @@ func buildTargets(workload string, all, litmus bool, threads, scale int) ([]targ
 		for _, g := range workloads.All() {
 			ts = append(ts, target{name: g.Name, progs: g.New(scale).Programs(threads)})
 		}
+		ts = append(ts, target{name: "opensim", progs: opensim.VetPrograms(opensim.Config{Workers: threads - 1}, threads)})
 		return ts, nil
 	}
 	switch workload {
@@ -68,6 +81,8 @@ func buildTargets(workload string, all, litmus bool, threads, scale int) ([]targ
 		cfg := workloads.DefaultHTConfig(workloads.HTVariant(workload))
 		w := workloads.NewHashTable(cfg)
 		ts = append(ts, target{name: workload, progs: w.Programs(threads)})
+	case "opensim":
+		ts = append(ts, target{name: "opensim", progs: opensim.VetPrograms(opensim.Config{Workers: threads - 1}, threads)})
 	default:
 		g := workloads.ByName(workload)
 		if g == nil {
@@ -85,6 +100,29 @@ func classesEqual(a, b []progcheck.Class) bool {
 	}
 	for i := range a {
 		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hintsMatch reports whether the report's speculation verdicts equal the
+// litmus expectation exactly; a nil expectation leaves them unchecked.
+func hintsMatch(rep *progcheck.Report, want map[int64]progcheck.SpecVerdict) bool {
+	if want == nil {
+		return true
+	}
+	got := map[int64]progcheck.SpecVerdict{}
+	if rep.Hints != nil {
+		for l, v := range rep.Hints.Verdicts {
+			got[l] = v
+		}
+	}
+	if len(got) != len(want) {
+		return false
+	}
+	for l, v := range want {
+		if got[l] != v {
 			return false
 		}
 	}
@@ -123,8 +161,9 @@ func main() {
 		}
 		if t.isLitmus {
 			// Litmus targets fail when the analyzer's verdict drifts from
-			// the corpus expectation, in either direction.
-			if classesEqual(rep.Classes(), t.want) {
+			// the corpus expectation — the finding classes or the
+			// speculation hints — in either direction.
+			if classesEqual(rep.Classes(), t.want) && hintsMatch(rep, t.wantHints) {
 				verdict = "as-expected"
 			} else {
 				verdict = "mismatch"
@@ -135,7 +174,7 @@ func main() {
 		}
 
 		if *jsonOut {
-			if err := enc.Encode(jsonReport{Target: t.name, Report: rep, Expected: t.want, Verdict: verdict}); err != nil {
+			if err := enc.Encode(jsonReport{Target: t.name, Report: rep, Expected: t.want, ExpectedHints: t.wantHints, Verdict: verdict}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -150,7 +150,42 @@ type Config struct {
 	// round-trip exactness. Off by default; when off the only cost is a
 	// nil pointer compare at each audit point.
 	CheckInvariants bool
+	// Hints carries per-lock speculation priors indexed by lock ID — the
+	// progcheck footprint analysis verdicts, lowered by the harness. Nil,
+	// or any lock beyond the slice, means HintNone. Only meaningful with
+	// Speculation; the hinted policy must be behavior-equivalent to the
+	// unhinted one (identical final memory and Validate outcomes), which
+	// lazydet-fuzz checks differentially.
+	Hints []SpecHint
 }
+
+// SpecHint is a static prior for the per-lock speculation policy, computed
+// by internal/progcheck's critical-section footprint analysis. The zero
+// value means "no static fact" and leaves the adaptive policy (§3.4) in
+// sole control.
+type SpecHint uint8
+
+const (
+	// HintNone: no static verdict; runtime adaptation decides alone.
+	HintNone SpecHint = iota
+	// HintDisjoint: every pair of critical sections guarded by this lock
+	// has a provably non-overlapping data footprint, so speculation on it
+	// can never fail validation. The engine always speculates on the lock
+	// and skips its conflict checks at commit (DESIGN.md §5e).
+	HintDisjoint
+	// HintConflicting: two sections provably write-overlap on a constant
+	// address, so speculation is wasted work. The engine seeds the lock's
+	// success histories at all-failure (conventional until RetryEvery
+	// probing earns speculation back) instead of the optimistic
+	// all-success default.
+	HintConflicting
+	// HintCommutative: sections overlap only through commuting operations
+	// (atomic adds, identical constant stores) — candidates for future
+	// phase reconciliation (ROADMAP's ddtxn item). The runtime currently
+	// treats it exactly like HintNone, since the engine has no
+	// deterministic merge path yet.
+	HintCommutative
+)
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
@@ -258,6 +293,22 @@ func New(cfg Config, d Deps) *Engine {
 	}
 	if cfg.CheckInvariants {
 		e.audit = invariant.New(d.Arb, d.Tbl, d.Heap, d.OnViolation)
+	}
+	if cfg.Speculation && d.Tbl != nil {
+		// Conflicting-hinted locks start pessimistic: an all-failure
+		// success history keeps them conventional until RetryEvery probing
+		// earns speculation back, instead of paying the warm-up reverts
+		// the optimistic all-success seed would. (A no-op without per-lock
+		// statistics: the SpecHist slices are nil then.)
+		for l, h := range cfg.Hints {
+			if h != HintConflicting || l >= len(d.Tbl.Locks) {
+				continue
+			}
+			hist := d.Tbl.Locks[l].SpecHist
+			for i := range hist {
+				hist[i] = 0
+			}
+		}
 	}
 	return e
 }

@@ -114,6 +114,15 @@ func (e *Engine) specRelease(t *dvm.Thread, ts *tstate, l int64) {
 // notice program phase changes. All state read here is thread-private, so
 // the decision is deterministic.
 func (e *Engine) shouldSpeculate(ts *tstate, tid int, l int64) bool {
+	// A statically Disjoint lock always speculates: its critical sections
+	// have provably non-overlapping footprints, so speculation on it can
+	// never fail validation (DESIGN.md §5e) and warm-up or probing would
+	// only forfeit elision wins. The noSpecNext progress guarantee is
+	// enforced by the callers before they consult this decision, so the
+	// prior cannot starve a reverted thread.
+	if e.hint(l) == HintDisjoint {
+		return true
+	}
 	var hist uint64
 	var attempts *uint32
 	if e.cfg.Spec.PerLockStats {
@@ -160,21 +169,44 @@ func (e *Engine) validate(ts *tstate) bool {
 		return false
 	}
 	for _, l := range ts.logLocks {
+		if e.hint(l) == HintDisjoint {
+			// Statically disjoint footprints: no section guarded by l
+			// reads or writes data another section of l touches, so
+			// commits interleaved since BEGIN cannot have invalidated
+			// this run through l. The lock-level checks below are coarser
+			// than footprints and would still fire spuriously; skipping
+			// them is what turns the static verdict into elided reverts.
+			// Soundness argument: DESIGN.md §5e.
+			continue
+		}
 		st := &e.tbl.Locks[l]
 		if st.Owner != 0 {
+			st.ConflictReverts++
 			return false // exclusively held by another thread
 		}
 		if ts.logWrite[l] && st.Readers != 0 {
+			st.ConflictReverts++
 			return false // our write conflicts with live readers
 		}
 		if !e.cfg.Spec.WriteAware && st.LastAcquireDLC > ts.begin {
+			st.ConflictReverts++
 			return false
 		}
 		if st.LastCommitSeq > ts.baseAtBegin {
+			st.ConflictReverts++
 			return false
 		}
 	}
 	return true
+}
+
+// hint returns the static speculation prior for lock l; HintNone when no
+// hint table was configured or l is out of its range.
+func (e *Engine) hint(l int64) SpecHint {
+	if l >= 0 && l < int64(len(e.cfg.Hints)) {
+		return e.cfg.Hints[l]
+	}
+	return HintNone
 }
 
 // terminateRun ends the current speculation run: wait for the commit turn,

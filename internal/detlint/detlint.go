@@ -79,6 +79,8 @@ func DefaultDirs(root string) []string {
 		"internal/shmem",
 		"internal/invariant",
 		"internal/trace",
+		"internal/opensim",
+		"internal/experiments",
 	}
 	dirs := make([]string, len(rel))
 	for i, r := range rel {

@@ -47,6 +47,12 @@ type Lock struct {
 	// SpecAttempts counts, per thread, speculation decisions made while
 	// below the success threshold, to implement retry-every-N probing.
 	SpecAttempts []uint32
+	// ConflictReverts counts speculation reverts attributed to this lock:
+	// validation runs whose first failing check was one of this lock's
+	// conflict checks. Reverts caused by atomic-location validation are
+	// not attributed to any lock. Mutated only at turns, so the count is
+	// a deterministic function of the schedule.
+	ConflictReverts int64
 }
 
 // Cond is a deterministic condition variable: a FIFO queue of parked

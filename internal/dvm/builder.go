@@ -138,7 +138,7 @@ func (b *Builder) Load(dst Reg, addr Val) {
 
 // Store emits a shared-heap write.
 func (b *Builder) Store(addr Val, val Val) {
-	b.emit(Instr{Op: OpStore, Addr: addr.fn, Val: val.fn, SAddr: addr.Static()})
+	b.emit(Instr{Op: OpStore, Addr: addr.fn, Val: val.fn, SAddr: addr.Static(), SValue: val.Static()})
 }
 
 // Lock emits a lock acquisition.

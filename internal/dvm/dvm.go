@@ -197,6 +197,12 @@ type Instr struct {
 	// Addr2 (internal/progcheck input); the zero value means unknown.
 	SAddr  SVal
 	SAddr2 SVal
+	// SValue carries the builder's static knowledge of Val, the stored
+	// value of OpStore. The footprint analysis uses it to recognize
+	// commuting constant stores (two sections writing the same constant
+	// to the same address are order-independent). Zero value means
+	// unknown; never influences execution.
+	SValue SVal
 }
 
 // Program is an immutable instruction sequence plus the register and scratch

@@ -116,6 +116,7 @@ func retiredInstructions(res *harness.Result) int64 {
 		return 0
 	}
 	var total int64
+	//lazydet:nondeterministic order-independent sum over the counter map
 	for k, v := range res.Telemetry.Snapshot().Counters {
 		if strings.HasPrefix(k, "dvm.retired.") {
 			total += v

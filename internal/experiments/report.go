@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"lazydet/internal/harness"
+	"lazydet/internal/opensim"
 	"lazydet/internal/telemetry"
 	"lazydet/internal/workloads"
 )
@@ -68,6 +69,26 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 				cr.Workload += "/compiled"
 				suite.Runs = append(suite.Runs, cr)
 				cfg.printf("%-28s wall %-12v %d deterministic metrics\n", cr.Key(), cres.Wall, len(cr.Metrics))
+			}
+
+			// Statically hinted LazyDet rows, keyed <workload>/hints: the
+			// same run with the progcheck footprint verdicts seeding the
+			// speculation policy. Diffing the spec.* metrics (successes,
+			// reverts, spec.conflict_reverts) against the unhinted row above
+			// is the suite's measure of what the static hints buy; the
+			// progcheck.hints.* counters pin the verdict distribution
+			// itself. Both rows are gated — the deltas are deterministic.
+			if e == harness.LazyDet {
+				hopt := opt
+				hopt.SpecHints = true
+				hres, err := harness.Run(w, hopt)
+				if err != nil {
+					return nil, fmt.Errorf("report suite: %s/hints under %s: %w", w.Name, e, err)
+				}
+				hr := harness.BuildReport(hres)
+				hr.Workload += "/hints"
+				suite.Runs = append(suite.Runs, hr)
+				cfg.printf("%-28s wall %-12v %d deterministic metrics\n", hr.Key(), hres.Wall, len(hr.Metrics))
 			}
 		}
 	}
@@ -128,6 +149,28 @@ func ReportSuite(cfg Config) (*telemetry.SuiteReport, error) {
 			return nil, fmt.Errorf("report suite: %w", err)
 		}
 		suite.Runs = append(suite.Runs, simSuite.Runs...)
+
+		// Hinted-simulation pair: one open-loop service cell with the static
+		// speculation hints off and on, keyed sim/hints-off and sim/hints-on.
+		// The hinted run is a different — still deterministic — schedule
+		// (the queue lock classifies Conflicting, so the hinted policy skips
+		// its warm-up speculation), so both rows are pinned whole rather
+		// than asserted equal; the spec.* deltas between them measure the
+		// hints' payoff under queueing load.
+		for _, hinted := range []bool{false, true} {
+			sc := opensim.Config{Engine: harness.LazyDet, Seed: 7, SpecHints: hinted, Compiled: cfg.Compiled}
+			sres, err := opensim.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("report suite: sim hints pair (hinted=%v): %w", hinted, err)
+			}
+			r := harness.BuildReport(sres.Harness)
+			r.Workload = "sim/hints-off"
+			if hinted {
+				r.Workload = "sim/hints-on"
+			}
+			suite.Runs = append(suite.Runs, r)
+			cfg.printf("%-28s wall %-12v %d deterministic metrics\n", r.Key(), sres.Harness.Wall, len(r.Metrics))
+		}
 	}
 	return suite, nil
 }

@@ -162,6 +162,16 @@ type Options struct {
 	// discipline violations) abort the run; warnings (potential deadlocks,
 	// race candidates) are kept on Result.Vet for the caller to surface.
 	Vet bool
+	// SpecHints runs the progcheck footprint analysis over the workload's
+	// programs and seeds LazyDet's speculation policy with the per-lock
+	// verdicts: Disjoint locks always speculate and skip their validation
+	// checks, Conflicting locks start conventional, everything else is
+	// left to runtime adaptation. No effect on the other engines. The
+	// unhinted policy is the differential oracle: final heap hashes and
+	// Validate outcomes must be identical with this flag flipped
+	// (lazydet-fuzz property 9). Reuses Result.Vet's report when Vet is
+	// also set.
+	SpecHints bool
 	// Compiled lowers the workload's programs to the threaded-code backend
 	// (internal/dvm Compile): fused superinstructions with specialized
 	// operands, replacing the per-instruction interpreter dispatch. The
@@ -222,6 +232,14 @@ type Result struct {
 	// populated even when vet aborts the run, so callers can render the
 	// findings.
 	Vet *progcheck.Report
+	// Hints is the footprint-analysis verdict table when Options.SpecHints
+	// was set on a LazyDet run.
+	Hints *progcheck.SpecHints
+	// LockReverts counts, per lock ID, speculation reverts attributed to
+	// that lock's validation checks (LazyDet only; see
+	// detsync.Lock.ConflictReverts). Statically Disjoint locks must stay
+	// at zero.
+	LockReverts []int64
 	// Allocs is the process heap-allocation count (runtime mallocs) over
 	// the run, measured when any of Telemetry, TelemetrySpans or
 	// MeasureTimes is set. Informational only: the Go runtime's
@@ -276,6 +294,19 @@ func Run(w *Workload, opt Options) (*Result, error) {
 				w.Name, n, vet.Human())
 		}
 	}
+	var hints []core.SpecHint
+	if opt.SpecHints && opt.Engine == LazyDet {
+		rep := res.Vet
+		if rep == nil {
+			// Vet didn't run: do the analysis here and publish only the
+			// hint verdict counters (the full progcheck.* namespace is
+			// Options.Vet's contract).
+			rep = progcheck.Check(progs)
+			rep.Hints.Publish(tel)
+		}
+		res.Hints = rep.Hints
+		hints = lowerHints(rep.Hints, w.Locks)
+	}
 
 	// Lower the programs to threaded code when requested — outside the
 	// timed section, with the lowering cost reported as machine-dependent
@@ -311,6 +342,7 @@ func Run(w *Workload, opt Options) (*Result, error) {
 	var eng dvm.Engine
 	var readFinal func(int64) int64
 	var heap *vheap.Heap
+	var tbl *detsync.Table // strong engines only: read back after the run
 
 	switch opt.Engine {
 	case Pthreads:
@@ -357,12 +389,14 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			Speculation:     opt.Engine == LazyDet,
 			Spec:            opt.Spec,
 			CheckInvariants: opt.CheckInvariants,
+			Hints:           hints,
 		}
 		arb := dlc.New(opt.Threads, arbOpts(opt)...)
 		defer publishArbStats(tel, arb, res)
+		tbl = detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, opt.Engine == LazyDet)
 		eng = core.New(cfg, core.Deps{
 			Arb:         arb,
-			Tbl:         detsync.NewTable(opt.Threads, w.Locks, w.Conds, w.Barriers, opt.Engine == LazyDet),
+			Tbl:         tbl,
 			Heap:        heap,
 			Rec:         rec,
 			Times:       times,
@@ -435,6 +469,12 @@ func Run(w *Workload, opt Options) (*Result, error) {
 	}
 	res.Spec = spec
 	res.Times = times
+	if opt.Engine == LazyDet && tbl != nil {
+		res.LockReverts = make([]int64, len(tbl.Locks))
+		for i := range tbl.Locks {
+			res.LockReverts[i] = tbl.Locks[i].ConflictReverts
+		}
+	}
 	if times != nil {
 		capacity := res.Wall.Nanoseconds() * int64(runtime.NumCPU())
 		if capacity > 0 {
@@ -455,6 +495,30 @@ func Run(w *Workload, opt Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// lowerHints converts the analyzer's verdict table into the engine's dense
+// per-lock prior slice. Locks without a verdict (or beyond the workload's
+// lock table) stay HintNone.
+func lowerHints(h *progcheck.SpecHints, nlocks int) []core.SpecHint {
+	if h == nil || len(h.Verdicts) == 0 || nlocks <= 0 {
+		return nil
+	}
+	out := make([]core.SpecHint, nlocks)
+	for _, l := range h.Locks() {
+		if l < 0 || l >= int64(nlocks) {
+			continue
+		}
+		switch h.Verdicts[l] {
+		case progcheck.VerdictDisjoint:
+			out[l] = core.HintDisjoint
+		case progcheck.VerdictConflicting:
+			out[l] = core.HintConflicting
+		case progcheck.VerdictCommutative:
+			out[l] = core.HintCommutative
+		}
+	}
+	return out
 }
 
 // arbOpts maps run options onto deterministic-arbiter construction options.

@@ -29,6 +29,17 @@ func absorbStats(tel *telemetry.Recorder, res *Result) {
 		tel.SetGauge("spec.acquire_pct", s.SpecAcquirePct())
 		tel.SetGauge("spec.success_pct", s.SuccessPct())
 	}
+	if res.LockReverts != nil {
+		// Lock-attributed revert total: a deterministic function of the
+		// schedule (ConflictReverts mutates only at turns), so gated. The
+		// per-lock breakdown stays on Result.LockReverts for callers; only
+		// the sum is a stable metric name across workloads.
+		var sum int64
+		for _, n := range res.LockReverts {
+			sum += n
+		}
+		tel.Count("spec.conflict_reverts", sum)
+	}
 	if res.Recorder != nil {
 		tel.Count("sync.events", res.SyncEvents)
 	}
@@ -41,7 +52,11 @@ func absorbStats(tel *telemetry.Recorder, res *Result) {
 // deterministic counts; BuildReport routes them into the never-gated Timing
 // section so Metrics stays reproducible across machines.
 var timingCounters = map[string]bool{
-	"progcheck.analysis_ns": true,
+	"progcheck.analysis_ns":  true,
+	"progcheck.lockstate_ns": true,
+	"progcheck.deadlock_ns":  true,
+	"progcheck.race_ns":      true,
+	"progcheck.footprint_ns": true,
 	// The frame/page pool hit ratios depend on when the runtime scheduler
 	// lets views register against the trim floor — an allocation detail,
 	// not deterministic machine state — so they are informational only.

@@ -76,10 +76,15 @@ func TestVetPublishesTelemetry(t *testing.T) {
 	if _, ok := rep.Metrics["progcheck.states"]; !ok {
 		t.Fatal("progcheck.states missing from report metrics")
 	}
-	if _, ok := rep.Metrics["progcheck.analysis_ns"]; ok {
-		t.Fatal("machine-dependent progcheck.analysis_ns must not land in gated metrics")
-	}
-	if _, ok := rep.Timing["progcheck.analysis_ns"]; !ok {
-		t.Fatal("progcheck.analysis_ns missing from timing")
+	for _, name := range []string{
+		"progcheck.analysis_ns", "progcheck.lockstate_ns", "progcheck.deadlock_ns",
+		"progcheck.race_ns", "progcheck.footprint_ns",
+	} {
+		if _, ok := rep.Metrics[name]; ok {
+			t.Fatalf("machine-dependent %s must not land in gated metrics", name)
+		}
+		if _, ok := rep.Timing[name]; !ok {
+			t.Fatalf("%s missing from timing", name)
+		}
 	}
 }

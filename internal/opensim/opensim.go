@@ -107,6 +107,13 @@ type Config struct {
 	Compiled bool
 	// Trace enables sync-order trace recording (cross-checks).
 	Trace bool
+	// SpecHints seeds LazyDet's speculation policy with the progcheck
+	// footprint verdicts (the queue lock classifies Conflicting, so the
+	// hinted run skips its warm-up reverts). The hinted schedule is a
+	// different — still deterministic — schedule, so DLC stamps and the
+	// latency percentiles may shift; Validate's protocol invariants and
+	// the account checksum hold either way. No effect on other engines.
+	SpecHints bool
 }
 
 // withDefaults fills zero-valued knobs.
@@ -216,6 +223,7 @@ func Run(cfg Config) (*Result, error) {
 		Trace:       cfg.Trace,
 		CollectSpec: cfg.Engine == harness.LazyDet,
 		Compiled:    cfg.Compiled,
+		SpecHints:   cfg.SpecHints,
 	}
 	hres, err := harness.Run(w, opt)
 	if err != nil {

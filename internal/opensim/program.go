@@ -141,6 +141,15 @@ func clockVal() dvm.Val {
 	})
 }
 
+// VetPrograms builds the program set Run would execute for cfg at the given
+// total thread count (one generator + threads-1 workers), for static
+// analysis without running a cell — cmd/lazydet-vet's opensim target.
+func VetPrograms(cfg Config, threads int) []*dvm.Program {
+	cfg = cfg.withDefaults()
+	var sink []Request
+	return buildWorkload(cfg, buildPlan(cfg), &sink).Programs(threads)
+}
+
 // buildWorkload assembles the generator and worker programs plus the
 // Validate hook that audits the final heap and extracts the stamps into
 // *out in arrival order.
@@ -185,8 +194,8 @@ func buildGenerator(cfg Config, p *plan, l layout) *dvm.Program {
 		b.Lock(dvm.Const(qlock).InClass("locks"))
 		b.Load(h, dvm.Const(l.head).InClass("qctl"))
 		b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return l.queue + t.R(i) }).InClass("queue"), dvm.FromReg(i))
-		b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return l.stamp + 4*t.R(i) + stampAdmit }), clockVal())
-		b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return l.stamp + 4*t.R(i) + stampDepth }),
+		b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return l.stamp + 4*t.R(i) + stampAdmit }).InClass("stamps"), clockVal())
+		b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return l.stamp + 4*t.R(i) + stampDepth }).InClass("stamps"),
 			dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) + 1 - t.R(h) }))
 		b.Store(dvm.Const(l.tail).InClass("qctl"), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(i) + 1 }))
 		b.Unlock(dvm.Const(qlock).InClass("locks"))
@@ -217,7 +226,7 @@ func buildWorker(cfg Config, p *plan, l layout) *dvm.Program {
 	keyAt := func(t *dvm.Thread) int64 {
 		return int64(p.opKey[p.opOff[t.R(req)]+int32(t.R(op))])
 	}
-	lockOf := dvm.Dyn(func(t *dvm.Thread) int64 { return 1 + keyAt(t)%int64(cfg.Stripes) }).InClass("locks")
+	lockOf := dvm.Dyn(func(t *dvm.Thread) int64 { return 1 + keyAt(t)%int64(cfg.Stripes) }).InClass("stripelocks")
 	accOf := dvm.Dyn(func(t *dvm.Thread) int64 { return l.acc + keyAt(t) }).InClass("accounts")
 	isRead := func(t *dvm.Thread) bool {
 		return p.opRead[p.opOff[t.R(req)]+int32(t.R(op))] != 0

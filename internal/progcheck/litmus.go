@@ -17,6 +17,10 @@ type LitmusCase struct {
 	// Want lists the expected finding classes, sorted; empty means the case
 	// must produce zero findings.
 	Want []Class
+	// WantHints pins the footprint pass's speculation verdicts when non-nil:
+	// the report's hint table must equal it exactly (an empty map means no
+	// lock may be classified). Nil leaves the verdicts unchecked.
+	WantHints map[int64]SpecVerdict
 	// Build constructs the program set, one program per thread.
 	Build func() []*dvm.Program
 }
@@ -77,6 +81,10 @@ func Litmus() []LitmusCase {
 		{
 			Name: "locked-counter",
 			Want: nil,
+			// The two replicas provably collide on cell 0 through a
+			// non-commuting load/store pair: correct code, but speculation
+			// through lock 1 is wasted work.
+			WantHints: map[int64]SpecVerdict{1: VerdictConflicting},
 			Build: func() []*dvm.Program {
 				b := dvm.NewBuilder("locked-inc")
 				v := b.Reg()
@@ -210,8 +218,10 @@ func Litmus() []LitmusCase {
 		{
 			Name: "unknown-lock-sound-fallback",
 			// The lock object is dynamic, so the analyzer must stay silent
-			// rather than guess (taint, not findings).
-			Want: nil,
+			// rather than guess (taint, not findings). Same for hints: no
+			// statically known lock exists, so no verdict may be issued.
+			Want:      nil,
+			WantHints: map[int64]SpecVerdict{},
 			Build: func() []*dvm.Program {
 				b := dvm.NewBuilder("dyn-lock")
 				v := b.Reg()
@@ -221,6 +231,94 @@ func Litmus() []LitmusCase {
 				b.Unlock(dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) }))
 				p := b.Build()
 				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "fp-disjoint-private",
+			// Both threads serialize on lock 0 but touch different cells:
+			// speculation through the lock can never fail validation.
+			Want:      nil,
+			WantHints: map[int64]SpecVerdict{0: VerdictDisjoint},
+			Build: func() []*dvm.Program {
+				a := dvm.NewBuilder("fp-priv-a")
+				va := a.Reg()
+				a.Lock(dvm.Const(0))
+				a.Load(va, dvm.Const(1))
+				a.Store(dvm.Const(1), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(va) + 1 }))
+				a.Unlock(dvm.Const(0))
+				b := dvm.NewBuilder("fp-priv-b")
+				vb := b.Reg()
+				b.Lock(dvm.Const(0))
+				b.Load(vb, dvm.Const(2))
+				b.Store(dvm.Const(2), dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(vb) + 1 }))
+				b.Unlock(dvm.Const(0))
+				return []*dvm.Program{a.Build(), b.Build()}
+			},
+		},
+		{
+			Name: "fp-commutative-counter",
+			// The critical sections collide on cell 0, but only through
+			// atomic adds, which commute: a phase-reconciliation candidate.
+			Want:      nil,
+			WantHints: map[int64]SpecVerdict{1: VerdictCommutative},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("fp-atomic-add")
+				v := b.Reg()
+				b.Lock(dvm.Const(1))
+				b.AtomicAdd(v, dvm.Const(0), dvm.Const(1))
+				b.Unlock(dvm.Const(1))
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "fp-commutative-const-store",
+			// Both replicas blind-write the same constant: either commit
+			// order leaves cell 0 holding 7.
+			Want:      nil,
+			WantHints: map[int64]SpecVerdict{1: VerdictCommutative},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("fp-const-store")
+				b.Lock(dvm.Const(1))
+				b.Store(dvm.Const(0), dvm.Const(7))
+				b.Unlock(dvm.Const(1))
+				p := b.Build()
+				return []*dvm.Program{p, p}
+			},
+		},
+		{
+			Name: "fp-unknown-dyn-addr",
+			// A store through a dynamic, classless address inside the
+			// critical section makes the footprint unbounded: the lock must
+			// demote to Unknown, never prove Disjoint.
+			Want:      nil,
+			WantHints: map[int64]SpecVerdict{1: VerdictUnknown},
+			Build: func() []*dvm.Program {
+				b := dvm.NewBuilder("fp-dyn-addr")
+				b.Lock(dvm.Const(1))
+				b.Store(dvm.Dyn(func(t *dvm.Thread) int64 { return int64(t.ID) + 8 }), dvm.Const(1))
+				b.Unlock(dvm.Const(1))
+				return []*dvm.Program{b.Build()}
+			},
+		},
+		{
+			Name: "fp-demote-condwait",
+			// The mutex is held across a cond wait (and the signaler holds it
+			// across the signal): a mid-section commit converts speculative
+			// holds to conventional ownership, so the Disjoint validation
+			// skip must not apply — even though no guarded access conflicts.
+			Want:      nil,
+			WantHints: map[int64]SpecVerdict{0: VerdictUnknown},
+			Build: func() []*dvm.Program {
+				w := dvm.NewBuilder("fp-waiter")
+				w.Lock(dvm.Const(0))
+				w.CondWait(dvm.Const(3), dvm.Const(0))
+				w.Unlock(dvm.Const(0))
+				s := dvm.NewBuilder("fp-signaler")
+				s.Lock(dvm.Const(0))
+				s.CondSignal(dvm.Const(3))
+				s.Unlock(dvm.Const(0))
+				return []*dvm.Program{w.Build(), s.Build()}
 			},
 		},
 	}

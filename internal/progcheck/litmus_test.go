@@ -31,6 +31,29 @@ func TestLitmusClasses(t *testing.T) {
 	}
 }
 
+// TestLitmusHints pins the footprint pass's speculation verdicts for every
+// case that declares an expectation: exact equality, so a spurious verdict on
+// an unlisted lock fails just like a missing one.
+func TestLitmusHints(t *testing.T) {
+	for _, c := range Litmus() {
+		if c.WantHints == nil {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			rep := Check(c.Build())
+			got := map[int64]SpecVerdict{}
+			if rep.Hints != nil {
+				for l, v := range rep.Hints.Verdicts {
+					got[l] = v
+				}
+			}
+			if !reflect.DeepEqual(got, c.WantHints) {
+				t.Fatalf("hint verdicts = %v, want %v\nreport:\n%s", got, c.WantHints, rep.Human())
+			}
+		})
+	}
+}
+
 // TestLitmusGolden pins the exact rendered reports, so message wording,
 // sites and ordering cannot drift silently. Refresh with
 // `go test ./internal/progcheck -run TestLitmusGolden -update`.

@@ -157,6 +157,18 @@ type progSummary struct {
 	accesses     map[int]*access
 	usesSpawn    bool // OpSpawn/OpJoin present: inter-thread HB the race pass does not model
 	usesCondSync bool // OpCondSignal/Broadcast/Wait present: same caveat, but locksets still checked
+
+	// Footprint analysis inputs (footprint.go). Unlike the race pass,
+	// which drops tainted states because they would only manufacture
+	// false positives, the footprint pass must OVER-approximate each
+	// lock's footprint — a missed access could wrongly prove a lock
+	// Disjoint — so tainted states contribute here too (their stale held
+	// entries only enlarge footprints).
+	fp          map[int64]map[int]*fpRecord // per held lock, per pc: accesses under it
+	fpDemote    map[int64]string            // locks capped at Unknown, with the first reason
+	lockClasses map[int64]map[string]bool   // address classes declared at each lock's sync sites ("" = an unclassed site)
+	dynLockSeen map[string]bool             // classes of dynamic lock operands ("" = a classless one)
+	fpTruncated bool                        // state exploration hit maxStatesPerPC: footprints incomplete
 }
 
 // site builds the finding site for this program at pc.
@@ -167,7 +179,13 @@ func (ps *progSummary) site(pc int, detail string) Site {
 // analyzeProgram runs the forward abstract interpretation of one program and
 // returns its summary. threads lists the thread IDs running the program.
 func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
-	ps := &progSummary{prog: p, threads: threads, accesses: map[int]*access{}}
+	ps := &progSummary{
+		prog: p, threads: threads, accesses: map[int]*access{},
+		fp:          map[int64]map[int]*fpRecord{},
+		fpDemote:    map[int64]string{},
+		lockClasses: map[int64]map[string]bool{},
+		dynLockSeen: map[string]bool{},
+	}
 	if len(p.Code) == 0 {
 		return ps
 	}
@@ -190,7 +208,13 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 			return
 		}
 		k := st.key()
-		if seen[pc][k] || len(seen[pc]) >= maxStatesPerPC {
+		if seen[pc][k] {
+			return
+		}
+		if len(seen[pc]) >= maxStatesPerPC {
+			// Dropped states may hide accesses: the footprint pass must
+			// not claim Disjoint from an incomplete exploration.
+			ps.fpTruncated = true
 			return
 		}
 		seen[pc][k] = true
@@ -219,10 +243,12 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 		case dvm.OpLock:
 			if !in.SAddr.Known {
 				ps.unknownSyncOps++
+				ps.noteDynLockOperand(in.SAddr)
 				st.tainted = true
 				break
 			}
 			id := in.SAddr.K
+			ps.noteLockClass(id, in.SAddr.Class)
 			mode, held := st.find(id)
 			switch {
 			case st.tainted:
@@ -251,10 +277,12 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 		case dvm.OpRLock:
 			if !in.SAddr.Known {
 				ps.unknownSyncOps++
+				ps.noteDynLockOperand(in.SAddr)
 				st.tainted = true
 				break
 			}
 			id := in.SAddr.K
+			ps.noteLockClass(id, in.SAddr.Class)
 			mode, held := st.find(id)
 			switch {
 			case st.tainted:
@@ -278,10 +306,12 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 		case dvm.OpUnlock:
 			if !in.SAddr.Known {
 				ps.unknownSyncOps++
+				ps.noteDynLockOperand(in.SAddr)
 				st.tainted = true
 				break
 			}
 			id := in.SAddr.K
+			ps.noteLockClass(id, in.SAddr.Class)
 			mode, held := st.find(id)
 			switch {
 			case st.tainted:
@@ -306,10 +336,12 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 		case dvm.OpRUnlock:
 			if !in.SAddr.Known {
 				ps.unknownSyncOps++
+				ps.noteDynLockOperand(in.SAddr)
 				st.tainted = true
 				break
 			}
 			id := in.SAddr.K
+			ps.noteLockClass(id, in.SAddr.Class)
 			mode, held := st.find(id)
 			switch {
 			case st.tainted:
@@ -333,12 +365,20 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 
 		case dvm.OpCondWait:
 			ps.usesCondSync = true
+			// A run terminating at a condition-variable operation commits
+			// with its critical-section locks still held, converting them
+			// to conventional ownership — a conversion the Disjoint
+			// validation skip must never race (DESIGN.md §5e) — so every
+			// lock held here is capped at Unknown.
+			ps.demoteHeld(st, w.pc, "held across cond-wait")
 			if !in.SAddr2.Known {
 				ps.unknownSyncOps++
+				ps.noteDynLockOperand(in.SAddr2)
 				st.tainted = true
 				break
 			}
 			id := in.SAddr2.K
+			ps.noteLockClass(id, in.SAddr2.Class)
 			mode, held := st.find(id)
 			if !st.tainted && (!held || mode != modeWrite) {
 				report(fmt.Sprintf("cw/%d", w.pc), Finding{
@@ -352,11 +392,15 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 
 		case dvm.OpCondSignal, dvm.OpCondBroadcast:
 			ps.usesCondSync = true
+			// Signal/broadcast terminate a speculation run mid-critical
+			// section; see the OpCondWait demotion rationale.
+			ps.demoteHeld(st, w.pc, "held across cond-signal/broadcast")
 			if !in.SAddr.Known {
 				ps.unknownSyncOps++
 			}
 
 		case dvm.OpBarrier:
+			ps.demoteHeld(st, w.pc, "held across barrier")
 			if in.SAddr.Known {
 				if st.phase < phaseCap {
 					st.phase++
@@ -369,15 +413,20 @@ func analyzeProgram(p *dvm.Program, threads []int) *progSummary {
 
 		case dvm.OpLoad:
 			ps.recordAccess(w.pc, accRead, in.SAddr, st)
+			ps.recordFootprint(w.pc, accRead, in, st)
 		case dvm.OpStore:
 			ps.recordAccess(w.pc, accWrite, in.SAddr, st)
+			ps.recordFootprint(w.pc, accWrite, in, st)
 		case dvm.OpAtomic:
 			ps.recordAccess(w.pc, accAtomic, in.SAddr, st)
+			ps.recordFootprint(w.pc, accAtomic, in, st)
 
 		case dvm.OpSpawn, dvm.OpJoin:
 			ps.usesSpawn = true
+			ps.demoteHeld(st, w.pc, "held across spawn/join")
 
 		case dvm.OpHalt:
+			ps.demoteHeld(st, w.pc, "held at thread exit")
 			if !st.tainted && len(st.held) > 0 {
 				ids := st.heldIDs()
 				strs := make([]string, len(ids))

@@ -16,7 +16,7 @@
 // program is built from constants, and `Stats.UnknownSyncOps` quantifies
 // the loss.
 //
-// Three analyses run over the abstract states:
+// Four analyses run over the abstract states:
 //
 //   - lock discipline (lockstate.go): double-lock, unlock-without-lock,
 //     read/write-mode confusion, locks still held on a path to OpHalt, and
@@ -26,7 +26,12 @@
 //     check, reporting the witness cycle;
 //   - potential data races (race.go): conflicting OpLoad/OpStore/OpAtomic
 //     address classes whose static locksets are disjoint and whose barrier
-//     phases can overlap.
+//     phases can overlap;
+//   - critical-section footprints (footprint.go): per-lock read/write
+//     footprints lifted into a cross-program conflict graph classifying
+//     every statically known lock as Disjoint, Conflicting, Commutative or
+//     Unknown — the Report.Hints table that seeds LazyDet's speculation
+//     policy through harness.Options.SpecHints.
 //
 // cmd/lazydet-vet exposes the analyzer on the command line, and
 // harness.Options.Vet runs it as a pre-run check.
@@ -140,15 +145,24 @@ type Stats struct {
 	// builder could not resolve statically; each one degrades precision
 	// (the sound fallback) but never soundness.
 	UnknownSyncOps int `json:"unknown_sync_ops"`
-	// AnalysisNs is the analysis wall time. Machine-dependent: report it,
-	// never gate on it.
-	AnalysisNs int64 `json:"analysis_ns"`
+	// AnalysisNs is the total analysis wall time; the four fields after it
+	// split the total per analysis. All machine-dependent: report them,
+	// never gate on them.
+	AnalysisNs  int64 `json:"analysis_ns"`
+	LockstateNs int64 `json:"lockstate_ns"`
+	DeadlockNs  int64 `json:"deadlock_ns"`
+	RaceNs      int64 `json:"race_ns"`
+	FootprintNs int64 `json:"footprint_ns"`
 }
 
 // Report is the analyzer's result for one program set.
 type Report struct {
 	Findings []Finding `json:"findings"`
 	Stats    Stats     `json:"stats"`
+	// Hints is the footprint analysis verdict table (one entry per
+	// statically known lock). Hints are facts about speculation payoff,
+	// not defects, so they are reported here rather than as Findings.
+	Hints *SpecHints `json:"hints,omitempty"`
 }
 
 // CountBySeverity returns the number of findings at exactly sev.
@@ -185,6 +199,9 @@ func (r *Report) Human() string {
 	for _, f := range r.Findings {
 		b.WriteString(f.String())
 		b.WriteByte('\n')
+	}
+	if h := r.Hints.Human(); h != "" {
+		b.WriteString(h)
 	}
 	fmt.Fprintf(&b, "%d program(s), %d thread(s), %d instruction(s), %d state(s), %d unknown sync op(s)\n",
 		r.Stats.Programs, r.Stats.Threads, r.Stats.Instructions, r.Stats.States, r.Stats.UnknownSyncOps)
@@ -226,9 +243,19 @@ func Check(progs []*dvm.Program) *Report {
 		rep.Stats.UnknownSyncOps += s.unknownSyncOps
 		rep.Findings = append(rep.Findings, s.findings...)
 	}
+	t1 := time.Now()
+	rep.Stats.LockstateNs = t1.Sub(start).Nanoseconds()
 
 	rep.Findings = append(rep.Findings, findDeadlocks(summaries)...)
+	t2 := time.Now()
+	rep.Stats.DeadlockNs = t2.Sub(t1).Nanoseconds()
+
 	rep.Findings = append(rep.Findings, findRaces(summaries)...)
+	t3 := time.Now()
+	rep.Stats.RaceNs = t3.Sub(t2).Nanoseconds()
+
+	rep.Hints = analyzeFootprints(summaries)
+	rep.Stats.FootprintNs = time.Since(t3).Nanoseconds()
 
 	sortFindings(rep.Findings)
 	rep.Stats.AnalysisNs = time.Since(start).Nanoseconds()

@@ -4,9 +4,10 @@ import "lazydet/internal/telemetry"
 
 // Publish records the analysis outcome into the telemetry registry under the
 // progcheck.* namespace: programs/instructions/states analyzed, unknown sync
-// operations (the precision loss), findings by class, and the analysis wall
-// time. The counters are deterministic except progcheck.analysis_ns, which
-// the report builder routes into the never-gated Timing section.
+// operations (the precision loss), findings by class, speculation-hint
+// verdict counts, and the analysis wall time. The counters are deterministic
+// except the *_ns ones, which the report builder routes into the never-gated
+// Timing section.
 func (r *Report) Publish(tel *telemetry.Recorder) {
 	if !tel.Enabled() {
 		return
@@ -19,5 +20,23 @@ func (r *Report) Publish(tel *telemetry.Recorder) {
 	for _, f := range r.Findings {
 		tel.Count("progcheck.findings."+string(f.Class), 1)
 	}
+	r.Hints.Publish(tel)
 	tel.Count("progcheck.analysis_ns", r.Stats.AnalysisNs)
+	tel.Count("progcheck.lockstate_ns", r.Stats.LockstateNs)
+	tel.Count("progcheck.deadlock_ns", r.Stats.DeadlockNs)
+	tel.Count("progcheck.race_ns", r.Stats.RaceNs)
+	tel.Count("progcheck.footprint_ns", r.Stats.FootprintNs)
+}
+
+// Publish records the footprint verdict counts under progcheck.hints.*.
+// Deterministic (pure functions of the program set), so gateable.
+func (h *SpecHints) Publish(tel *telemetry.Recorder) {
+	if h == nil || !tel.Enabled() {
+		return
+	}
+	tel.Count("progcheck.hints.locks", int64(len(h.Verdicts)))
+	tel.Count("progcheck.hints.disjoint", int64(h.Count(VerdictDisjoint)))
+	tel.Count("progcheck.hints.conflicting", int64(h.Count(VerdictConflicting)))
+	tel.Count("progcheck.hints.commutative", int64(h.Count(VerdictCommutative)))
+	tel.Count("progcheck.hints.unknown", int64(h.Count(VerdictUnknown)))
 }

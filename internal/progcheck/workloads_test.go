@@ -25,6 +25,40 @@ func TestWorkloadsAreClean(t *testing.T) {
 	}
 }
 
+// TestRandprogHints: the generator's private-counter lock guards per-thread
+// cells only, so the footprint pass must prove it Disjoint whenever a seed
+// exercises it; the rendezvous door lock is held across cond waits and
+// provably collides on the rendezvous cell, so it must never be Disjoint.
+func TestRandprogHints(t *testing.T) {
+	sawPriv := false
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg := randprog.DefaultConfig(3)
+		w, _, err := randprog.Generate(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := progcheck.Check(w.Programs(3))
+		if rep.Hints == nil {
+			t.Fatalf("seed %d: no hint table", seed)
+		}
+		privLock := int64(cfg.Cells) + 1
+		doorLock := int64(cfg.Cells)
+		if v, ok := rep.Hints.Verdicts[privLock]; ok {
+			sawPriv = true
+			if v != progcheck.VerdictDisjoint {
+				t.Fatalf("seed %d: private lock verdict = %s, want disjoint — %s",
+					seed, v, rep.Hints.Reasons[privLock])
+			}
+		}
+		if v, ok := rep.Hints.Verdicts[doorLock]; ok && v == progcheck.VerdictDisjoint {
+			t.Fatalf("seed %d: door lock proved disjoint — %s", seed, rep.Hints.Reasons[doorLock])
+		}
+	}
+	if !sawPriv {
+		t.Fatal("no seed exercised the private-counter lock; test is vacuous")
+	}
+}
+
 // TestRandprogIsClean: the fuzzer's generator emits disciplined programs by
 // construction (ordered nested acquisitions, rendezvous under a door lock),
 // so the analyzer must agree.

@@ -71,6 +71,7 @@ const (
 	opSharedRead  // RLock + load, no write: never conflicts with readers
 	opLockedSysc  // locked add with a Syscall inside the critical section
 	opBareSyscall // Syscall outside any critical section
+	opPrivateAdd  // add to a thread-private cell under the shared private lock
 )
 
 type op struct {
@@ -104,13 +105,21 @@ func (cfg Config) validate() error {
 // it cannot generate a well-formed program for.
 //
 // Heap layout: cells [0, Cells) are lock-protected (lock i guards cell i),
-// [Cells, Cells+AtomicCells) are atomic-only, and cell Cells+AtomicCells is
-// the condvar rendezvous counter, guarded by lock Cells.
+// [Cells, Cells+AtomicCells) are atomic-only, cell Cells+AtomicCells is the
+// condvar rendezvous counter (guarded by lock Cells), and the Threads cells
+// after it are thread-private counters all guarded by the single lock
+// Cells+1 — each section's footprint is a distinct constant address, so the
+// footprint analysis classifies that lock Disjoint and the hinted engine
+// must never revert on it (lazydet-fuzz property 9).
 func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
 	plans := make([][]op, cfg.Threads)
+	rvCell := int64(cfg.Cells + cfg.AtomicCells)
+	doorLock := int64(cfg.Cells)
+	privLock := int64(cfg.Cells) + 1
+	privBase := rvCell + 1
 	expected := map[int64]int64{}
 	r := seed
 	next := func(n uint64) uint64 {
@@ -174,6 +183,11 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, erro
 					continue
 				}
 				fallthrough
+			case 12:
+				d := int64(next(7)) + 1
+				plans[tid] = append(plans[tid], op{kind: opPrivateAdd, delta: d})
+				expected[privBase+int64(tid)] += d
+				continue
 			default:
 				c := int64(cfg.Cells) + int64(next(uint64(cfg.AtomicCells)))
 				d := int64(next(5)) + 1
@@ -186,16 +200,14 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, erro
 	// Condvar rendezvous: non-leaders check in under the door lock and
 	// signal; the leader waits until everyone has. The counter's final
 	// value is schedule-independent.
-	rvCell := int64(cfg.Cells + cfg.AtomicCells)
-	doorLock := int64(cfg.Cells)
 	if cfg.WithCondvars && cfg.Threads > 1 {
 		expected[rvCell] = int64(cfg.Threads - 1)
 	}
 
 	w := &harness.Workload{
 		Name:      fmt.Sprintf("randprog-%x", seed),
-		HeapWords: int64(cfg.Cells + cfg.AtomicCells + 1),
-		Locks:     cfg.Cells + 1,
+		HeapWords: int64(cfg.Cells+cfg.AtomicCells+1) + int64(cfg.Threads),
+		Locks:     cfg.Cells + 2,
 		Barriers:  1,
 		Conds:     1,
 		Programs: func(n int) []*dvm.Program {
@@ -232,6 +244,12 @@ func Generate(seed uint64, cfg Config) (*harness.Workload, map[int64]int64, erro
 						b.Unlock(dvm.Const(o.cell))
 					case opBareSyscall:
 						b.Syscall(&dvm.Syscall{Name: "fuzz", Work: o.work})
+					case opPrivateAdd:
+						cell := dvm.Const(privBase + int64(tid))
+						b.Lock(dvm.Const(privLock))
+						b.Load(v, cell)
+						b.Store(cell, dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + o.delta }))
+						b.Unlock(dvm.Const(privLock))
 					case opAtomicAdd:
 						b.AtomicAdd(v, dvm.Const(o.cell), dvm.Const(o.delta))
 					case opBarrier:
