@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"lazydet/internal/core"
 	"lazydet/internal/experiments"
 	"lazydet/internal/telemetry"
 )
@@ -60,6 +61,7 @@ func main() {
 	arbsweep := flag.Bool("arbsweep", false, "run the arbiter-cost-vs-threads sweep (tournament tree vs flat scan)")
 	dispatchsweep := flag.Bool("dispatchsweep", false, "run the dispatch-cost sweep (interpreter vs threaded code vs direct, per program shape)")
 	compiled := flag.Bool("compiled", false, "run the deterministic engines on the threaded-code backend; with -report and -baseline, the interpreter baseline's gated metrics act as the differential oracle")
+	eagerPublish := flag.Bool("eagerpublish", false, "publish every release eagerly; with -report and -baseline, the elided baseline's gated metrics outside the elision-variant set act as the differential oracle")
 	reps := flag.Int("reps", 3, "repetitions per data point (paper: 5)")
 	threads := flag.Int("threads", 0, "override the experiment's thread count")
 	scale := flag.Int("scale", 1, "workload problem-size multiplier")
@@ -69,11 +71,12 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report to diff against (with -report or -compare)")
 	gate := flag.Float64("gate", 0, "fail when a gated deterministic metric regresses more than this percent against -baseline; 0 reports without failing")
 	compare := flag.String("compare", "", "diff this existing report file against -baseline without running anything")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file; samples carry engine-phase pprof labels (grant/commit/validate)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the selected experiments to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
+		core.EnableProfileLabels()
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -104,13 +107,14 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Out:      os.Stdout,
-		Reps:     *reps,
-		Threads:  *threads,
-		Scale:    *scale,
-		Quick:    *quick,
-		CSVDir:   *csvDir,
-		Compiled: *compiled,
+		Out:          os.Stdout,
+		Reps:         *reps,
+		Threads:      *threads,
+		Scale:        *scale,
+		Quick:        *quick,
+		CSVDir:       *csvDir,
+		Compiled:     *compiled,
+		EagerPublish: *eagerPublish,
 	}
 
 	if *compare != "" {

@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"lazydet/internal/core"
 	"lazydet/internal/harness"
 	"lazydet/internal/telemetry"
 	"lazydet/internal/workloads"
@@ -87,9 +88,10 @@ func main() {
 	flatArb := flag.Bool("flatarb", false, "arbitrate turns with flat O(threads) scans instead of the tournament tree")
 	shards := flag.Int("shards", 0, "versioned heap shard count (0 = default, 1 = single-lock oracle)")
 	compiled := flag.Bool("compiled", false, "run the threaded-code backend instead of the interpreter")
+	eagerPublish := flag.Bool("eagerpublish", false, "publish every release eagerly instead of eliding same-owner publications")
 	reportPath := flag.String("report", "", "write a single-run structured JSON run report to this file")
 	list := flag.Bool("list", false, "list workloads and exit")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file; samples carry engine-phase pprof labels (grant/commit/validate)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
 
@@ -121,9 +123,11 @@ func main() {
 		FlatArbiter:      *flatArb,
 		HeapShards:       *shards,
 		Compiled:         *compiled,
+		EagerPublish:     *eagerPublish,
 		Telemetry:        *reportPath != "",
 	}
 	if *cpuprofile != "" {
+		core.EnableProfileLabels()
 		stop, err := startCPUProfile(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

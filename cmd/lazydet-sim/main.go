@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
+	"lazydet/internal/core"
 	"lazydet/internal/experiments"
 	"lazydet/internal/telemetry"
 )
@@ -43,7 +45,11 @@ func diffSim(basePath, curPath string, gatePct float64) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	c := telemetry.Compare(base.FilterPrefix("sim/"), cur.FilterPrefix("sim/"), gatePct)
+	// The report suite pins the hint policy as sim/hints-* rows; no grid
+	// produces those, so they are dropped from the baseline slice before the
+	// MissingRuns check.
+	c := telemetry.Compare(base.FilterPrefix("sim/").DropPrefix("sim/hints-"),
+		cur.FilterPrefix("sim/").DropPrefix("sim/hints-"), gatePct)
 	c.Format(os.Stdout)
 	if !c.Ok() {
 		fmt.Printf("sim gate FAILED: %d regression(s), %d missing run(s) (gate %.1f%%)\n",
@@ -65,7 +71,32 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report to gate the sim/* rows against")
 	gate := flag.Float64("gate", 0, "fail when a gated sim metric regresses more than this percent; 0 reports without failing")
 	compare := flag.String("compare", "", "diff this existing report's sim/* rows against -baseline without running anything")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the grid run to this file; samples carry engine-phase pprof labels (grant/commit/validate)")
 	flag.Parse()
+
+	// The deferred stop does not run through the os.Exit gate paths below,
+	// so the stop closure is also invoked explicitly before them.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		core.EnableProfileLabels()
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopped := false
+		stopProfile = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	if *compare != "" {
 		if *baseline == "" {
@@ -112,6 +143,7 @@ func main() {
 	fmt.Printf("wrote %d cell runs to %s\n", len(suite.Runs), dir)
 
 	if *baseline != "" {
+		stopProfile()
 		os.Exit(diffSim(*baseline, reportPath, *gate))
 	}
 }

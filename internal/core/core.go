@@ -150,6 +150,21 @@ type Config struct {
 	// round-trip exactness. Off by default; when off the only cost is a
 	// nil pointer compare at each audit point.
 	CheckInvariants bool
+	// EagerPublish disables same-owner publication elision: every
+	// synchronization operation publishes immediately at its turn, exactly as
+	// the pre-elision engines did. The always-publish path is kept as a
+	// differential oracle (-eagerpublish on lazydet-run/-bench/-fuzz):
+	// schedules, trace signatures, heap hashes and the gated metrics outside
+	// the publication machinery must be bit-identical with elision on.
+	EagerPublish bool
+	// ElideChainLimit bounds how many consecutive publications one thread
+	// may defer before the next release publishes eagerly. The retained
+	// dirty set (and with it the stage-merge and speculation-snapshot cost)
+	// grows with the chain, so an unbounded chain would turn elision's
+	// per-release win into quadratic accumulated work on lock-hot loops.
+	// Zero means the default (64); the limit only changes which releases
+	// elide — a deterministic function of the schedule either way.
+	ElideChainLimit int
 	// Hints carries per-lock speculation priors indexed by lock ID — the
 	// progcheck footprint analysis verdicts, lowered by the harness. Nil,
 	// or any lock beyond the slice, means HintNone. Only meaningful with
@@ -157,6 +172,14 @@ type Config struct {
 	// unhinted one (identical final memory and Validate outcomes), which
 	// lazydet-fuzz checks differentially.
 	Hints []SpecHint
+}
+
+// WithEagerPublish returns a copy of the config with same-owner publication
+// elision disabled — the always-publish differential oracle. Exposed as
+// -eagerpublish on lazydet-run/-bench/-fuzz.
+func (c Config) WithEagerPublish() Config {
+	c.EagerPublish = true
+	return c
 }
 
 // SpecHint is a static prior for the per-lock speculation policy, computed
@@ -211,6 +234,9 @@ func (c Config) withDefaults() Config {
 	if c.Spec.RetryEvery == 0 {
 		c.Spec.RetryEvery = 20
 	}
+	if c.ElideChainLimit == 0 {
+		c.ElideChainLimit = 64
+	}
 	return c
 }
 
@@ -252,6 +278,16 @@ type Engine struct {
 	// irrevocableOwner is the thread ID holding irrevocable status, or
 	// -1. Read and written only at deterministic turn points.
 	irrevocableOwner int
+
+	// elideGlobal is the workload-wide elision survival history — the same
+	// 64-outcome shift register as a lock's ElideHist, fed by every resolved
+	// real or virtual elision regardless of lock. It exists because per-lock
+	// histories cannot learn on dynamically addressed lock sets (ht's
+	// per-bucket locks see a handful of releases each): a workload whose
+	// threads release in long uninterrupted runs earns engagement here even
+	// when every individual lock is too cold to predict anything. Mutated
+	// only at turns.
+	elideGlobal uint64
 }
 
 // New builds an engine. It panics on inconsistent configuration, which is a
@@ -294,19 +330,23 @@ func New(cfg Config, d Deps) *Engine {
 	if cfg.CheckInvariants {
 		e.audit = invariant.New(d.Arb, d.Tbl, d.Heap, d.OnViolation)
 	}
-	if cfg.Speculation && d.Tbl != nil {
+	if d.Tbl != nil {
 		// Conflicting-hinted locks start pessimistic: an all-failure
 		// success history keeps them conventional until RetryEvery probing
 		// earns speculation back, instead of paying the warm-up reverts
 		// the optimistic all-success seed would. (A no-op without per-lock
-		// statistics: the SpecHist slices are nil then.)
+		// statistics: the SpecHist slices are nil then.) Elision histories
+		// need no such zeroing: they start zero for every lock and are
+		// earned through virtual probes (elide.go).
 		for l, h := range cfg.Hints {
 			if h != HintConflicting || l >= len(d.Tbl.Locks) {
 				continue
 			}
-			hist := d.Tbl.Locks[l].SpecHist
-			for i := range hist {
-				hist[i] = 0
+			if cfg.Speculation {
+				hist := d.Tbl.Locks[l].SpecHist
+				for i := range hist {
+					hist[i] = 0
+				}
 			}
 		}
 	}
@@ -381,6 +421,26 @@ type tstate struct {
 	// Per-thread speculation history, used when PerLockStats is off.
 	threadHist     uint64
 	threadAttempts uint32
+
+	// Publication-elision state (elide.go): when elidePending is set, the
+	// thread's most recent publication was deferred at lock elideLock's
+	// release and its hit/miss outcome resolves at the thread's next
+	// publication point. elideChain counts consecutive deferred
+	// publications since the last physical commit, bounded by
+	// Config.ElideChainLimit.
+	elidePending bool
+	elideLock    int64
+	elideChain   int
+
+	// Virtual-probe state (elide.go): when virtPending is set, the thread's
+	// most recent release at lock virtLock published eagerly and recorded
+	// the heap sequence in virtSeq; at the thread's next publication point
+	// the probe resolves — an unchanged sequence means a deferred
+	// publication would have survived to merge there, a hit at zero staging
+	// cost.
+	virtPending bool
+	virtLock    int64
+	virtSeq     int64
 }
 
 func (e *Engine) ts(t *dvm.Thread) *tstate { return t.EngineData.(*tstate) }
@@ -434,9 +494,11 @@ func (e *Engine) ThreadExit(t *dvm.Thread) bool {
 	// Take a final turn: the exit commit publishes outstanding writes
 	// (strong mode), and Exit in place of releasing the turn makes the
 	// Exited status visible exactly at this deterministic boundary, which
-	// keeps joiners' retry counts deterministic.
+	// keeps joiners' retry counts deterministic. Exit is a cross-thread
+	// visibility point (joiners adopt this state), so deferred publications
+	// settle here.
 	e.waitCommitTurn(t)
-	e.publish(t, ts)
+	e.forcePublish(t, ts)
 	if e.tel != nil {
 		// The thread's final clock: summed over threads this is the run's
 		// total deterministic logical work, the report's "dlc.total".
@@ -527,6 +589,7 @@ const maxBackoff = 512
 // count, are deterministic — retries depend only on the deterministic
 // irrevocability schedule.
 func (e *Engine) waitCommitTurn(t *dvm.Thread) {
+	defer phaseBegin("grant")()
 	var d0, retries int64
 	if e.tel != nil {
 		d0 = e.arb.DLC(t.ID)
@@ -559,17 +622,19 @@ func (e *Engine) waitCommitTurn(t *dvm.Thread) {
 // memory pipeline, recording the commit in the trace and auditing commit
 // integrity. On flat (weak-mode) memory the window is never dirty and this
 // is a no-op — which is what lets the synchronization paths drive one
-// publication choreography for every engine. Caller holds the turn.
-func (e *Engine) publish(t *dvm.Thread, ts *tstate) {
+// publication choreography for every engine. Reports whether a physical
+// commit happened. Caller holds the turn.
+func (e *Engine) publish(t *dvm.Thread, ts *tstate) bool {
 	if !ts.mem.Dirty() {
-		return
+		return false
 	}
+	defer phaseBegin("commit")()
 	if e.audit != nil {
 		e.audit.AtPublish(t.ID, ts.mem)
 	}
 	seq, committed := ts.mem.Publish()
 	if !committed {
-		return
+		return false
 	}
 	my := e.arb.DLC(t.ID)
 	e.rec.Commit(t.ID, my, seq)
@@ -579,6 +644,7 @@ func (e *Engine) publish(t *dvm.Thread, ts *tstate) {
 	if e.audit != nil {
 		e.audit.AtCommit(t.ID, seq)
 	}
+	return true
 }
 
 // publishAndRefresh publishes the thread's writes and re-bases its window on

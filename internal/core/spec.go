@@ -218,7 +218,10 @@ func (e *Engine) terminateRun(t *dvm.Thread, ts *tstate) bool {
 		e.spec.Runs.Add(1)
 	}
 	e.waitCommitTurn(t)
-	if ts.irrevocable || e.validate(ts) {
+	endValidate := phaseBegin("validate")
+	valid := ts.irrevocable || e.validate(ts)
+	endValidate()
+	if valid {
 		e.commitRunLocked(t, ts)
 		e.arb.ReleaseTurn(t.ID, e.cfg.SyncCost)
 		return true
@@ -234,7 +237,15 @@ func (e *Engine) terminateRun(t *dvm.Thread, ts *tstate) bool {
 // condition-variable operation hold their critical-section lock), and
 // record success in the adaptive histories. Caller holds the turn.
 func (e *Engine) commitRunLocked(t *dvm.Thread, ts *tstate) {
-	e.publishAndRefresh(t, ts)
+	// A validated run's publication is a release like any other and elides
+	// under the same per-lock policy, attributed to the run's first logged
+	// lock (the lock that began the run). An irrevocable run publishes
+	// eagerly: its deferred state was already settled at the upgrade.
+	if !ts.irrevocable && len(ts.logLocks) > 0 {
+		e.releasePublish(t, ts, ts.logLocks[0])
+	} else {
+		e.publishRefreshLazy(t, ts)
+	}
 	my := e.arb.DLC(t.ID)
 	seq := e.pipe.Seq()
 	for _, l := range ts.logLocks {
@@ -293,6 +304,9 @@ func (e *Engine) revertLocked(t *dvm.Thread, ts *tstate) {
 		// The thread must be exactly its BEGIN snapshot again, and the
 		// dirty set exactly the pre-run dirty set.
 		e.audit.AtRevert(t, ts.snap, ts.mem.DirtyWords(), ts.dirtySnap.Words())
+		// The pre-run dirty set includes any deferred (staged, un-published)
+		// state; the restore must have preserved it word for word.
+		e.audit.AtDeferred(t.ID, ts.mem)
 	}
 	e.recordOutcome(ts, t.ID, false)
 	if e.spec != nil {
@@ -364,6 +378,14 @@ func (e *Engine) enterIrrevocable(t *dvm.Thread, ts *tstate) bool {
 	if e.validate(ts) {
 		ts.irrevocable = true
 		e.irrevocableOwner = t.ID
+		// Settle deferred publications at the upgrade turn: the irrevocable
+		// phase reads committed state off-turn (ReadCommitted), and settling
+		// now keeps those reads' flushes deterministic no-ops. The pending
+		// elision resolves first, so the settle of the thread's own stage is
+		// not mistaken for a cross-thread miss.
+		e.resolveElide(ts, elideAtSettle)
+		e.resolveVirtual(ts, elideAtSettle)
+		ts.mem.SettleDeferred()
 		if e.spec != nil {
 			e.spec.Upgrades.Add(1)
 		}

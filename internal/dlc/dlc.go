@@ -187,6 +187,17 @@ type Arbiter struct {
 	wakes     int64
 	grantWork int64
 
+	// Grant chaining, guarded by mu. lastGrant is the thread most recently
+	// granted the turn (-1 before the first grant); chainHits counts grants
+	// to the thread that also received the previous grant — a pure function
+	// of the deterministic grant sequence, identical across arbiter
+	// implementations; chainFast counts the subset of those the tournament
+	// arbiter served through the cached-election fast path, which depends on
+	// how stale runners' published clocks happened to be (wall-clock).
+	lastGrant int
+	chainHits int64
+	chainFast int64
+
 	// nondet switches the arbiter to nondeterministic total ordering:
 	// WaitTurn/ReleaseTurn degenerate to a mutex and clocks are unused.
 	nondet bool
@@ -201,7 +212,7 @@ type Arbiter struct {
 // New returns an arbiter for n threads, all starting at DLC 0 in
 // StatusRunning. Thread IDs are 0..n-1.
 func New(n int, opts ...Option) *Arbiter {
-	a := &Arbiter{slots: make([]slot, n), wake: make([]chan struct{}, n)}
+	a := &Arbiter{slots: make([]slot, n), wake: make([]chan struct{}, n), lastGrant: -1}
 	for i := range a.wake {
 		a.wake[i] = make(chan struct{}, 1)
 	}
@@ -509,6 +520,26 @@ func (a *Arbiter) WaitTurn(tid int) {
 		return
 	}
 	a.mu.Lock()
+	// Grant chaining: when the thread that received the previous grant
+	// returns — the dominant shape on same-owner lock chains — publishing
+	// its exact key and finding it still at the tournament root proves the
+	// grant outright: every other published key is a lower bound on its
+	// thread's true clock, so losing to tid's exact key means genuinely
+	// losing. The cached election is reused: no waiter registration, no
+	// wait-tree replays, no min-waiter refreshes. The grant sequence is
+	// unchanged — the slow path would grant the same turn on its first
+	// root inspection.
+	if !a.flat && tid == a.lastGrant {
+		a.publishLocked(tid)
+		a.grantWork++
+		if int(a.minTree[1]) == tid {
+			a.setStatusLocked(tid, StatusTurn)
+			a.chainHits++
+			a.chainFast++
+			a.mu.Unlock()
+			return
+		}
+	}
 	a.setStatusLocked(tid, StatusWaiting)
 	if !a.flat {
 		// Publish the exact clock before registering as a waiter: grants
@@ -524,6 +555,14 @@ func (a *Arbiter) WaitTurn(tid int) {
 		a.mu.Lock()
 	}
 	a.setStatusLocked(tid, StatusTurn)
+	if tid == a.lastGrant {
+		// Still a consecutive same-thread grant even when the cached
+		// election could not be reused (stale runner snapshots forced the
+		// slow path): the gated chain counter tracks the deterministic
+		// grant sequence, not the wall-clock-dependent fast path.
+		a.chainHits++
+	}
+	a.lastGrant = tid
 	if !a.flat {
 		a.replayLocked(a.waitTree, tid, false)
 	}
@@ -649,6 +688,16 @@ type Stats struct {
 	// Depth is the tournament tree's match depth (0 for the flat oracle
 	// and nondeterministic mode).
 	Depth int
+	// ChainHits counts turn grants to the thread that also received the
+	// previous grant. It is a pure function of the deterministic grant
+	// sequence — identical across arbiter implementations — so, unlike
+	// Wakes and GrantWork, it belongs with the gated metrics.
+	ChainHits int64
+	// ChainFast counts the ChainHits the tournament arbiter served through
+	// the cached-election fast path (no waiter registration, no wait-tree
+	// replays). It depends on how stale runners' published snapshots were
+	// at the moment of re-arrival, so it is reporting-only.
+	ChainFast int64
 }
 
 // Stats returns the arbiter's cumulative cost counters.
@@ -659,7 +708,8 @@ func (a *Arbiter) Stats() Stats {
 	if !a.flat && !a.nondet {
 		d = a.depth
 	}
-	return Stats{Wakes: a.wakes, GrantWork: a.grantWork, Depth: d}
+	return Stats{Wakes: a.wakes, GrantWork: a.grantWork, Depth: d,
+		ChainHits: a.chainHits, ChainFast: a.chainFast}
 }
 
 // AuditTurn verifies the turn-discipline invariant from the perspective of

@@ -21,10 +21,17 @@ import (
 )
 
 // dispatchShape is one program family of the sweep: a workload factory whose
-// per-thread programs have a statically fixed instruction count.
+// per-thread programs have a statically fixed instruction count. runLens, for
+// lock shapes, sweeps the same-owner reacquire run length — how many
+// consecutive critical sections a thread runs on its own lock before a
+// compute gap lets another thread's turn intervene. Longer runs are the
+// publication-elision target (one deferred publication per run instead of
+// one commit per section); a nil runLens means the knob does not apply and
+// the shape is measured once with runlen 0.
 type dispatchShape struct {
-	name  string
-	build func(threads int, iters int64) *harness.Workload
+	name    string
+	runLens []int64
+	build   func(threads int, iters, runlen int64) *harness.Workload
 }
 
 // privateWords is the per-thread private heap span of the sweep's workloads;
@@ -34,7 +41,7 @@ const privateWords = 64
 
 func dispatchShapes() []dispatchShape {
 	return []dispatchShape{
-		{"compute", func(threads int, iters int64) *harness.Workload {
+		{"compute", nil, func(threads int, iters, _ int64) *harness.Workload {
 			return dispatchWorkload("compute", threads, 0, func(b *dvm.Builder, tid int) {
 				acc := b.Reg()
 				i := b.Reg()
@@ -46,7 +53,7 @@ func dispatchShapes() []dispatchShape {
 				b.Store(dvm.Const(int64(tid*privateWords)), dvm.FromReg(acc))
 			})
 		}},
-		{"loadstore", func(threads int, iters int64) *harness.Workload {
+		{"loadstore", nil, func(threads int, iters, _ int64) *harness.Workload {
 			return dispatchWorkload("loadstore", threads, 0, func(b *dvm.Builder, tid int) {
 				addr := int64(tid * privateWords)
 				r := b.Reg()
@@ -58,7 +65,7 @@ func dispatchShapes() []dispatchShape {
 				})
 			})
 		}},
-		{"branchy", func(threads int, iters int64) *harness.Workload {
+		{"branchy", nil, func(threads int, iters, _ int64) *harness.Workload {
 			return dispatchWorkload("branchy", threads, 0, func(b *dvm.Builder, tid int) {
 				acc := b.Reg()
 				i := b.Reg()
@@ -71,18 +78,32 @@ func dispatchShapes() []dispatchShape {
 				b.Store(dvm.Const(int64(tid*privateWords)), dvm.FromReg(acc))
 			})
 		}},
-		{"locked", func(threads int, iters int64) *harness.Workload {
-			return dispatchWorkload("locked", threads, threads, func(b *dvm.Builder, tid int) {
+		// The locked shape sweeps the reacquire run length: runlen
+		// consecutive critical sections on the thread's own lock, then a
+		// compute gap whose DLC cost lets every other thread's pending turn
+		// intervene. runlen 1 is the old tight loop (every release
+		// immediately observed); longer runs are uninterrupted same-owner
+		// chains, where elision replaces runlen commits with one deferred
+		// publication. Loop-control overhead differs slightly per run
+		// length, so each runlen point takes its own retired-instruction
+		// reference.
+		{"locked", []int64{1, 8, 64}, func(threads int, iters, runlen int64) *harness.Workload {
+			return dispatchWorkload(fmt.Sprintf("locked/r%d", runlen), threads, threads, func(b *dvm.Builder, tid int) {
 				addr := int64(tid * privateWords)
 				lock := dvm.Const(int64(tid))
 				r := b.Reg()
 				i := b.Reg()
-				b.ForN(i, iters, func() {
-					b.Lock(lock)
-					b.Load(r, dvm.Const(addr))
-					b.Do(func(t *dvm.Thread) { t.SetR(r, t.R(r)+1) })
-					b.Store(dvm.Const(addr), dvm.FromReg(r))
-					b.Unlock(lock)
+				j := b.Reg()
+				b.DoCost(1+int64(tid)*512, func(*dvm.Thread) {})
+				b.ForN(i, iters/runlen, func() {
+					b.DoCost(4096, func(*dvm.Thread) {})
+					b.ForN(j, runlen, func() {
+						b.Lock(lock)
+						b.Load(r, dvm.Const(addr))
+						b.Do(func(t *dvm.Thread) { t.SetR(r, t.R(r)+1) })
+						b.Store(dvm.Const(addr), dvm.FromReg(r))
+						b.Unlock(lock)
+					})
 				})
 			})
 		}},
@@ -145,54 +166,60 @@ func DispatchSweep(cfg Config) error {
 		iters = 20_000
 	}
 	iters *= int64(cfg.Scale)
-	csvf, err := cfg.csvFile("dispatchsweep", "shape", "backend", "wall_s", "instructions", "ns_per_instr")
+	csvf, err := cfg.csvFile("dispatchsweep", "shape", "runlen", "backend", "wall_s", "instructions", "ns_per_instr")
 	if err != nil {
 		return err
 	}
 	defer csvf.close()
 	cfg.printf("dispatch cost by backend: %d threads, %d iterations/thread\n", threads, iters)
-	cfg.printf("%-10s %10s %12s %14s %14s\n", "shape", "backend", "wall", "instructions", "ns/instr")
+	cfg.printf("%-10s %7s %10s %12s %14s %14s\n", "shape", "runlen", "backend", "wall", "instructions", "ns/instr")
 	for _, shape := range dispatchShapes() {
-		w := shape.build(threads, iters)
-		// Reference run: exact retired-instruction count, shared by every
-		// backend below (the count is deterministic and backend-invariant).
-		ref, err := harness.Run(w, harness.Options{
-			Engine: harness.LazyDet, Threads: threads, Telemetry: true, Trace: true,
-		})
-		if err != nil {
-			return fmt.Errorf("dispatchsweep: %s reference: %w", shape.name, err)
+		runLens := shape.runLens
+		if runLens == nil {
+			runLens = []int64{0}
 		}
-		instrs := retiredInstructions(ref)
-		if instrs == 0 {
-			return fmt.Errorf("dispatchsweep: %s reference retired no instructions", shape.name)
-		}
-		backends := []struct {
-			name string
-			opt  harness.Options
-		}{
-			{"direct", harness.Options{Engine: harness.Pthreads, Threads: threads}},
-			{"interp", harness.Options{Engine: harness.LazyDet, Threads: threads, Trace: true}},
-			{"compiled", harness.Options{Engine: harness.LazyDet, Threads: threads, Trace: true, Compiled: true}},
-		}
-		var sigs [2]*harness.Result
-		for _, bk := range backends {
-			mean, _, last, err := measure(w, bk.opt, cfg.Reps)
+		for _, runlen := range runLens {
+			w := shape.build(threads, iters, runlen)
+			// Reference run: exact retired-instruction count, shared by every
+			// backend below (the count is deterministic and backend-invariant).
+			ref, err := harness.Run(w, harness.Options{
+				Engine: harness.LazyDet, Threads: threads, Telemetry: true, Trace: true,
+			})
 			if err != nil {
-				return fmt.Errorf("dispatchsweep: %s %s: %w", shape.name, bk.name, err)
+				return fmt.Errorf("dispatchsweep: %s reference: %w", w.Name, err)
 			}
-			switch bk.name {
-			case "interp":
-				sigs[0] = last
-			case "compiled":
-				sigs[1] = last
+			instrs := retiredInstructions(ref)
+			if instrs == 0 {
+				return fmt.Errorf("dispatchsweep: %s reference retired no instructions", w.Name)
 			}
-			nsPerInstr := mean * 1e9 / float64(instrs)
-			cfg.printf("%-10s %10s %12.4fs %14d %14.2f\n", shape.name, bk.name, mean, instrs, nsPerInstr)
-			csvf.row(shape.name, bk.name, mean, instrs, nsPerInstr)
-		}
-		if sigs[0].TraceSig != sigs[1].TraceSig || sigs[0].HeapHash != sigs[1].HeapHash {
-			return fmt.Errorf("dispatchsweep: %s: interpreter and threaded code diverge (trace %x/%x heap %x/%x)",
-				shape.name, sigs[0].TraceSig, sigs[1].TraceSig, sigs[0].HeapHash, sigs[1].HeapHash)
+			backends := []struct {
+				name string
+				opt  harness.Options
+			}{
+				{"direct", harness.Options{Engine: harness.Pthreads, Threads: threads}},
+				{"interp", harness.Options{Engine: harness.LazyDet, Threads: threads, Trace: true}},
+				{"compiled", harness.Options{Engine: harness.LazyDet, Threads: threads, Trace: true, Compiled: true}},
+			}
+			var sigs [2]*harness.Result
+			for _, bk := range backends {
+				mean, _, last, err := measure(w, bk.opt, cfg.Reps)
+				if err != nil {
+					return fmt.Errorf("dispatchsweep: %s %s: %w", w.Name, bk.name, err)
+				}
+				switch bk.name {
+				case "interp":
+					sigs[0] = last
+				case "compiled":
+					sigs[1] = last
+				}
+				nsPerInstr := mean * 1e9 / float64(instrs)
+				cfg.printf("%-10s %7d %10s %12.4fs %14d %14.2f\n", shape.name, runlen, bk.name, mean, instrs, nsPerInstr)
+				csvf.row(shape.name, runlen, bk.name, mean, instrs, nsPerInstr)
+			}
+			if sigs[0].TraceSig != sigs[1].TraceSig || sigs[0].HeapHash != sigs[1].HeapHash {
+				return fmt.Errorf("dispatchsweep: %s: interpreter and threaded code diverge (trace %x/%x heap %x/%x)",
+					w.Name, sigs[0].TraceSig, sigs[1].TraceSig, sigs[0].HeapHash, sigs[1].HeapHash)
+			}
 		}
 	}
 	cfg.printf("all shapes: interpreter and threaded-code schedules bit-identical\n")

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"lazydet/internal/dvm"
+	"lazydet/internal/invariant"
+)
+
+// burstWorkload is elision's target shape: each thread owns a lock and a
+// word, and alternates a heavy compute phase with a burst of reacquire
+// iterations on its own lock. A per-thread DLC stagger larger than a
+// burst's total cost keeps the bursts disjoint in logical time, so each
+// burst is an uninterrupted run of same-thread turns — the releases chain
+// into one deferred publication, and the arbiter grants chain with them.
+func burstWorkload(bursts, burstLen int64) *Workload {
+	const heavy = 10_000
+	return &Workload{
+		Name:      "burst",
+		HeapWords: 64,
+		Locks:     64,
+		Programs: func(threads int) []*dvm.Program {
+			progs := make([]*dvm.Program, threads)
+			for tid := 0; tid < threads; tid++ {
+				b := dvm.NewBuilder(fmt.Sprintf("burst-%d", tid))
+				i, j, v := b.Reg(), b.Reg(), b.Reg()
+				lock := dvm.Const(int64(tid))
+				addr := dvm.Const(int64(tid))
+				b.DoCost(1+int64(tid)*1000, func(*dvm.Thread) {})
+				b.ForN(i, bursts, func() {
+					b.DoCost(heavy, func(*dvm.Thread) {})
+					b.ForN(j, burstLen, func() {
+						b.Lock(lock)
+						b.Load(v, addr)
+						b.Store(addr, dvm.Dyn(func(t *dvm.Thread) int64 { return t.R(v) + 1 }))
+						b.Unlock(lock)
+					})
+				})
+				progs[tid] = b.Build()
+			}
+			return progs
+		},
+		Validate: func(read func(int64) int64, threads int) error {
+			for tid := 0; tid < threads; tid++ {
+				if got, want := read(int64(tid)), bursts*burstLen; got != want {
+					return fmt.Errorf("thread %d counter = %d, want %d", tid, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Equivalence and regression tests for same-owner publication elision: the
+// -eagerpublish path is the differential oracle, and the two disciplines
+// must be indistinguishable in everything but commit/stage volume.
+
+// TestScheduleEquivalenceAcrossPublication is the schedule-equivalence
+// oracle for publication elision: at t=4, 64 and 256, the elided and eager
+// disciplines must produce bit-identical synchronization traces, sync-event
+// counts, final heaps, and gated metrics outside the elision-variant set on
+// both strong engines. A staged release reserves exactly the sequence an
+// eager commit would use and records the same trace event, so which
+// discipline published must be unobservable.
+func TestScheduleEquivalenceAcrossPublication(t *testing.T) {
+	for _, threads := range []int{4, 64, 256} {
+		iters := int64(2048 / threads)
+		for _, eng := range []EngineKind{Consequence, LazyDet} {
+			base := Options{
+				Engine: eng, Threads: threads, Trace: true, Telemetry: true,
+				CollectSpec: eng == LazyDet,
+			}
+			elided, err := Run(shardedWorkload(2*threads, iters), base)
+			if err != nil {
+				t.Fatalf("t=%d %v elided: %v", threads, eng, err)
+			}
+			eagerOpt := base
+			eagerOpt.EagerPublish = true
+			eager, err := Run(shardedWorkload(2*threads, iters), eagerOpt)
+			if err != nil {
+				t.Fatalf("t=%d %v eager: %v", threads, eng, err)
+			}
+			if elided.TraceSig != eager.TraceSig {
+				t.Errorf("t=%d %v: trace signature diverges: elided %x, eager %x",
+					threads, eng, elided.TraceSig, eager.TraceSig)
+			}
+			if elided.SyncEvents != eager.SyncEvents {
+				t.Errorf("t=%d %v: sync event counts diverge: elided %d, eager %d",
+					threads, eng, elided.SyncEvents, eager.SyncEvents)
+			}
+			if elided.HeapHash != eager.HeapHash {
+				t.Errorf("t=%d %v: final heap diverges: elided %x, eager %x",
+					threads, eng, elided.HeapHash, eager.HeapHash)
+			}
+			for _, d := range GatedMetricDiffs(elided, eager) {
+				t.Errorf("t=%d %v: gated metric differs across publication disciplines: %s",
+					threads, eng, d)
+			}
+		}
+	}
+}
+
+// TestElisionFiresAndSavesCommits asserts the optimization is not vacuous
+// on its target shape — threads repeatedly reacquiring locks whose state no
+// peer demands: publications are elided, grant chains form, and the elided
+// run physically commits strictly less than the eager oracle while ending
+// on the same heap.
+func TestElisionFiresAndSavesCommits(t *testing.T) {
+	w := func() *Workload { return burstWorkload(10, 20) }
+	for _, eng := range []EngineKind{Consequence, LazyDet} {
+		base := Options{Engine: eng, Threads: 4, Telemetry: true, CollectSpec: eng == LazyDet}
+		elided, err := Run(w(), base)
+		if err != nil {
+			t.Fatalf("%v elided: %v", eng, err)
+		}
+		eagerOpt := base
+		eagerOpt.EagerPublish = true
+		eager, err := Run(w(), eagerOpt)
+		if err != nil {
+			t.Fatalf("%v eager: %v", eng, err)
+		}
+		if n := elided.Telemetry.Counter("commit.elided"); n == 0 {
+			t.Errorf("%v: no publications elided on a disjoint lock-hot workload", eng)
+		}
+		if n := eager.Telemetry.Counter("commit.elided"); n != 0 {
+			t.Errorf("%v: %d publications elided under -eagerpublish, want 0", eng, n)
+		}
+		if elided.Commits >= eager.Commits {
+			t.Errorf("%v: elided run committed %d times, eager %d — elision saved nothing",
+				eng, elided.Commits, eager.Commits)
+		}
+		if elided.ArbiterChainHits == 0 {
+			t.Errorf("%v: no consecutive same-thread grants recorded", eng)
+		}
+		if elided.ArbiterChainHits != eager.ArbiterChainHits {
+			t.Errorf("%v: chain hits diverge across publication disciplines: elided %d, eager %d",
+				eng, elided.ArbiterChainHits, eager.ArbiterChainHits)
+		}
+		if elided.HeapHash != eager.HeapHash {
+			t.Errorf("%v: final heap diverges: elided %x, eager %x", eng, elided.HeapHash, eager.HeapHash)
+		}
+	}
+}
+
+// TestSpeculativeRevertPreservesDeferredState is the engine-level
+// regression test for the elision/speculation interaction: a contended
+// workload makes LazyDet revert speculation runs while threads hold
+// deferred (staged but not physically committed) publications. The
+// invariant checker's deferred-publish rule audits the retained frames at
+// every elided publication, and the final state must match the eager
+// oracle exactly.
+func TestSpeculativeRevertPreservesDeferredState(t *testing.T) {
+	w := func() *Workload { return counterWorkload(400) }
+	var violations []*invariant.Violation
+	opt := Options{
+		Engine: LazyDet, Threads: 4, Trace: true, CollectSpec: true,
+		CheckInvariants: true,
+		OnViolation:     func(v *invariant.Violation) { violations = append(violations, v) },
+	}
+	elided, err := Run(w(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elided.Spec.Reverts.Load() == 0 {
+		t.Fatal("contended counter produced no speculation reverts — the regression scenario never occurred")
+	}
+	for _, v := range violations {
+		t.Errorf("invariant violation: %v", v)
+	}
+	eagerOpt := opt
+	eagerOpt.EagerPublish = true
+	eager, err := Run(w(), eagerOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elided.TraceSig != eager.TraceSig || elided.HeapHash != eager.HeapHash {
+		t.Errorf("reverted-with-deferred-state run diverges from eager oracle: trace %x/%x heap %x/%x",
+			elided.TraceSig, eager.TraceSig, elided.HeapHash, eager.HeapHash)
+	}
+}

@@ -178,6 +178,13 @@ type Options struct {
 	// interpreter is the differential oracle: schedules, traces, heaps and
 	// gated metrics are bit-identical per seed with this flag flipped.
 	Compiled bool
+	// EagerPublish forces every critical-section release to commit its
+	// writes immediately, disabling same-owner publication elision on the
+	// versioned-heap engines. The eager path is the differential oracle
+	// for elision: schedules, TraceSig, HeapHash and every gated metric
+	// outside the elision-variant set (commit/stage volume counters) must
+	// be bit-identical with this flag flipped. No effect on weak engines.
+	EagerPublish bool
 }
 
 // Result is one run's measurements.
@@ -212,6 +219,10 @@ type Result struct {
 	// key-comparison work done electing minimum turns. Scheduling-
 	// dependent — informational, not deterministic machine state.
 	ArbiterWakes, ArbiterGrantWork int64
+	// ArbiterChainHits counts consecutive same-thread turn grants — the
+	// grant-chaining opportunity the tournament tree's fast path exploits.
+	// A function of the deterministic grant sequence alone.
+	ArbiterChainHits int64
 	// Spec carries speculation statistics when collected.
 	Spec *stats.Spec
 	// Times carries per-thread blocked-time accounting when measured.
@@ -390,6 +401,7 @@ func Run(w *Workload, opt Options) (*Result, error) {
 			Spec:            opt.Spec,
 			CheckInvariants: opt.CheckInvariants,
 			Hints:           hints,
+			EagerPublish:    opt.EagerPublish,
 		}
 		arb := dlc.New(opt.Threads, arbOpts(opt)...)
 		defer publishArbStats(tel, arb, res)
@@ -529,17 +541,21 @@ func arbOpts(opt Options) []dlc.Option {
 	return nil
 }
 
-// publishArbStats records the arbiter's cost counters after a run. Wakes and
-// grant work depend on which threads happened to be blocked when clocks
-// advanced — real goroutine scheduling — so they are routed into the
-// never-gated Timing section (see timingCounters); the tournament depth is a
-// pure function of the thread count and stays a gated metric.
+// publishArbStats records the arbiter's cost counters after a run. Wakes,
+// grant work and fast-path chain grants depend on which threads happened to
+// be blocked when clocks advanced — real goroutine scheduling — so they are
+// routed into the never-gated Timing section (see timingCounters); the
+// tournament depth is a pure function of the thread count, and chain hits a
+// function of the deterministic grant sequence, so both stay gated metrics.
 func publishArbStats(tel *telemetry.Recorder, arb *dlc.Arbiter, res *Result) {
 	st := arb.Stats()
 	res.ArbiterWakes, res.ArbiterGrantWork = st.Wakes, st.GrantWork
+	res.ArbiterChainHits = st.ChainHits
 	if tel != nil {
 		tel.Count("dlc.wakes", st.Wakes)
 		tel.Count("dlc.grant_work", st.GrantWork)
+		tel.Count("dlc.chain_hits", st.ChainHits)
+		tel.Count("dlc.chain_fast", st.ChainFast)
 		tel.SetGauge("dlc.arbiter_depth", float64(st.Depth))
 	}
 }

@@ -80,6 +80,45 @@ type Thread interface {
 	// BaseSeq returns the commit sequence the window reads at.
 	BaseSeq() int64
 
+	// StagePublish defers publication (same-owner elision, vheap stage.go):
+	// when the window holds writes not yet covered by a publication it
+	// reserves the next commit sequence and stages them, otherwise it only
+	// re-bases on the newest state; the dirty set is retained either way and
+	// other windows' deferred publications are flushed first. Returns the
+	// reserved sequence and whether a new publication was staged. On flat
+	// memory publication is meaningless, so (0, false).
+	StagePublish() (seq int64, staged bool)
+	// RefreshDirty re-bases the window on the newest published state while
+	// keeping the dirty set — Refresh for a window with deferred state.
+	// No-op on flat memory.
+	RefreshDirty()
+	// RefreshToDirty re-bases the window on a specific commit sequence while
+	// keeping the dirty set (barrier releases under elision), flushing every
+	// outstanding deferred publication first. No-op on flat memory.
+	RefreshToDirty(seq int64)
+	// StageFlushed reports whether the window's most recent deferred
+	// publication was applied by another thread — the elision miss signal
+	// the adaptive policy feeds on. Always false on flat memory.
+	StageFlushed() bool
+	// Unpublished reports whether the window holds writes not yet covered by
+	// any publication, eager or deferred. Always false on flat memory.
+	Unpublished() bool
+	// SyncDeferred applies other windows' outstanding deferred publications
+	// without moving this window's base. No-op on flat memory.
+	SyncDeferred()
+	// SettleDeferred applies every outstanding deferred publication, the
+	// window's own included — the engine's move at the turn before a thread
+	// parks, spawns, or exits. No-op on flat memory.
+	SettleDeferred()
+	// DropClean releases the window's retained dirty set once everything in
+	// it has been published (no writes since the last publication event, no
+	// outstanding deferred publication). No-op on flat memory.
+	DropClean()
+	// AuditDeferred verifies that the window's deferred publication is still
+	// a prefix of its dirty set (the deferred-publish invariant); nil on
+	// flat memory.
+	AuditDeferred() error
+
 	// SnapshotDirty deep-copies the unpublished write set at a speculation
 	// run's begin. Panics on flat memory.
 	SnapshotDirty() *vheap.DirtySnapshot
@@ -139,12 +178,25 @@ func (t *versionedThread) AuditDirty() error                   { return t.v.Audi
 func (t *versionedThread) AuditTables() error                  { return t.v.AuditTables() }
 func (t *versionedThread) Close()                              { t.v.Close() }
 
+func (t *versionedThread) RefreshDirty()          { t.v.RefreshDirty() }
+func (t *versionedThread) RefreshToDirty(s int64) { t.v.RefreshToDirty(s) }
+func (t *versionedThread) StageFlushed() bool     { return t.v.StageFlushed() }
+func (t *versionedThread) Unpublished() bool      { return t.v.Unpublished() }
+func (t *versionedThread) SyncDeferred()          { t.v.SyncDeferred() }
+func (t *versionedThread) SettleDeferred()        { t.v.SettleDeferred() }
+func (t *versionedThread) DropClean()             { t.v.DropClean() }
+func (t *versionedThread) AuditDeferred() error   { return t.v.AuditDeferred() }
+
 func (t *versionedThread) SnapshotDirtyInto(s *vheap.DirtySnapshot) *vheap.DirtySnapshot {
 	return t.v.SnapshotDirtyInto(s)
 }
 
 func (t *versionedThread) Publish() (int64, bool) {
-	if t.v.DirtyPages() == 0 {
+	// Unpublished, not DirtyPages: an elided window retains its dirty set
+	// across staged publications, and a force point with no writes since the
+	// last stage must publish nothing — exactly when the eager path's dirty
+	// set would have been empty. The two tests coincide in eager operation.
+	if !t.v.Unpublished() {
 		return 0, false
 	}
 	if t.tel != nil {
@@ -153,6 +205,15 @@ func (t *versionedThread) Publish() (int64, bool) {
 	}
 	seq, _ := t.v.Commit()
 	return seq, true
+}
+
+func (t *versionedThread) StagePublish() (int64, bool) {
+	seq, staged := t.v.StagePublish()
+	if staged && t.tel != nil {
+		t.tel.Count("mempipe.publishes", 1)
+		t.tel.Observe("mempipe.publish_dirty_words", int64(t.v.DirtyWords()))
+	}
+	return seq, staged
 }
 
 // flat is the unversioned pipeline over plain shared memory.
@@ -170,17 +231,26 @@ func (p flat) ReadCommitted(addr int64) int64 { return p.m.ReadCommitted(addr) }
 
 type flatThread struct{ m *shmem.Mem }
 
-func (t flatThread) Load(addr int64) int64      { return t.m.Load(addr) }
-func (t flatThread) Store(addr, val int64)      { t.m.Store(addr, val) }
-func (t flatThread) StoreDirty(addr, val int64) { t.m.Store(addr, val) }
-func (t flatThread) Dirty() bool                { return false }
-func (t flatThread) DirtyWords() int            { return 0 }
-func (t flatThread) Publish() (int64, bool)     { return 0, false }
-func (t flatThread) Refresh()                   {}
-func (t flatThread) RefreshTo(seq int64)        {}
-func (t flatThread) BaseSeq() int64             { return 0 }
-func (t flatThread) AuditDirty() error          { return nil }
-func (t flatThread) Close()                     {}
+func (t flatThread) Load(addr int64) int64       { return t.m.Load(addr) }
+func (t flatThread) Store(addr, val int64)       { t.m.Store(addr, val) }
+func (t flatThread) StoreDirty(addr, val int64)  { t.m.Store(addr, val) }
+func (t flatThread) Dirty() bool                 { return false }
+func (t flatThread) DirtyWords() int             { return 0 }
+func (t flatThread) Publish() (int64, bool)      { return 0, false }
+func (t flatThread) StagePublish() (int64, bool) { return 0, false }
+func (t flatThread) Refresh()                    {}
+func (t flatThread) RefreshTo(seq int64)         {}
+func (t flatThread) RefreshDirty()               {}
+func (t flatThread) RefreshToDirty(seq int64)    {}
+func (t flatThread) StageFlushed() bool          { return false }
+func (t flatThread) Unpublished() bool           { return false }
+func (t flatThread) SyncDeferred()               {}
+func (t flatThread) SettleDeferred()             {}
+func (t flatThread) DropClean()                  {}
+func (t flatThread) AuditDeferred() error        { return nil }
+func (t flatThread) BaseSeq() int64              { return 0 }
+func (t flatThread) AuditDirty() error           { return nil }
+func (t flatThread) Close()                      {}
 
 func (t flatThread) SnapshotDirty() *vheap.DirtySnapshot {
 	panic("mempipe: speculation snapshot on flat memory — speculation requires versioned isolation")

@@ -259,3 +259,25 @@ func TestFilterPrefix(t *testing.T) {
 		t.Fatal("self-compare of the filtered slice should pass")
 	}
 }
+
+// DropPrefix is FilterPrefix's complement: the sim gate strips the report
+// suite's sim/hints-* policy-pin rows (which no grid run produces) from the
+// baseline so they are not reported as missing.
+func TestDropPrefix(t *testing.T) {
+	s := sampleReport()
+	s.Runs = append(s.Runs,
+		RunReport{Workload: "sim/c4/g48/w3/r0", Engine: "LazyDet", Threads: 4,
+			Metrics: map[string]float64{"sim.latency_p99": 500}},
+		RunReport{Workload: "sim/hints-on", Engine: "LazyDet", Threads: 3,
+			Metrics: map[string]float64{"spec.commits": 7}})
+	sim := s.FilterPrefix("sim/").DropPrefix("sim/hints-")
+	if len(sim.Runs) != 1 || sim.Runs[0].Workload != "sim/c4/g48/w3/r0" {
+		t.Fatalf("FilterPrefix+DropPrefix kept %v", sim.Runs)
+	}
+	if sim.Schema != s.Schema || sim.Suite != s.Suite {
+		t.Fatal("DropPrefix dropped header fields")
+	}
+	if got := s.DropPrefix(""); len(got.Runs) != 0 {
+		t.Fatalf("empty prefix matches everything, kept %d runs", len(got.Runs))
+	}
+}

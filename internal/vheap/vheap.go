@@ -150,6 +150,12 @@ type Heap struct {
 	viewMu sync.Mutex         // guards the live-view registry
 	views  map[*View]struct{} // live views, for trim floor computation
 
+	// Outstanding deferred publications (see stage.go). nstaged mirrors
+	// len(stages) so the no-elision fast path is one atomic load.
+	stageMu sync.Mutex
+	stages  []*stage
+	nstaged atomic.Int32
+
 	commits      atomic.Int64 // total commits (stats)
 	pagesWritten atomic.Int64 // total page versions published (stats)
 	wordsMerged  atomic.Int64 // total words merged across commits (stats)
@@ -347,8 +353,11 @@ func (h *Heap) SetInitial(addr, val int64) {
 }
 
 // ReadCommitted returns the committed value of addr at the newest version.
-// It is used by validation and by the harness after a run completes.
+// It is used by validation and by the harness after a run completes. Any
+// outstanding deferred publication is applied first: "newest committed"
+// includes every reserved sequence.
 func (h *Heap) ReadCommitted(addr int64) int64 {
+	h.flushStages(nil, flushAll)
 	p := h.slots[addr>>h.pageShift].Load()
 	return p.words[addr&h.pageMask]
 }
@@ -420,6 +429,7 @@ func (h *Heap) shardFloor(s *heapShard) int64 {
 // shard is locked while its range is hashed; page order (and so the hash)
 // is independent of the shard layout.
 func (h *Heap) Hash() uint64 {
+	h.flushStages(nil, flushAll) // hash the state including deferred publications
 	f := fnv.New64a()
 	var buf [8]byte
 	for si := range h.shards {
@@ -486,6 +496,7 @@ func (h *Heap) Stats() CommitStats {
 // lists. With full chains retained this measures the cost that DLRC-style
 // systems pay (paper §4.2).
 func (h *Heap) LiveVersions() int {
+	h.flushStages(nil, flushAll)
 	n := 0
 	for si := range h.shards {
 		s := &h.shards[si]
@@ -512,6 +523,11 @@ func (h *Heap) LiveVersions() int {
 // Returns a descriptive error on the first breach. Used by the invariant
 // checker (internal/invariant).
 func (h *Heap) Audit() error {
+	// Snapshot the outstanding stages before taking shard locks (flushes
+	// acquire stageMu before shard mutexes; Audit must not invert that).
+	h.stageMu.Lock()
+	stages := append([]*stage(nil), h.stages...)
+	h.stageMu.Unlock()
 	for i := range h.shards {
 		h.shards[i].mu.Lock()
 		defer h.shards[i].mu.Unlock()
@@ -519,6 +535,17 @@ func (h *Heap) Audit() error {
 	h.viewMu.Lock()
 	defer h.viewMu.Unlock()
 	top := h.seq.Load()
+	for _, s := range stages {
+		if s.seq > top {
+			return fmt.Errorf("vheap: outstanding stage at seq %d is ahead of the newest commit %d", s.seq, top)
+		}
+		for _, pi := range s.pis {
+			if head := h.slots[pi].Load(); head.seq >= s.seq {
+				return fmt.Errorf("vheap: page %d head version %d has overtaken an outstanding stage at seq %d — its flush could no longer head-insert",
+					pi, head.seq, s.seq)
+			}
+		}
+	}
 	floor := h.trimFloorLocked()
 	//lazydet:nondeterministic order-independent audit: every view is checked, the first offender differs only in the error text
 	for v := range h.views {
@@ -584,6 +611,13 @@ type dirtyPage struct {
 	words []int64
 	twin  []int64 // snapshot of the base contents at first write
 	dirty []uint64
+	// baseSeq is the sequence of the page version the twin was snapshotted
+	// from, so a keep-dirty re-base (stage.go) can tell whether the frame's
+	// base page advanced without storing the page pointer itself.
+	baseSeq int64
+	// snapKeep is RevertTo's transient sweep mark: set on frames the
+	// snapshot reinstates, cleared again before RevertTo returns.
+	snapKeep bool
 }
 
 // mark records a write to word off.
@@ -644,9 +678,24 @@ type View struct {
 	// mt, when non-nil, holds the original map-backed tables and the view
 	// ignores the flat tables entirely (WithMapViews oracle).
 	mt *mapTables
+
+	// stg is the view's deferred publication (stage.go), nil until the first
+	// elided publish. unstaged records whether any store happened since the
+	// last publication event (Commit or StagePublish) — the elided analogue
+	// of "is the dirty set non-empty", which staging no longer clears.
+	stg      *stage
+	unstaged bool
 }
 
-// NewView creates a view based on the newest committed state.
+// NewView creates a view based on the newest committed state. It does NOT
+// flush outstanding deferred publications: views are created at thread
+// start, which can race with already-running threads' turns, and a
+// wall-clock flush here would make elision outcomes (and the gated elision
+// counters) nondeterministic. The base may therefore sit above an unapplied
+// stage — harmless, because a thread's pre-first-synchronization loads can
+// only touch state no other thread has written (anything else is a data
+// race), and the engine re-bases the view, flushing at its own turn, before
+// any cross-thread state is read.
 func (h *Heap) NewView() *View {
 	v := &View{h: h}
 	if h.mapViews {
@@ -670,6 +719,16 @@ func (h *Heap) NewView() *View {
 // thread state twice cannot invalidate the trim-floor cache spuriously or
 // unregister a recreated view by aliasing.
 func (v *View) Close() {
+	// A closing view's outstanding deferred publication is still committed
+	// state (it is in the trace at its reserved sequence); apply it rather
+	// than lose it — dropping is only legal when the owner commits the
+	// retained dirty set itself, which a Close does not.
+	if v.stg != nil && v.stg.queued {
+		// Bounded by the stage's own reserved sequence: prefix closure pulls
+		// in every earlier stage the application depends on, and later
+		// stages (possibly created at turns still running) are left alone.
+		v.h.flushStages(nil, v.stg.seq)
+	}
 	v.h.viewMu.Lock()
 	unregistered := false
 	if !v.closed {
@@ -923,6 +982,7 @@ func (v *View) Load(addr int64) int64 {
 func (v *View) Store(addr, val int64) {
 	pi := int(addr >> v.h.pageShift)
 	off := addr & v.h.pageMask
+	v.unstaged = true
 	if v.mt != nil {
 		d, ok := v.mt.dirty[pi]
 		if !ok {
@@ -930,6 +990,7 @@ func (v *View) Store(addr, val int64) {
 			d = v.h.newFrame()
 			copy(d.words, base.words)
 			copy(d.twin, base.words)
+			d.baseSeq = base.seq
 			v.mt.dirty[pi] = d
 		}
 		d.words[off] = val
@@ -942,6 +1003,7 @@ func (v *View) Store(addr, val int64) {
 		d = v.frame()
 		copy(d.words, base.words)
 		copy(d.twin, base.words)
+		d.baseSeq = base.seq
 		v.dirtyTab[pi] = d
 		v.dirtyIdx = append(v.dirtyIdx, pi)
 	}
@@ -1052,6 +1114,12 @@ func (h *Heap) commitPage(s *heapShard, pi int, d *dirtyPage, newSeq int64, scan
 // structures.
 func (v *View) Commit() (seq int64, changed int) {
 	h := v.h
+	// Deferred-publication rule: a physical commit first applies every
+	// outstanding stage — the view's own included, at its reserved sequence,
+	// so the traced elided publications reach the chains with exactly the
+	// values the trace promised — and only then merges the delta written
+	// since the last publication event at the new sequence.
+	h.flushStages(nil, flushAll)
 	oldBase := v.base.Load()
 	newSeq := h.seq.Load() + 1
 	scanned := int64(0)
@@ -1137,6 +1205,7 @@ func (v *View) Commit() (seq int64, changed int) {
 	}
 	v.base.Store(newSeq)
 	h.noteRebase(oldBase)
+	v.unstaged = false
 	if v.mt != nil {
 		clear(v.mt.dirty)
 		clear(v.mt.clean)
@@ -1188,6 +1257,7 @@ func (v *View) Update() {
 	if v.DirtyPages() != 0 {
 		panic("vheap: Update with non-empty dirty set")
 	}
+	v.h.flushStages(v, flushAll)
 	oldBase := v.base.Load()
 	v.base.Store(v.h.seq.Load())
 	v.h.noteRebase(oldBase)
@@ -1206,6 +1276,10 @@ func (v *View) UpdateTo(seq int64) {
 	if v.DirtyPages() != 0 {
 		panic("vheap: UpdateTo with non-empty dirty set")
 	}
+	// Bounded flush: UpdateTo executes at a wall-clock wake moment, so it may
+	// only consume stages at or below the pinned sequence — all of which were
+	// settled at their owners' turns, making this a deterministic no-op.
+	v.h.flushStages(nil, seq)
 	cur := v.base.Load()
 	if seq < cur {
 		panic(fmt.Sprintf("vheap: UpdateTo(%d) would move the base backwards from %d", seq, cur))
@@ -1223,6 +1297,12 @@ func (v *View) UpdateTo(seq int64) {
 // newest committed state, as LazyDet does when a speculation run fails.
 // It returns the number of discarded (non-silent) dirty words.
 func (v *View) Revert() (discarded int) {
+	// A full revert discards the entire dirty set, which may include words
+	// whose deferred publication is already in the trace; applying every
+	// outstanding stage (own included) first keeps those publications — they
+	// are committed state, not private modifications.
+	v.h.flushStages(nil, flushAll)
+	v.unstaged = false
 	discarded = v.DirtyWords()
 	oldBase := v.base.Load()
 	v.base.Store(v.h.seq.Load())
@@ -1247,7 +1327,20 @@ type DirtySnapshot struct {
 	pis   []int
 	pages []*dirtyPage // deep copies, parallel to pis
 	spare []*dirtyPage // retained frames not used by the current contents
-	words int
+	// cleanPis records frames that had no marked words at snapshot time —
+	// frames retained across an elided publication, whose twin was
+	// re-snapshotted to the frame values at the last publication event and
+	// is immutable during a speculative run. Such a frame needs no deep
+	// copy at BEGIN: a revert restores its words from its own twin and
+	// clears its marks. This keeps the snapshot cost of a retained dirty
+	// set (the elision steady state) at zero page copies instead of one
+	// per retained frame per speculation attempt.
+	cleanPis []int
+	words    int
+	// unstaged preserves the view's writes-since-last-publication flag, so a
+	// revert restores the elision machinery's delta tracking along with the
+	// dirty set.
+	unstaged bool
 }
 
 // Words returns the number of non-silent dirty words in the snapshot.
@@ -1264,11 +1357,12 @@ func (s *DirtySnapshot) frame(h *Heap) *dirtyPage {
 	return h.newFrame()
 }
 
-// copyInto deep-copies src over dst, bitmap included.
+// copyInto deep-copies src over dst, bitmap and base stamp included.
 func copyInto(dst, src *dirtyPage) {
 	copy(dst.words, src.words)
 	copy(dst.twin, src.twin)
 	copy(dst.dirty, src.dirty)
+	dst.baseSeq = src.baseSeq
 }
 
 // SnapshotDirty deep-copies the view's dirty set into a fresh snapshot.
@@ -1290,10 +1384,22 @@ func (v *View) SnapshotDirtyInto(s *DirtySnapshot) *DirtySnapshot {
 	}
 	s.pages = s.pages[:0]
 	s.pis = s.pis[:0]
+	s.cleanPis = s.cleanPis[:0]
 	s.words = 0
+	s.unstaged = v.unstaged
+	// A frame with no marked words — retained across an elided publication,
+	// its twin re-snapshotted to the frame values at that publication event —
+	// is recorded by page number only: the twin is immutable for the
+	// snapshot's lifetime (stores touch words and marks; twins change only at
+	// publication events, which cannot happen inside a speculative run), so
+	// RevertTo restores the frame from its own twin without a deep copy here.
 	if v.mt != nil {
 		//lazydet:nondeterministic order-independent deep copy; the snapshot order only decides which recycled frame holds which page, and RevertTo reinstates by page number
 		for pi, d := range v.mt.dirty {
+			if !hasMarks(d) {
+				s.cleanPis = append(s.cleanPis, pi)
+				continue
+			}
 			dst := s.frame(v.h)
 			copyInto(dst, d)
 			s.pis = append(s.pis, pi)
@@ -1304,6 +1410,10 @@ func (v *View) SnapshotDirtyInto(s *DirtySnapshot) *DirtySnapshot {
 	}
 	for _, pi := range v.dirtyIdx {
 		d := v.dirtyTab[pi]
+		if !hasMarks(d) {
+			s.cleanPis = append(s.cleanPis, pi)
+			continue
+		}
 		dst := s.frame(v.h)
 		copyInto(dst, d)
 		s.pis = append(s.pis, pi)
@@ -1311,6 +1421,17 @@ func (v *View) SnapshotDirtyInto(s *DirtySnapshot) *DirtySnapshot {
 		s.words += diffWords(d)
 	}
 	return s
+}
+
+// hasMarks reports whether any word of the frame is marked written since the
+// last publication event.
+func hasMarks(d *dirtyPage) bool {
+	for _, m := range d.dirty {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // RevertTo discards the run's modifications and reinstates the dirty set
@@ -1323,18 +1444,69 @@ func (v *View) RevertTo(s *DirtySnapshot) (discarded int) {
 	if discarded < 0 {
 		discarded = 0
 	}
+	v.unstaged = s.unstaged
+	// Frames recorded clean restore from their own immutable twins; frames
+	// the snapshot deep-copied reinstate into the frame already holding the
+	// page (no publication happened during the run, so a snapshotted page's
+	// frame is still live); frames for pages the run dirtied after the
+	// snapshot are released. The snapKeep mark makes the sweep linear.
 	if v.mt != nil {
-		v.mt.dirty = make(map[int]*dirtyPage, len(s.pis))
+		for _, pi := range s.cleanPis {
+			d := v.mt.dirty[pi]
+			copy(d.words, d.twin)
+			clear(d.dirty)
+			d.snapKeep = true
+		}
 		for i, pi := range s.pis {
-			src := s.pages[i]
-			d := v.h.newFrame()
-			copyInto(d, src)
-			v.mt.dirty[pi] = d
+			d := v.mt.dirty[pi]
+			if d == nil {
+				d = v.h.newFrame()
+				v.mt.dirty[pi] = d
+			}
+			copyInto(d, s.pages[i])
+			d.snapKeep = true
+		}
+		//lazydet:nondeterministic order-independent sweep; each entry is kept or deleted on its own mark
+		for pi, d := range v.mt.dirty {
+			if d.snapKeep {
+				d.snapKeep = false
+				continue
+			}
+			delete(v.mt.dirty, pi)
 		}
 		return discarded
 	}
-	v.clearDirty()
+	for _, pi := range s.cleanPis {
+		d := v.dirtyTab[pi]
+		copy(d.words, d.twin)
+		clear(d.dirty)
+		d.snapKeep = true
+	}
+	var missing []int
 	for i, pi := range s.pis {
+		d := v.dirtyTab[pi]
+		if d == nil {
+			missing = append(missing, i)
+			continue
+		}
+		copyInto(d, s.pages[i])
+		d.snapKeep = true
+	}
+	n := 0
+	for _, pi := range v.dirtyIdx {
+		d := v.dirtyTab[pi]
+		if d.snapKeep {
+			d.snapKeep = false
+			v.dirtyIdx[n] = pi
+			n++
+			continue
+		}
+		v.releaseFrame(d)
+		v.dirtyTab[pi] = nil
+	}
+	v.dirtyIdx = v.dirtyIdx[:n]
+	for _, i := range missing {
+		pi := s.pis[i]
 		d := v.frame()
 		copyInto(d, s.pages[i])
 		v.dirtyTab[pi] = d
